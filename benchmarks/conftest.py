@@ -1,0 +1,40 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures,
+asserts its qualitative claims, writes the full artifact to
+``benchmarks/results/<name>.txt``, and times a representative kernel
+with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(results_dir):
+    """Writer: persist a rendered table/figure and echo it."""
+    def writer(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} (saved to {path}) =====")
+        print(text)
+    return writer
+
+
+@pytest.fixture(scope="session")
+def suite90():
+    from repro.experiments.suite import ModelSuite
+    return ModelSuite.for_node("90nm")

@@ -1,0 +1,35 @@
+"""Corner sensitivity: the guard-band experiment.
+
+The paper's introduction: accurate early models exist to "reduce design
+guard band".  This benchmark measures the guard band directly — a link
+designed at the typical corner is re-simulated (golden flow) at the
+slow and fast corners — and benchmarks the corner-derating kernel.
+"""
+
+import pytest
+
+from repro.experiments import corners
+from repro.tech.corners import ProcessCorner, apply_corner
+from repro.units import mm
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {node: corners.run(node=node, length=mm(5))
+            for node in ("90nm", "45nm")}
+
+
+def test_corner_guard_band(benchmark, results, save_artifact, suite90):
+    artifact = "\n\n".join(results[node].format()
+                           for node in ("90nm", "45nm"))
+    save_artifact("corner_guard_band", artifact)
+
+    for node, result in results.items():
+        rows = result.rows
+        assert rows[ProcessCorner.FAST].delay < \
+            rows[ProcessCorner.TYPICAL].delay < \
+            rows[ProcessCorner.SLOW].delay, node
+        assert 0.05 < result.delay_guard_band() < 0.40, node
+        assert result.leakage_ratio() > 1.5, node
+
+    benchmark(apply_corner, suite90.tech, ProcessCorner.SLOW)

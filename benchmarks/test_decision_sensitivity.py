@@ -1,0 +1,44 @@
+"""Decision sensitivity: the study the paper says was missing.
+
+"There has not been any study of the sensitivity of system-level
+decisions to the accuracy of these models" (Section I).  This benchmark
+runs that study: the accurate model's wire-parasitic view is scaled
+from strongly optimistic (the Bakoglu direction) to pessimistic, the
+NoC is re-synthesized at each point, and every architecture is costed
+by the unperturbed model.  The regret curve quantifies how much model
+error actually costs at the system level — and where the cliff is
+(feasibility violations).
+"""
+
+import pytest
+
+from repro.experiments import sensitivity
+from repro.noc.testcases import vproc
+
+
+@pytest.fixture(scope="module")
+def study():
+    return sensitivity.run(node="45nm", spec_factory=vproc,
+                           scales=(0.4, 0.6, 0.8, 1.0, 1.3))
+
+
+def test_decision_sensitivity(benchmark, study, save_artifact, suite90):
+    save_artifact("decision_sensitivity", study.format())
+
+    baseline = study.baseline_row()
+    assert baseline.regret == pytest.approx(0.0, abs=1e-9)
+
+    # The strongly optimistic model (Bakoglu-magnitude error) pays:
+    worst = study.rows[0]
+    assert worst.scale == 0.4
+    assert worst.estimation_error < -0.15   # believes it's much cheaper
+    assert worst.regret > 0.05              # its architecture costs more
+    assert worst.actual.infeasible_links > 0  # and is unbuildable
+    assert worst.topology_similarity < 1.0
+
+    # Mild errors are absorbed by the synthesis: regret stays small.
+    for row in study.rows:
+        if 0.6 <= row.scale <= 1.3:
+            assert row.regret < 0.05, row.scale
+
+    benchmark(sensitivity.perturb_wire_view, suite90.config, 0.5)

@@ -1,0 +1,31 @@
+"""Fig. 1: intrinsic delay vs input slew and inverter size.
+
+Regenerates the figure's data series and verifies both claims: near
+size-independence and near-quadratic slew dependence.  The benchmarked
+kernel is one characterization point (a transient simulation).
+"""
+
+from repro.characterization.cells import RepeaterCell, RepeaterKind
+from repro.characterization.harness import _measure_point
+from repro.experiments import fig1
+from repro.tech import get_technology
+from repro.units import fF, ps
+
+
+def test_fig1_intrinsic_delay(benchmark, save_artifact):
+    result = fig1.run(
+        node="90nm",
+        sizes=(4.0, 8.0, 16.0, 32.0, 64.0),
+        slews=(ps(20), ps(60), ps(120), ps(240), ps(400)),
+        load_factors=(2.0, 6.0, 12.0),
+    )
+    save_artifact("fig1_intrinsic_delay", result.format())
+
+    # Claim 1: intrinsic delay practically independent of size.
+    assert result.size_spread < 0.30
+    # Claim 2: near-quadratic dependence on input slew.
+    assert result.quadratic_r2 > 0.95
+
+    cell = RepeaterCell(get_technology("90nm"), RepeaterKind.INVERTER,
+                        16.0)
+    benchmark(_measure_point, cell, ps(100), fF(50), True)

@@ -1,0 +1,31 @@
+"""Section IV: leakage (<11%) and area (<8%) model accuracy.
+
+Checks the calibrated linear leakage and area models against freshly
+characterized references on the paper's INVD4..INVD20 size set, for
+the three nodes with "industry" libraries in the paper.
+"""
+
+import pytest
+
+from repro.experiments import leakage_area
+from repro.models.power import repeater_leakage_power
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {node: leakage_area.run(node)
+            for node in ("90nm", "65nm", "45nm")}
+
+
+def test_leakage_area_accuracy(benchmark, results, save_artifact,
+                               suite90):
+    artifact = "\n\n".join(results[node].format()
+                           for node in ("90nm", "65nm", "45nm"))
+    save_artifact("leakage_area_accuracy", artifact)
+
+    for node, result in results.items():
+        assert result.max_leakage_error() < 0.11, node
+        assert result.max_area_error() < 0.08, node
+
+    benchmark(repeater_leakage_power, suite90.tech,
+              suite90.calibration, 16.0)

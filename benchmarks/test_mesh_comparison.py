@@ -1,0 +1,54 @@
+"""Custom-synthesized NoC vs the standard 2D mesh.
+
+The comparison COSI-style synthesis is traditionally judged by:
+application-specific topologies should beat the regular mesh on
+interconnect power and average hops for these irregular workloads.
+"""
+
+import pytest
+
+from repro.experiments.suite import ModelSuite
+from repro.noc.evaluation import NocReport, evaluate_topology
+from repro.noc.mesh import build_mesh
+from repro.noc.synthesis import synthesize
+from repro.noc.testcases import dual_vopd, vproc
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    suite = ModelSuite.for_node("90nm")
+    rows = []
+    for name, factory in (("DVOPD", dual_vopd), ("VPROC", vproc)):
+        spec = factory(suite.tech)
+        custom = synthesize(spec, suite.proposed, suite.tech)
+        mesh = build_mesh(spec)
+        rows.append((
+            name,
+            evaluate_topology(custom, suite.proposed, suite.tech,
+                              label=f"{name}/custom"),
+            evaluate_topology(mesh, suite.proposed, suite.tech,
+                              label=f"{name}/mesh"),
+        ))
+    return rows
+
+
+def test_mesh_comparison(benchmark, comparison, save_artifact, suite90):
+    lines = ["Custom-synthesized topology vs standard 2D mesh (90nm)",
+             "", NocReport.header()]
+    for name, custom, mesh in comparison:
+        lines.append(custom.row())
+        lines.append(mesh.row())
+        ratio = mesh.total_power / custom.total_power
+        lines.append(f"  mesh costs {ratio:.2f}x the power of the "
+                     f"synthesized topology")
+        lines.append("")
+    save_artifact("mesh_comparison", "\n".join(lines))
+
+    for name, custom, mesh in comparison:
+        assert custom.total_power < mesh.total_power, name
+        assert custom.avg_hops <= mesh.avg_hops, name
+        # The mesh's XY routes must still be feasible links.
+        assert mesh.infeasible_links == 0, name
+
+    spec = dual_vopd(suite90.tech)
+    benchmark(build_mesh, spec)

@@ -1,0 +1,22 @@
+"""Section IV runtime claim: model vs sign-off evaluation speed.
+
+The paper measures its models at >= 2.1x faster than PrimeTime's delay
+calculation over 50 trials.  Our golden reference is a nonlinear
+transient simulation, so the measured gap is far larger; the benchmark
+records the model-evaluation kernel's absolute speed.
+"""
+
+from repro.experiments import runtime
+from repro.units import mm, ps
+
+
+def test_runtime_ratio(benchmark, save_artifact, suite90):
+    result = runtime.run(node="90nm", length=mm(5), trials=50,
+                         golden_trials=2)
+    save_artifact("runtime_ratio", result.format())
+
+    # Paper's bound, and our expected much larger margin.
+    assert result.speedup > 2.1
+    assert result.speedup > 100
+
+    benchmark(suite90.proposed.evaluate, mm(5), 6, 32.0, ps(300))

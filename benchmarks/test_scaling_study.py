@@ -1,0 +1,41 @@
+"""Technology-scaling study across all six Table I nodes.
+
+Not a single paper table, but the trend that motivates the whole paper:
+global wires get worse as devices get better.  The benchmark regenerates
+the six-node scaling table and asserts the canonical trends.
+"""
+
+import pytest
+
+from repro.experiments import scaling
+from repro.experiments.suite import ModelSuite
+from repro.buffering.optimizer import optimize_buffering
+from repro.units import mm
+
+
+@pytest.fixture(scope="module")
+def result():
+    return scaling.run()
+
+
+def test_scaling_study(benchmark, result, save_artifact):
+    save_artifact("scaling_study", result.format())
+
+    resistance = result.resistance_trend()
+    assert all(b > a for a, b in zip(resistance, resistance[1:]))
+    assert resistance[-1] > 20 * resistance[0]
+
+    delay = result.delay_trend()
+    assert all(b > a for a, b in zip(delay, delay[1:]))
+
+    feasible = result.feasible_trend()
+    assert all(b < a for a, b in zip(feasible, feasible[1:]))
+    assert feasible[0] > 10e-3
+    assert feasible[-1] < 2e-3
+
+    densities = [row.repeaters_per_mm for row in result.rows]
+    assert densities[-1] > 3 * densities[0]
+
+    suite = ModelSuite.for_node("16nm")
+    benchmark(optimize_buffering, suite.proposed, mm(5),
+              delay_weight=0.8)

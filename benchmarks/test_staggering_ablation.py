@@ -1,0 +1,29 @@
+"""Section III-D ablation: staggered repeater insertion.
+
+Reproduces the "~20% power for just above 2% delay" trade across
+nodes and line lengths, and benchmarks the staggering comparison.
+"""
+
+import pytest
+
+from repro.buffering.staggering import compare_staggering
+from repro.experiments import staggering
+from repro.units import mm
+
+
+@pytest.fixture(scope="module")
+def staggering_result():
+    return staggering.run()
+
+
+def test_staggering_ablation(benchmark, staggering_result,
+                             save_artifact, suite90):
+    save_artifact("staggering_ablation", staggering_result.format())
+
+    # Power falls noticeably at a delay penalty bounded by the budget.
+    assert 0.08 < staggering_result.mean_saving() < 0.40
+    assert staggering_result.mean_penalty() <= 0.025 + 1e-9
+    for row in staggering_result.rows:
+        assert row.comparison.power_saving > 0, (row.node, row.length)
+
+    benchmark(compare_staggering, suite90.proposed, mm(5))

@@ -1,0 +1,51 @@
+"""Table I: fitting coefficients for six technologies.
+
+Regenerates the coefficient table for all six nodes (both repeater
+kinds for the default slew form) and benchmarks the calibration kernel
+— the regression fit on an already-characterized library.
+"""
+
+import pytest
+
+from repro.characterization import (
+    CharacterizationGrid,
+    RepeaterKind,
+    characterize_library,
+)
+from repro.experiments import table1
+from repro.models.calibration import calibrate_from_library
+from repro.tech import get_technology
+from repro.units import ps
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return table1.run()
+
+
+def test_table1_coefficients(benchmark, table1_result, save_artifact,
+                             suite90):
+    buffers = table1.run(kind=RepeaterKind.BUFFER)
+    artifact = (table1_result.format() + "\n" + buffers.format())
+    save_artifact("table1_coefficients", artifact)
+
+    # Shape claims: the fitted functional forms hold on every node.
+    for node, quality in table1_result.fit_quality_summary().items():
+        assert quality["intrinsic_rise"] > 0.85, node
+        assert quality["drive_rise"] > 0.95, node
+        assert quality["leakage"] > 0.99, node
+        assert quality["area"] > 0.99, node
+
+    # Drive resistance must fall as nodes scale (stronger devices per
+    # micron), while intrinsic a0 falls with faster devices.
+    b0_values = [table1_result.calibrations[n].fall.drive[0]
+                 for n in ("90nm", "45nm", "16nm")]
+    assert b0_values[0] > b0_values[-1]
+
+    # Benchmark: the regression step on a small characterized library.
+    grid = CharacterizationGrid(sizes=(8.0, 32.0),
+                                input_slews=(ps(40), ps(160), ps(320)),
+                                load_factors=(2.0, 8.0, 24.0))
+    library = characterize_library(get_technology("90nm"),
+                                   RepeaterKind.INVERTER, grid)
+    benchmark(calibrate_from_library, library)

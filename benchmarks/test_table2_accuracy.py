@@ -1,0 +1,47 @@
+"""Table II: delay-model accuracy vs the golden sign-off flow.
+
+The full paper sweep: lengths {1, 3, 5, 10, 15} mm x nodes
+{90, 65, 45} nm x design styles {SWSS, shielded}, with a 300 ps input
+transition.  Asserts the paper's accuracy shape: the proposed model
+within ~12-15%, the classic models far outside, and the closed-form
+evaluation orders of magnitude faster than sign-off.
+"""
+
+import pytest
+
+from repro.experiments import table2
+from repro.units import mm, ps
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return table2.run()
+
+
+def test_table2_accuracy(benchmark, table2_result, save_artifact,
+                         suite90):
+    save_artifact("table2_accuracy", table2_result.format())
+
+    # The proposed model tracks sign-off within the paper's band.
+    assert table2_result.max_abs_error("proposed") < 0.15
+
+    # The classic models show much larger errors somewhere in the
+    # sweep (the paper reports a -7%..106% band; sign conventions
+    # depend on geometry, magnitude is the claim).
+    assert table2_result.max_abs_error("bakoglu") > 0.40
+    assert table2_result.max_abs_error("pamunuwa") > 0.15
+
+    # Proposed is the best model on (almost) every row; allow no row
+    # where a baseline beats it by more than a small margin.
+    for row in table2_result.rows:
+        proposed = abs(row.errors["proposed"])
+        best_baseline = min(abs(row.errors["bakoglu"]),
+                            abs(row.errors["pamunuwa"]))
+        assert proposed <= best_baseline + 0.05, row
+
+    # Model evaluation is far faster than the golden flow (the paper's
+    # >= 2.1x vs PrimeTime is easily exceeded against simulation).
+    assert min(row.runtime_ratio for row in table2_result.rows) > 10
+
+    # Benchmark the proposed model's full-line evaluation kernel.
+    benchmark(suite90.proposed.evaluate, mm(10), 12, 32.0, ps(300))

@@ -1,0 +1,49 @@
+"""Table III: interconnect-model impact on NoC synthesis.
+
+Full paper sweep: {VPROC, DVOPD} x {90, 65, 45} nm at
+{1.5, 2.25, 3.0} GHz, synthesized under the original (Bakoglu) and the
+proposed models, with cross-evaluation of the original architecture
+under the accurate model.
+"""
+
+import pytest
+
+from repro.experiments import table3
+from repro.noc.synthesis import synthesize
+from repro.noc.testcases import dual_vopd
+
+
+@pytest.fixture(scope="module")
+def table3_result():
+    return table3.run()
+
+
+def test_table3_noc_synthesis(benchmark, table3_result, save_artifact,
+                              suite90):
+    save_artifact("table3_noc_synthesis", table3_result.format())
+
+    # Headline claims of Section IV:
+    # 1. Dynamic power underestimated by the original model, up to ~3x.
+    assert table3_result.max_dynamic_ratio() > 2.0
+    for case in table3_result.cases:
+        assert case.dynamic_power_ratio > 1.3, (case.design, case.node)
+
+    # 2. The original model admits excessively long (non-implementable)
+    #    wires somewhere in the sweep.
+    assert table3_result.total_infeasible_links() > 0
+
+    # 3. Area is underestimated by the original model everywhere.
+    for case in table3_result.cases:
+        assert (case.original_accurate.repeater_area
+                > 1.5 * case.original_self.repeater_area)
+
+    # 4. The proposed-model architecture never contains links its own
+    #    model calls infeasible.
+    for case in table3_result.cases:
+        assert case.proposed_self.infeasible_links == 0
+
+    # Benchmark kernel: one DVOPD synthesis at 90 nm.
+    spec = dual_vopd(suite90.tech)
+    benchmark.pedantic(
+        synthesize, args=(spec, suite90.proposed, suite90.tech),
+        rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+"""Closed forms vs raw NLDM table lookup.
+
+The paper's pitch is that *simple* closed forms lose little against
+detailed references.  This ablation quantifies "little" against the
+strongest practical alternative: bilinear interpolation of the full
+characterized tables (what a production timer does).  Also measures the
+compression: a Table I coefficient set vs the full NLDM data volume.
+"""
+
+import pytest
+
+from repro.characterization import CharacterizationGrid, RepeaterKind, \
+    characterize_library
+from repro.models.table_model import TableInterconnectModel
+from repro.signoff import evaluate_buffered_line, extract_buffered_line
+from repro.units import mm, ps, to_ps
+
+
+@pytest.fixture(scope="module")
+def comparison(suite90):
+    grid = CharacterizationGrid(
+        sizes=(8.0, 16.0, 32.0, 64.0),
+        input_slews=(ps(30), ps(80), ps(160), ps(320)),
+        load_factors=(2.0, 4.0, 8.0, 16.0, 32.0),
+    )
+    library = characterize_library(suite90.tech,
+                                   RepeaterKind.INVERTER, grid)
+    table_model = TableInterconnectModel(library=library,
+                                         config=suite90.config)
+    rows = []
+    for length_mm, count in ((1, 2), (5, 5), (10, 10)):
+        length = mm(length_mm)
+        line = extract_buffered_line(suite90.tech, suite90.config,
+                                     length, count, 32.0)
+        golden = evaluate_buffered_line(line, ps(300)).total_delay
+        table_delay = table_model.evaluate(length, count, 32.0,
+                                           ps(300)).delay
+        closed_delay = suite90.proposed.evaluate(length, count, 32.0,
+                                                 ps(300)).delay
+        rows.append((length_mm, golden, table_delay, closed_delay))
+
+    table_points = sum(
+        2 * 2 * len(grid.input_slews) * len(grid.load_factors)
+        for _ in grid.sizes)   # 2 tables x 2 directions per cell
+    closed_coefficients = 2 * (3 + 2 + 3) + 1 + 4 + 2  # Table I set
+    return table_model, rows, table_points, closed_coefficients
+
+
+def test_table_vs_closed_form(benchmark, comparison, save_artifact,
+                              suite90):
+    table_model, rows, table_points, closed_coefficients = comparison
+    lines = [
+        "NLDM table lookup vs Table I closed forms (90nm, size 32, "
+        "300 ps input)",
+        f"{'L mm':>5} {'golden ps':>10} {'table %':>8} {'closed %':>9}",
+    ]
+    for length_mm, golden, table_delay, closed_delay in rows:
+        table_error = (table_delay - golden) / golden
+        closed_error = (closed_delay - golden) / golden
+        lines.append(f"{length_mm:5d} {to_ps(golden):10.1f} "
+                     f"{table_error * 100:+8.1f} "
+                     f"{closed_error * 100:+9.1f}")
+    lines.append("")
+    lines.append(f"data volume: {table_points} NLDM table points vs "
+                 f"{closed_coefficients} closed-form coefficients "
+                 f"({table_points / closed_coefficients:.0f}x "
+                 f"compression)")
+    save_artifact("table_vs_closed_form", "\n".join(lines))
+
+    for length_mm, golden, table_delay, closed_delay in rows:
+        assert abs(table_delay - golden) / golden < 0.15
+        assert abs(closed_delay - golden) / golden < 0.15
+
+    benchmark(table_model.evaluate, mm(5), 5, 32.0, ps(300))

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Characterize a repeater library and export industry-format files.
+
+The paper's Section III-E flow end to end: sweep the circuit simulator
+over a (size x slew x load) grid, fit the Table I coefficients by
+regression, and write the artifacts a real flow would exchange —
+a Liberty timing library, a LEF technology file, and the SPEF
+parasitics of an extracted buffered line.
+
+Run:  python examples/characterize_and_export.py [node] [outdir]
+(The default reduced grid keeps the run under a minute.)
+"""
+
+import sys
+from pathlib import Path
+
+from repro.characterization import (
+    CharacterizationGrid,
+    RepeaterKind,
+    characterize_library,
+    library_to_liberty,
+)
+from repro.characterization.harness import describe_library
+from repro.models.calibration import (
+    calibrate_from_library,
+    describe_coefficients,
+)
+from repro.signoff.extraction import extract_buffered_line
+from repro.signoff.spef import dumps_spef, line_to_spef
+from repro.tech import DesignStyle, WireConfiguration, get_technology
+from repro.tech import lef, liberty
+from repro.units import mm, ps
+
+
+def main() -> None:
+    node = sys.argv[1] if len(sys.argv) > 1 else "90nm"
+    outdir = Path(sys.argv[2] if len(sys.argv) > 2 else "build/export")
+    outdir.mkdir(parents=True, exist_ok=True)
+    tech = get_technology(node)
+
+    # 1. Characterize a small inverter library (reduced grid).
+    grid = CharacterizationGrid(
+        sizes=(4.0, 8.0, 16.0, 32.0),
+        input_slews=(ps(30), ps(100), ps(300)),
+        load_factors=(2.0, 8.0, 24.0),
+    )
+    print(f"characterizing {len(grid.sizes)} cells at {node} ...")
+    library = characterize_library(tech, RepeaterKind.INVERTER, grid)
+    print(describe_library(library))
+
+    # 2. Fit the predictive-model coefficients (Table I).
+    calibration = calibrate_from_library(library)
+    print("\n" + describe_coefficients(calibration))
+
+    # 3. Export Liberty, LEF and SPEF.
+    liberty_path = outdir / f"repeaters_{node}.lib"
+    liberty_path.write_text(liberty.dumps(library_to_liberty(library)))
+    lef_path = outdir / f"{node}.lef"
+    lef_path.write_text(lef.dumps(lef.from_technology(tech)))
+    config = WireConfiguration.for_style(tech.global_layer,
+                                         DesignStyle.SWSS)
+    line = extract_buffered_line(tech, config, mm(5), 5, 16.0)
+    spef_path = outdir / f"line5mm_{node}.spef"
+    spef_path.write_text(dumps_spef(line_to_spef(line)))
+
+    print(f"\nwrote {liberty_path}\nwrote {lef_path}\nwrote {spef_path}")
+
+
+if __name__ == "__main__":
+    main()

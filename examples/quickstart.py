@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: model one global buffered interconnect.
+
+Builds the proposed predictive model for the 65 nm node, evaluates a
+5 mm global bus link, compares against the classic Bakoglu estimate,
+and verifies the prediction against the golden sign-off flow (the
+nonlinear transient simulation) — the core loop of the paper in ~40
+lines of API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments.suite import ModelSuite
+from repro.buffering import optimize_buffering
+from repro.signoff import evaluate_buffered_line, extract_buffered_line
+from repro.units import mm, ps, to_mw, to_ps
+
+
+def main() -> None:
+    # One call loads the technology node, its calibrated model
+    # coefficients (Table I) and all three interconnect models.
+    suite = ModelSuite.for_node("65nm")
+    length = mm(5)
+
+    # 1. Pick a practical buffering: weighted delay-power optimum.
+    buffering = optimize_buffering(suite.proposed, length,
+                                   delay_weight=0.5)
+    count, size = buffering.num_repeaters, buffering.repeater_size
+    print(f"5 mm link @ 65nm: {count} repeaters of size x{size:.0f}")
+
+    # 2. Evaluate it with the proposed model and the classic baseline.
+    proposed = suite.proposed.evaluate(length, count, size, ps(300))
+    bakoglu = suite.bakoglu.evaluate(length, count, size, ps(300))
+    print(f"proposed model : delay {to_ps(proposed.delay):7.1f} ps, "
+          f"power {to_mw(proposed.total_power):6.3f} mW")
+    print(f"bakoglu model  : delay {to_ps(bakoglu.delay):7.1f} ps, "
+          f"power {to_mw(bakoglu.total_power):6.3f} mW")
+
+    # 3. Check against sign-off: extract the placed line and simulate.
+    line = extract_buffered_line(suite.tech, suite.config, length,
+                                 count, size)
+    golden = evaluate_buffered_line(line, ps(300))
+    print(f"golden sign-off: delay {to_ps(golden.total_delay):7.1f} ps "
+          f"({golden.num_stages} stages simulated)")
+
+    error = (proposed.delay - golden.total_delay) / golden.total_delay
+    classic_error = (bakoglu.delay - golden.total_delay) \
+        / golden.total_delay
+    print(f"\nproposed error {error * 100:+.1f}% vs classic "
+          f"{classic_error * 100:+.1f}% — the paper's Table II in one "
+          f"line.")
+
+
+if __name__ == "__main__":
+    main()

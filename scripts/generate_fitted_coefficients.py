@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Regenerate src/repro/models/_fitted_data.py.
+
+Runs the full characterization + calibration pipeline for every
+built-in technology node, both repeater kinds, and both output-slew
+forms, then writes the coefficient dictionaries into the generated
+module.  Takes several minutes (hundreds of transient simulations per
+node).
+"""
+
+from __future__ import annotations
+
+import pprint
+import sys
+import time
+from pathlib import Path
+
+from repro.characterization import RepeaterKind, characterize_library
+from repro.models.calibration import OutputSlewForm, calibrate_from_library
+from repro.tech import available_nodes, get_technology
+
+OUTPUT = Path(__file__).resolve().parents[1] / "src" / "repro" / \
+    "models" / "_fitted_data.py"
+
+HEADER = '''"""Pre-fitted calibration coefficients for the built-in technologies.
+
+GENERATED FILE — regenerate with::
+
+    python scripts/generate_fitted_coefficients.py
+
+Keys are ``(technology name, repeater kind, output-slew form)``; values
+are :meth:`repro.models.calibration.CalibratedTechnology.to_dict`
+payloads.  An empty mapping simply means calibration runs from scratch
+(slower but identical results); tests verify that regenerating a node
+reproduces the cached values.
+"""
+
+FITTED = '''
+
+
+def main() -> int:
+    fitted = {}
+    for node in available_nodes():
+        tech = get_technology(node)
+        for kind in (RepeaterKind.INVERTER, RepeaterKind.BUFFER):
+            started = time.time()
+            library = characterize_library(tech, kind)
+            for form in (OutputSlewForm.PAPER, OutputSlewForm.SIZE_SCALED):
+                calibration = calibrate_from_library(library,
+                                                     slew_form=form)
+                key = (node, kind.value, form.value)
+                fitted[key] = calibration.to_dict()
+            print(f"{node} {kind.value}: {time.time() - started:.0f}s",
+                  flush=True)
+
+    body = pprint.pformat(fitted, width=78, sort_dicts=True)
+    OUTPUT.write_text(HEADER + body + "\n")
+    print(f"wrote {OUTPUT} ({len(fitted)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Buffering optimization (Section III-D).
+
+Delay-optimal buffering produces impractically large repeaters; the
+paper instead searches the (repeater count, repeater size) space for
+the minimum of a weighted delay-power objective, and optionally applies
+staggered insertion to cancel the coupling term in the delay equation.
+
+* :mod:`repro.buffering.optimizer` — exhaustive + binary-search
+  optimization of weighted objectives, and constrained variants
+  (minimum power subject to a delay bound) used by the NoC synthesizer.
+* :mod:`repro.buffering.schemes` — classic closed-form buffering.
+* :mod:`repro.buffering.staggering` — staggered-insertion evaluation.
+"""
+
+from repro.buffering.optimizer import (
+    BufferingSolution,
+    max_feasible_length,
+    minimize_power_under_delay,
+    optimize_buffering,
+)
+from repro.buffering.schemes import delay_optimal_buffering
+from repro.buffering.staggering import StaggeringComparison, compare_staggering
+
+__all__ = [
+    "BufferingSolution",
+    "max_feasible_length",
+    "minimize_power_under_delay",
+    "optimize_buffering",
+    "delay_optimal_buffering",
+    "StaggeringComparison",
+    "compare_staggering",
+]

@@ -1,0 +1,58 @@
+"""Classic closed-form buffering schemes.
+
+The Bakoglu delay-optimal formulas give the textbook repeater count and
+size for a line; they serve as the reference point the search-based
+optimizer is compared against (and as the scheme the original COSI-OCC
+flow uses).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.models.calibration import CalibratedTechnology
+from repro.models.repeater import RepeaterModel
+from repro.models.wire import effective_load_capacitance
+from repro.tech.design_styles import WireConfiguration
+from repro.tech.parameters import TechnologyParameters
+from repro.units import ps
+
+
+@dataclass(frozen=True)
+class ClosedFormBuffering:
+    """Closed-form buffering prescription."""
+
+    num_repeaters: int
+    repeater_size: float
+
+
+def delay_optimal_buffering(
+    tech: TechnologyParameters,
+    calibration: CalibratedTechnology,
+    config: WireConfiguration,
+    length: float,
+    reference_slew: float = ps(100),
+) -> ClosedFormBuffering:
+    """Bakoglu-style delay-optimal count and size, with the *calibrated*
+    per-size drive resistance and input capacitance.
+
+    ``k = sqrt(0.4 R_w C_w / (0.7 R_0 C_0))`` and
+    ``h = sqrt(R_0 C_w / (R_w C_0))`` where ``R_0``/``C_0`` are the
+    unit-size repeater resistance and input capacitance.  The size that
+    comes out is typically enormous — the motivation for the practical
+    weighted optimization.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    repeater = RepeaterModel(tech=tech, calibration=calibration)
+    r_wire = config.resistance_per_meter() * length
+    c_wire = effective_load_capacitance(config, length, 0.0)
+    r0 = 0.5 * (repeater.drive_resistance(1.0, reference_slew, True)
+                + repeater.drive_resistance(1.0, reference_slew, False))
+    c0 = repeater.input_capacitance(1.0)
+    count = max(1, round(math.sqrt(
+        (0.4 * r_wire * c_wire) / (0.7 * r0 * c0))))
+    size = math.sqrt(r0 * c_wire / (r_wire * c0))
+    return ClosedFormBuffering(num_repeaters=count,
+                               repeater_size=max(size, 1.0))

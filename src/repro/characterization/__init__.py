@@ -1,0 +1,36 @@
+"""Library characterization: the data the regressions are fit to.
+
+Section III-E: *"For repeater-delay calculation, delay and slew values
+for a set of input-slew and load-capacitance values, along with
+input-capacitance values, are required for a few repeaters."*  This
+package produces exactly that data set by sweeping the transient
+simulator over (repeater size x input slew x load capacitance) grids,
+measuring leakage with DC analysis, and deriving cell areas from the
+finger-based layout model — then exporting everything as a mini-Liberty
+library, mirroring the industry flow.
+"""
+
+from repro.characterization.cells import RepeaterCell, RepeaterKind
+from repro.characterization.tables import NLDMTable
+from repro.characterization.harness import (
+    CellCharacterization,
+    CharacterizationGrid,
+    LibraryCharacterization,
+    characterize_cell,
+    characterize_library,
+    liberty_to_library,
+    library_to_liberty,
+)
+
+__all__ = [
+    "RepeaterCell",
+    "RepeaterKind",
+    "NLDMTable",
+    "CellCharacterization",
+    "CharacterizationGrid",
+    "LibraryCharacterization",
+    "characterize_cell",
+    "characterize_library",
+    "liberty_to_library",
+    "library_to_liberty",
+]

@@ -1,0 +1,89 @@
+"""NLDM-style 2-D lookup tables (input slew x load capacitance)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NLDMTable:
+    """A Liberty-style nonlinear delay-model table.
+
+    ``index_1`` is the input slew axis (seconds), ``index_2`` the load
+    capacitance axis (farads), and ``values[i][j]`` the measured
+    quantity (delay or output slew, seconds) at
+    ``(index_1[i], index_2[j])``.
+    """
+
+    index_1: "tuple[float, ...]"
+    index_2: "tuple[float, ...]"
+    values: "tuple[tuple[float, ...], ...]"
+
+    def __post_init__(self) -> None:
+        rows, cols = len(self.index_1), len(self.index_2)
+        if rows < 1 or cols < 1:
+            raise ValueError("table axes must be non-empty")
+        if len(self.values) != rows:
+            raise ValueError("values row count must match index_1")
+        if any(len(row) != cols for row in self.values):
+            raise ValueError("values column count must match index_2")
+        for axis_name, axis in (("index_1", self.index_1),
+                                ("index_2", self.index_2)):
+            if any(b <= a for a, b in zip(axis, axis[1:])):
+                raise ValueError(f"{axis_name} must be strictly increasing")
+
+    @classmethod
+    def from_arrays(cls, index_1: Sequence[float], index_2: Sequence[float],
+                    values: Sequence[Sequence[float]]) -> "NLDMTable":
+        return cls(
+            index_1=tuple(float(x) for x in index_1),
+            index_2=tuple(float(x) for x in index_2),
+            values=tuple(tuple(float(v) for v in row) for row in values),
+        )
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.values)
+
+    def lookup(self, slew: float, load: float) -> float:
+        """Bilinear interpolation (clamped extrapolation at the edges)."""
+        return float(_bilinear(np.asarray(self.index_1),
+                               np.asarray(self.index_2),
+                               self.as_array(), slew, load))
+
+    def row(self, slew_index: int) -> List[float]:
+        """Values across loads at one slew point."""
+        return list(self.values[slew_index])
+
+    def column(self, load_index: int) -> List[float]:
+        """Values across slews at one load point."""
+        return [row[load_index] for row in self.values]
+
+
+def _bilinear(xs: np.ndarray, ys: np.ndarray, table: np.ndarray,
+              x: float, y: float) -> float:
+    """Bilinear interpolation with linear extrapolation beyond edges."""
+    def bracket(axis: np.ndarray, value: float) -> "tuple[int, float]":
+        if axis.size == 1:
+            return 0, 0.0
+        index = int(np.searchsorted(axis, value)) - 1
+        index = min(max(index, 0), axis.size - 2)
+        span = axis[index + 1] - axis[index]
+        fraction = (value - axis[index]) / span
+        return index, fraction
+
+    i, fx = bracket(xs, x)
+    j, fy = bracket(ys, y)
+    if xs.size == 1 and ys.size == 1:
+        return float(table[0, 0])
+    if xs.size == 1:
+        return float(table[0, j] * (1 - fy) + table[0, j + 1] * fy)
+    if ys.size == 1:
+        return float(table[i, 0] * (1 - fx) + table[i + 1, 0] * fx)
+    v00, v01 = table[i, j], table[i, j + 1]
+    v10, v11 = table[i + 1, j], table[i + 1, j + 1]
+    top = v00 * (1 - fy) + v01 * fy
+    bottom = v10 * (1 - fy) + v11 * fy
+    return float(top * (1 - fx) + bottom * fx)

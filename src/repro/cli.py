@@ -1,0 +1,273 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro nodes                         # list technology nodes
+    repro calibrate 65nm                # Table I coefficients for a node
+    repro link 90nm 5 --weight 0.5      # optimize one link's buffering
+    repro accuracy 90nm --lengths 1 5   # mini Table II
+    repro synth dvopd 65nm              # one Table III cell
+    repro table1 | table2 | table3      # full paper experiments
+    repro staggering | runtime | leakage-area
+
+Every subcommand prints the same artifacts the benchmark suite saves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.units import mm, ps, to_mw, to_ps
+
+
+def _cmd_nodes(_args: argparse.Namespace) -> int:
+    from repro.tech import available_nodes, get_technology
+    print(f"{'node':<6} {'vdd':>5} {'clock':>9} {'global wire':>22}")
+    for name in available_nodes():
+        tech = get_technology(name)
+        layer = tech.global_layer
+        print(f"{name:<6} {tech.vdd:5.2f} "
+              f"{tech.clock_frequency / 1e9:7.2f}GHz "
+              f"{layer.width * 1e6:6.3f}um x {layer.thickness * 1e6:.3f}um")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.characterization import RepeaterKind
+    from repro.models.calibration import (
+        OutputSlewForm,
+        describe_coefficients,
+        load_calibration,
+    )
+    from repro.tech import get_technology
+    tech = get_technology(args.node)
+    calibration = load_calibration(
+        tech, RepeaterKind(args.kind), OutputSlewForm(args.slew_form))
+    print(describe_coefficients(calibration))
+    return 0
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    from repro.buffering import compare_staggering, optimize_buffering
+    from repro.experiments.suite import ModelSuite
+    suite = ModelSuite.for_node(args.node)
+    length = mm(args.length_mm)
+    solution = optimize_buffering(suite.proposed, length,
+                                  delay_weight=args.weight)
+    estimate = solution.estimate
+    print(f"{args.length_mm:g} mm link @ {args.node} "
+          f"(delay weight {args.weight:g}):")
+    print(f"  {solution.num_repeaters} repeaters of size "
+          f"x{solution.repeater_size:.1f}")
+    print(f"  delay   {to_ps(estimate.delay):9.1f} ps")
+    print(f"  power   {to_mw(estimate.total_power):9.3f} mW "
+          f"(dynamic {to_mw(estimate.dynamic_power):.3f} + leakage "
+          f"{to_mw(estimate.leakage_power):.3f})")
+    print(f"  area    {estimate.total_area * 1e12:9.1f} um^2")
+    if args.staggered:
+        comparison = compare_staggering(suite.proposed, length)
+        print(f"  staggered: {comparison.power_saving * 100:.1f}% power "
+              f"saved at {comparison.delay_penalty * 100:+.2f}% delay")
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from repro.experiments import table2
+    from repro.tech import DesignStyle
+    lengths = tuple(mm(value) for value in args.lengths)
+    result = table2.run(nodes=(args.node,), lengths=lengths,
+                        styles=(DesignStyle(args.style),))
+    print(result.format())
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.experiments import table3
+    from repro.noc.testcases import dual_vopd, vproc
+    factory = vproc if args.design.lower() == "vproc" else dual_vopd
+    case = table3.run_case(args.design.upper(), factory, args.node)
+    from repro.noc.evaluation import NocReport
+    print(NocReport.header())
+    print(case.original_self.row())
+    print(case.original_accurate.row())
+    print(case.proposed_self.row())
+    print(f"dynamic power underestimated "
+          f"{case.dynamic_power_ratio:.2f}x by the original model")
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    from repro.experiments import table1
+    print(table1.run().format())
+    return 0
+
+
+def _cmd_table2(_args: argparse.Namespace) -> int:
+    from repro.experiments import table2
+    print(table2.run().format())
+    return 0
+
+
+def _cmd_table3(_args: argparse.Namespace) -> int:
+    from repro.experiments import table3
+    print(table3.run().format())
+    return 0
+
+
+def _cmd_staggering(_args: argparse.Namespace) -> int:
+    from repro.experiments import staggering
+    print(staggering.run().format())
+    return 0
+
+
+def _cmd_runtime(_args: argparse.Namespace) -> int:
+    from repro.experiments import runtime
+    print(runtime.run().format())
+    return 0
+
+
+def _cmd_leakage_area(args: argparse.Namespace) -> int:
+    from repro.experiments import leakage_area
+    print(leakage_area.run(args.node).format())
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.experiments import scaling
+    print(scaling.run(length=mm(args.length_mm)).format())
+    return 0
+
+
+def _cmd_corners(args: argparse.Namespace) -> int:
+    from repro.experiments import corners
+    print(corners.run(node=args.node,
+                      length=mm(args.length_mm)).format())
+    return 0
+
+
+def _cmd_mesh(args: argparse.Namespace) -> int:
+    from repro.experiments.suite import ModelSuite
+    from repro.noc import build_mesh, evaluate_topology, synthesize
+    from repro.noc.evaluation import NocReport
+    from repro.noc.testcases import dual_vopd, vproc
+    suite = ModelSuite.for_node(args.node)
+    factory = vproc if args.design.lower() == "vproc" else dual_vopd
+    spec = factory(suite.tech)
+    custom = synthesize(spec, suite.proposed, suite.tech)
+    mesh = build_mesh(spec)
+    print(NocReport.header())
+    print(evaluate_topology(custom, suite.proposed, suite.tech,
+                            label="custom").row())
+    print(evaluate_topology(mesh, suite.proposed, suite.tech,
+                            label="mesh").row())
+    return 0
+
+
+def _cmd_widths(args: argparse.Namespace) -> int:
+    from repro.experiments.suite import ModelSuite
+    from repro.noc import explore_widths
+    from repro.noc.testcases import dual_vopd, vproc
+    suite = ModelSuite.for_node(args.node)
+    factory = vproc if args.design.lower() == "vproc" else dual_vopd
+    spec = factory(suite.tech)
+    print(explore_widths(spec, suite.proposed, suite.tech,
+                         widths=tuple(args.widths)).format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Predictive buffered-interconnect models and "
+                     "NoC synthesis (Carloni et al., TVLSI 2010 "
+                     "reproduction)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("nodes", help="list technology nodes") \
+        .set_defaults(func=_cmd_nodes)
+
+    calibrate = sub.add_parser("calibrate",
+                               help="show Table I coefficients")
+    calibrate.add_argument("node")
+    calibrate.add_argument("--kind", default="inverter",
+                           choices=["inverter", "buffer"])
+    calibrate.add_argument("--slew-form", default="paper",
+                           choices=["paper", "size-scaled"])
+    calibrate.set_defaults(func=_cmd_calibrate)
+
+    link = sub.add_parser("link", help="optimize one link's buffering")
+    link.add_argument("node")
+    link.add_argument("length_mm", type=float)
+    link.add_argument("--weight", type=float, default=0.5,
+                      help="delay weight in [0, 1] (1 = delay-optimal)")
+    link.add_argument("--staggered", action="store_true",
+                      help="also report the staggered-insertion trade")
+    link.set_defaults(func=_cmd_link)
+
+    accuracy = sub.add_parser("accuracy",
+                              help="model accuracy vs sign-off")
+    accuracy.add_argument("node")
+    accuracy.add_argument("--lengths", type=float, nargs="+",
+                          default=[1.0, 5.0, 10.0], metavar="MM")
+    accuracy.add_argument("--style", default="swss",
+                          choices=["swss", "shielded",
+                                   "double-spacing"])
+    accuracy.set_defaults(func=_cmd_accuracy)
+
+    synth = sub.add_parser("synth", help="synthesize a NoC test case")
+    synth.add_argument("design", choices=["vproc", "dvopd"])
+    synth.add_argument("node")
+    synth.set_defaults(func=_cmd_synth)
+
+    for name, func, help_text in (
+            ("table1", _cmd_table1, "full Table I"),
+            ("table2", _cmd_table2, "full Table II (slow)"),
+            ("table3", _cmd_table3, "full Table III (slow)"),
+            ("staggering", _cmd_staggering, "staggering experiment"),
+            ("runtime", _cmd_runtime, "runtime comparison")):
+        sub.add_parser(name, help=help_text).set_defaults(func=func)
+
+    leak = sub.add_parser("leakage-area",
+                          help="leakage/area model accuracy")
+    leak.add_argument("node", nargs="?", default="90nm")
+    leak.set_defaults(func=_cmd_leakage_area)
+
+    scaling_cmd = sub.add_parser("scaling",
+                                 help="six-node scaling study")
+    scaling_cmd.add_argument("--length-mm", type=float, default=5.0)
+    scaling_cmd.set_defaults(func=_cmd_scaling)
+
+    corners_cmd = sub.add_parser("corners",
+                                 help="corner guard-band experiment")
+    corners_cmd.add_argument("node", nargs="?", default="90nm")
+    corners_cmd.add_argument("--length-mm", type=float, default=5.0)
+    corners_cmd.set_defaults(func=_cmd_corners)
+
+    mesh_cmd = sub.add_parser("mesh",
+                              help="custom vs 2D-mesh comparison")
+    mesh_cmd.add_argument("design", choices=["vproc", "dvopd"])
+    mesh_cmd.add_argument("node", nargs="?", default="90nm")
+    mesh_cmd.set_defaults(func=_cmd_mesh)
+
+    widths_cmd = sub.add_parser("widths",
+                                help="flit-width exploration")
+    widths_cmd.add_argument("design", choices=["vproc", "dvopd"])
+    widths_cmd.add_argument("node", nargs="?", default="90nm")
+    widths_cmd.add_argument("--widths", type=int, nargs="+",
+                            default=[32, 64, 128])
+    widths_cmd.set_defaults(func=_cmd_widths)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each module exposes a ``run(...)`` function returning a result object
+with a ``format()`` method that prints the paper-style rows.  The
+benchmark suite (``benchmarks/``) and the examples call these drivers;
+EXPERIMENTS.md records the measured outcomes against the paper's.
+
+=====================  =================================================
+module                 reproduces
+=====================  =================================================
+``table1``             Table I — fitted model coefficients per node
+``fig1``               Fig. 1 — intrinsic delay vs input slew and size
+``table2``             Table II — delay-model accuracy vs sign-off
+``table3``             Table III — model impact on NoC synthesis
+``staggering``         Section III-D — staggered insertion trade-off
+``runtime``            Section IV — model vs sign-off runtime ratio
+``leakage_area``       Section IV — leakage/area model accuracy
+=====================  =================================================
+"""
+
+from repro.experiments.suite import ModelSuite
+
+__all__ = ["ModelSuite"]

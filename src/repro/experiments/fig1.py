@@ -1,0 +1,108 @@
+"""Fig. 1: repeater intrinsic delay vs input slew and inverter size.
+
+The figure supports two claims (Section III-A):
+
+1. intrinsic delay is *practically independent of repeater size*, and
+2. it depends *nearly quadratically on the input slew*.
+
+``run()`` re-derives the figure's data: for each (size, slew) pair it
+measures delay at several loads, extrapolates the zero-load intercept
+(the intrinsic delay), and reports the spread across sizes plus the
+quadratic-fit quality across slews.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.characterization.cells import RepeaterCell, RepeaterKind
+from repro.characterization.harness import _measure_point
+from repro.models.regression import linear_fit, quadratic_fit
+from repro.tech.nodes import get_technology
+from repro.units import ps, to_ps
+
+DEFAULT_SIZES = (4.0, 8.0, 16.0, 32.0, 64.0)
+DEFAULT_SLEWS = (ps(20), ps(60), ps(120), ps(240), ps(400))
+DEFAULT_LOAD_FACTORS = (2.0, 6.0, 12.0)
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Intrinsic-delay surface: ``intrinsic[size][slew]`` (seconds)."""
+
+    node: str
+    rising_output: bool
+    sizes: Tuple[float, ...]
+    slews: Tuple[float, ...]
+    intrinsic: Dict[float, Dict[float, float]]
+    quadratic_r2: float
+    size_spread: float   # max relative deviation across sizes
+
+    def format(self) -> str:
+        lines = [
+            f"Fig. 1 — intrinsic delay vs input slew and size "
+            f"({self.node}, {'rise' if self.rising_output else 'fall'})",
+            "slew(ps)  " + "".join(f"x{size:<9g}" for size in self.sizes),
+        ]
+        for slew in self.slews:
+            row = f"{to_ps(slew):7.0f}   "
+            row += "".join(f"{to_ps(self.intrinsic[size][slew]):<10.2f}"
+                           for size in self.sizes)
+            lines.append(row)
+        lines.append("")
+        lines.append(f"quadratic fit across slews: R^2 = "
+                     f"{self.quadratic_r2:.4f}")
+        lines.append(f"max relative spread across sizes: "
+                     f"{self.size_spread * 100:.1f}%")
+        return "\n".join(lines)
+
+
+def run(
+    node: str = "90nm",
+    sizes: Sequence[float] = DEFAULT_SIZES,
+    slews: Sequence[float] = DEFAULT_SLEWS,
+    load_factors: Sequence[float] = DEFAULT_LOAD_FACTORS,
+    rising_output: bool = True,
+) -> Fig1Result:
+    """Measure the intrinsic-delay surface for one node."""
+    tech = get_technology(node)
+    intrinsic: Dict[float, Dict[float, float]] = {}
+    for size in sizes:
+        cell = RepeaterCell(tech=tech, kind=RepeaterKind.INVERTER,
+                            size=size)
+        c_in = cell.input_capacitance()
+        loads = [factor * c_in for factor in load_factors]
+        intrinsic[size] = {}
+        for slew in slews:
+            delays = [
+                _measure_point(cell, slew, load, rising_output)[0]
+                for load in loads
+            ]
+            fit = linear_fit(loads, delays)
+            intrinsic[size][slew] = fit[0]
+
+    # Claim 2: quadratic in slew (pool all sizes).
+    xs: List[float] = []
+    ys: List[float] = []
+    for size in sizes:
+        for slew in slews:
+            xs.append(slew)
+            ys.append(intrinsic[size][slew])
+    quad = quadratic_fit(xs, ys)
+
+    # Claim 1: independent of size — relative spread at each slew.
+    spreads = []
+    for slew in slews:
+        values = [intrinsic[size][slew] for size in sizes]
+        mean = sum(values) / len(values)
+        spreads.append((max(values) - min(values)) / mean)
+    return Fig1Result(
+        node=node,
+        rising_output=rising_output,
+        sizes=tuple(sizes),
+        slews=tuple(slews),
+        intrinsic=intrinsic,
+        quadratic_r2=quad.r_squared,
+        size_spread=max(spreads),
+    )

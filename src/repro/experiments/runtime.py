@@ -1,0 +1,73 @@
+"""Section IV: model-vs-sign-off runtime comparison.
+
+The paper measures the closed-form model to be at least 2.1x faster
+than PrimeTime's delay calculation, averaged over 50 trials.  Here the
+golden flow is our own nonlinear simulation, so the gap is much larger;
+the experiment records both absolute times and the ratio.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.buffering.optimizer import optimize_buffering
+from repro.experiments.suite import ModelSuite
+from repro.signoff.extraction import extract_buffered_line
+from repro.signoff.golden import evaluate_buffered_line
+from repro.units import mm, ps
+
+
+@dataclass(frozen=True)
+class RuntimeResult:
+    node: str
+    length: float
+    trials: int
+    model_seconds: float      # mean per evaluation
+    golden_seconds: float     # mean per evaluation
+
+    @property
+    def speedup(self) -> float:
+        if self.model_seconds <= 0:
+            return float("inf")
+        return self.golden_seconds / self.model_seconds
+
+    def format(self) -> str:
+        return (
+            f"Runtime ({self.node}, {self.length * 1e3:.0f} mm line, "
+            f"{self.trials} trials): proposed model "
+            f"{self.model_seconds * 1e6:.1f} us/eval, golden "
+            f"{self.golden_seconds * 1e3:.1f} ms/eval -> "
+            f"{self.speedup:.0f}x faster "
+            f"(paper: >= 2.1x vs PrimeTime)")
+
+
+def run(node: str = "90nm", length: float = mm(5),
+        trials: int = 50, golden_trials: int = 3) -> RuntimeResult:
+    """Time the proposed model against the golden evaluation."""
+    suite = ModelSuite.for_node(node)
+    input_slew = ps(300)
+    buffering = optimize_buffering(suite.proposed, length,
+                                   delay_weight=0.5,
+                                   input_slew=input_slew)
+    count, size = buffering.num_repeaters, buffering.repeater_size
+
+    started = time.perf_counter()
+    for _ in range(trials):
+        suite.proposed.evaluate(length, count, size, input_slew)
+    model_seconds = (time.perf_counter() - started) / trials
+
+    line = extract_buffered_line(suite.tech, suite.config, length,
+                                 count, size)
+    started = time.perf_counter()
+    for _ in range(golden_trials):
+        evaluate_buffered_line(line, input_slew, use_periodicity=False)
+    golden_seconds = (time.perf_counter() - started) / golden_trials
+
+    return RuntimeResult(
+        node=node,
+        length=length,
+        trials=trials,
+        model_seconds=model_seconds,
+        golden_seconds=golden_seconds,
+    )

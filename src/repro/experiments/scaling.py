@@ -1,0 +1,105 @@
+"""Technology-scaling study across all six nodes.
+
+The paper's Table I spans 90 -> 16 nm precisely because global-wire
+behaviour degrades with scaling while devices improve.  This experiment
+makes that trend explicit: a fixed-length global link is optimally
+buffered at every node and its delay-per-millimeter, repeater density,
+energy-per-bit and feasible length at the node's clock are tabulated.
+
+Expected shapes (the scaling story the paper's introduction tells):
+
+* wire resistance per mm explodes (scattering + barrier + geometry);
+* optimally buffered delay per mm *worsens* despite faster devices;
+* repeater density rises;
+* the feasible link length at the node's own clock collapses, which is
+  exactly why NoCs (and accurate feasibility models) become necessary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.buffering.optimizer import (
+    max_feasible_length,
+    optimize_buffering,
+)
+from repro.experiments.suite import ModelSuite
+from repro.units import mm, to_mm, to_ps
+
+DEFAULT_NODES = ("90nm", "65nm", "45nm", "32nm", "22nm", "16nm")
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    node: str
+    clock_ghz: float
+    wire_resistance_per_mm: float       # ohm/mm
+    delay_per_mm: float                 # s/mm, optimally buffered
+    repeaters_per_mm: float
+    energy_per_bit_per_mm: float        # J/(bit*mm)
+    feasible_length: float              # m at the node's clock
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    length: float
+    rows: Tuple[ScalingRow, ...]
+
+    def format(self) -> str:
+        lines = [
+            f"Technology scaling of a {to_mm(self.length):.0f} mm "
+            f"global link (delay-optimal buffering per node)",
+            f"{'node':<6} {'clk GHz':>8} {'R ohm/mm':>9} "
+            f"{'ps/mm':>7} {'rep/mm':>7} {'fJ/bit/mm':>10} "
+            f"{'feasible mm':>12}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.node:<6} {row.clock_ghz:8.2f} "
+                f"{row.wire_resistance_per_mm:9.0f} "
+                f"{to_ps(row.delay_per_mm):7.1f} "
+                f"{row.repeaters_per_mm:7.2f} "
+                f"{row.energy_per_bit_per_mm * 1e15:10.2f} "
+                f"{to_mm(row.feasible_length):12.2f}")
+        return "\n".join(lines)
+
+    def resistance_trend(self) -> List[float]:
+        return [row.wire_resistance_per_mm for row in self.rows]
+
+    def feasible_trend(self) -> List[float]:
+        return [row.feasible_length for row in self.rows]
+
+    def delay_trend(self) -> List[float]:
+        return [row.delay_per_mm for row in self.rows]
+
+
+def run(nodes: Sequence[str] = DEFAULT_NODES,
+        length: float = mm(5)) -> ScalingResult:
+    """Evaluate the scaling table for the given nodes."""
+    rows: List[ScalingRow] = []
+    for node in nodes:
+        suite = ModelSuite.for_node(node)
+        # Deep-nanometer nodes want repeaters every ~100 um; widen the
+        # count search accordingly.
+        solution = optimize_buffering(suite.proposed, length,
+                                      delay_weight=0.8,
+                                      max_repeaters=int(length / 0.1e-3))
+        estimate = solution.estimate
+        # Energy per bit: one transition's worth of switched charge.
+        switched_energy = (estimate.dynamic_power
+                           / (suite.proposed.activity_factor
+                              * suite.tech.clock_frequency))
+        feasible = max_feasible_length(suite.proposed,
+                                       suite.tech.clock_period())
+        rows.append(ScalingRow(
+            node=node,
+            clock_ghz=suite.tech.clock_frequency / 1e9,
+            wire_resistance_per_mm=(suite.config.resistance_per_meter()
+                                    * 1e-3),
+            delay_per_mm=estimate.delay / to_mm(length),
+            repeaters_per_mm=estimate.num_repeaters / to_mm(length),
+            energy_per_bit_per_mm=switched_energy / to_mm(length),
+            feasible_length=feasible,
+        ))
+    return ScalingResult(length=length, rows=tuple(rows))

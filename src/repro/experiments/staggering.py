@@ -1,0 +1,80 @@
+"""Section III-D: the staggered-insertion power/delay trade-off.
+
+The paper: *"We note that, for these technologies, power can be
+reduced by 20% at the cost of just above 2% degradation in delay."*
+``run()`` sweeps line lengths per node and reports the measured
+saving/penalty pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.buffering.staggering import StaggeringComparison, \
+    compare_staggering
+from repro.experiments.suite import ModelSuite
+from repro.units import mm, to_mm
+
+DEFAULT_NODES = ("90nm", "65nm", "45nm")
+DEFAULT_LENGTHS = (mm(3), mm(5), mm(10))
+
+
+@dataclass(frozen=True)
+class StaggeringRow:
+    node: str
+    length: float
+    comparison: StaggeringComparison
+
+
+@dataclass(frozen=True)
+class StaggeringResult:
+    rows: Tuple[StaggeringRow, ...]
+
+    def format(self) -> str:
+        lines = [
+            "Staggered repeater insertion (Section III-D)",
+            f"{'node':<6} {'L mm':>5} {'power saving':>13} "
+            f"{'delay penalty':>14}  normal(n,size)  staggered(n,size)",
+        ]
+        for row in self.rows:
+            c = row.comparison
+            lines.append(
+                f"{row.node:<6} {to_mm(row.length):5.0f} "
+                f"{c.power_saving * 100:12.1f}% "
+                f"{c.delay_penalty * 100:+13.2f}%  "
+                f"({c.normal.num_repeaters},{c.normal.repeater_size:5.1f})"
+                f"        "
+                f"({c.staggered.num_repeaters},"
+                f"{c.staggered.repeater_size:5.1f})")
+        lines.append("")
+        lines.append(
+            f"mean saving {self.mean_saving() * 100:.1f}% at mean penalty "
+            f"{self.mean_penalty() * 100:+.2f}% "
+            f"(paper: ~20% for just above 2%)")
+        return "\n".join(lines)
+
+    def mean_saving(self) -> float:
+        return (sum(r.comparison.power_saving for r in self.rows)
+                / len(self.rows))
+
+    def mean_penalty(self) -> float:
+        return (sum(r.comparison.delay_penalty for r in self.rows)
+                / len(self.rows))
+
+
+def run(
+    nodes: Sequence[str] = DEFAULT_NODES,
+    lengths: Sequence[float] = DEFAULT_LENGTHS,
+    allowed_delay_penalty: float = 0.025,
+) -> StaggeringResult:
+    rows: List[StaggeringRow] = []
+    for node in nodes:
+        suite = ModelSuite.for_node(node)
+        for length in lengths:
+            comparison = compare_staggering(
+                suite.proposed, length,
+                allowed_delay_penalty=allowed_delay_penalty)
+            rows.append(StaggeringRow(node=node, length=length,
+                                      comparison=comparison))
+    return StaggeringResult(rows=tuple(rows))

@@ -1,0 +1,69 @@
+"""Shared experiment context: a technology with all three models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.characterization.cells import RepeaterKind
+from repro.models.baselines.bakoglu import BakogluModel
+from repro.models.baselines.pamunuwa import PamunuwaModel
+from repro.models.calibration import (
+    CalibratedTechnology,
+    OutputSlewForm,
+    load_calibration,
+)
+from repro.models.interconnect import BufferedInterconnectModel
+from repro.tech.design_styles import DesignStyle, WireConfiguration
+from repro.tech.nodes import get_technology
+from repro.tech.parameters import TechnologyParameters
+
+
+@dataclass(frozen=True)
+class ModelSuite:
+    """One technology node with the proposed model and both baselines.
+
+    The baselines deliberately look at the *optimistic* wire view
+    (bulk resistivity, no barrier) internally; the proposed model and
+    the golden evaluator share the calibrated view in ``config``.
+    """
+
+    tech: TechnologyParameters
+    calibration: CalibratedTechnology
+    config: WireConfiguration
+    proposed: BufferedInterconnectModel
+    bakoglu: BakogluModel
+    pamunuwa: PamunuwaModel
+
+    @classmethod
+    def for_node(
+        cls,
+        node: str,
+        style: DesignStyle = DesignStyle.SWSS,
+        kind: RepeaterKind = RepeaterKind.INVERTER,
+        slew_form: OutputSlewForm = OutputSlewForm.PAPER,
+        activity_factor: float = 0.15,
+    ) -> "ModelSuite":
+        """Build the suite for a built-in node (calibration cached)."""
+        tech = get_technology(node)
+        calibration = load_calibration(tech, kind, slew_form)
+        config = WireConfiguration.for_style(tech.global_layer, style)
+        return cls(
+            tech=tech,
+            calibration=calibration,
+            config=config,
+            proposed=BufferedInterconnectModel(
+                tech, calibration, config,
+                activity_factor=activity_factor),
+            bakoglu=BakogluModel(tech, config,
+                                 activity_factor=activity_factor),
+            pamunuwa=PamunuwaModel(tech, config,
+                                   activity_factor=activity_factor),
+        )
+
+    def models(self) -> "dict[str, object]":
+        """Name -> model mapping in the order Table II reports them."""
+        return {
+            "bakoglu": self.bakoglu,
+            "pamunuwa": self.pamunuwa,
+            "proposed": self.proposed,
+        }

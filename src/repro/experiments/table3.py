@@ -1,0 +1,131 @@
+"""Table III: interconnect-model impact on NoC synthesis.
+
+For each test case (VPROC, DVOPD) and node (90/65/45 nm at their
+respective clocks), the NoC is synthesized twice: with the *original*
+model (Bakoglu + optimistic wire view — the model COSI-OCC originally
+used) and with the *proposed* model.  Three evaluations are reported:
+
+* ``original/self``     — the original architecture as the original
+  model costs it (what the original flow believes);
+* ``original/accurate`` — the same architecture re-costed by the
+  proposed model (what it would really cost; infeasible links show up
+  here);
+* ``proposed/self``     — the architecture the proposed model
+  synthesizes and its cost.
+
+The paper's headline observations this reproduces: dynamic power up to
+~3x higher than the original model estimates, different hop counts,
+large area differences, and original-model topologies containing wires
+too long to be implementable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.suite import ModelSuite
+from repro.noc.evaluation import NocReport, evaluate_topology
+from repro.noc.spec import CommunicationSpec
+from repro.noc.synthesis import SynthesisConfig, synthesize
+from repro.noc.testcases import dual_vopd, vproc
+
+DEFAULT_NODES = ("90nm", "65nm", "45nm")
+
+SpecFactory = Callable[..., CommunicationSpec]
+
+DEFAULT_DESIGNS: "Tuple[Tuple[str, SpecFactory], ...]" = (
+    ("VPROC", vproc),
+    ("DVOPD", dual_vopd),
+)
+
+
+@dataclass(frozen=True)
+class Table3Case:
+    """One (design, node) cell of Table III."""
+
+    design: str
+    node: str
+    original_self: NocReport
+    original_accurate: NocReport
+    proposed_self: NocReport
+
+    @property
+    def dynamic_power_ratio(self) -> float:
+        """Accurate / original estimate of the original architecture."""
+        if self.original_self.dynamic_power <= 0:
+            return float("inf")
+        return (self.original_accurate.dynamic_power
+                / self.original_self.dynamic_power)
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    cases: Tuple[Table3Case, ...]
+
+    def format(self) -> str:
+        lines = ["Table III — model impact on NoC synthesis", ""]
+        for case in self.cases:
+            lines.append(f"=== {case.design} @ {case.node} ===")
+            lines.append(NocReport.header())
+            lines.append(case.original_self.row())
+            lines.append(case.original_accurate.row())
+            lines.append(case.proposed_self.row())
+            lines.append(
+                f"  dynamic power underestimated "
+                f"{case.dynamic_power_ratio:.2f}x by the original model; "
+                f"{case.original_accurate.infeasible_links} original "
+                f"link(s) infeasible under the accurate model")
+            lines.append("")
+        return "\n".join(lines)
+
+    def max_dynamic_ratio(self) -> float:
+        return max(case.dynamic_power_ratio for case in self.cases)
+
+    def total_infeasible_links(self) -> int:
+        return sum(case.original_accurate.infeasible_links
+                   for case in self.cases)
+
+
+def run_case(design_name: str, spec_factory: SpecFactory, node: str,
+             config: Optional[SynthesisConfig] = None) -> Table3Case:
+    """Synthesize and evaluate one (design, node) cell."""
+    suite = ModelSuite.for_node(node)
+    spec = spec_factory(suite.tech)
+
+    original_topology = synthesize(spec, suite.bakoglu, suite.tech,
+                                   config=config)
+    proposed_topology = synthesize(spec, suite.proposed, suite.tech,
+                                   config=config)
+
+    return Table3Case(
+        design=design_name,
+        node=node,
+        original_self=evaluate_topology(
+            original_topology, suite.bakoglu, suite.tech,
+            label=f"original/self"),
+        original_accurate=evaluate_topology(
+            original_topology, suite.proposed, suite.tech,
+            label=f"original/accurate"),
+        proposed_self=evaluate_topology(
+            proposed_topology, suite.proposed, suite.tech,
+            label=f"proposed/self"),
+    )
+
+
+def run(
+    nodes: Sequence[str] = DEFAULT_NODES,
+    designs: Sequence[Tuple[str, SpecFactory]] = DEFAULT_DESIGNS,
+    config: Optional[SynthesisConfig] = None,
+) -> Table3Result:
+    """Full Table III sweep (designs x nodes)."""
+    cases: List[Table3Case] = []
+    for design_name, factory in designs:
+        for node in nodes:
+            cases.append(run_case(design_name, factory, node, config))
+    return Table3Result(cases=tuple(cases))
+
+
+def run_quick(node: str = "90nm") -> Table3Result:
+    """Reduced sweep for tests: DVOPD on one node."""
+    return run(nodes=(node,), designs=(("DVOPD", dual_vopd),))

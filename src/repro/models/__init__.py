@@ -1,0 +1,77 @@
+"""The paper's predictive buffered-interconnect models.
+
+This package is the primary contribution being reproduced:
+
+* :mod:`repro.models.regression` — least-squares fitting utilities.
+* :mod:`repro.models.calibration` — fits the Table I coefficients from
+  characterization data and bundles them per technology node.
+* :mod:`repro.models.repeater` — repeater delay / output slew / input
+  capacitance model (Section III-A).
+* :mod:`repro.models.wire` — enhanced crosstalk-aware wire delay model
+  (Section III-B).
+* :mod:`repro.models.power` — leakage + dynamic power (Section III-C).
+* :mod:`repro.models.area` — repeater and wire area (Section III-C).
+* :mod:`repro.models.interconnect` — end-to-end buffered-interconnect
+  evaluation with slew propagation.
+* :mod:`repro.models.baselines` — the Bakoglu and Pamunuwa models the
+  paper compares against (Table II).
+"""
+
+from repro.models.regression import (
+    RegressionResult,
+    inverse_fit,
+    linear_fit,
+    multilinear_fit,
+    quadratic_fit,
+)
+from repro.models.calibration import (
+    CalibratedTechnology,
+    DirectionCoefficients,
+    OutputSlewForm,
+    calibrate_technology,
+    load_calibration,
+)
+from repro.models.repeater import RepeaterModel
+from repro.models.wire import wire_delay, wire_delay_components
+from repro.models.power import (
+    dynamic_power,
+    leakage_power_from_coefficients,
+)
+from repro.models.area import (
+    predictive_repeater_area,
+    regression_repeater_area,
+    wire_area,
+)
+from repro.models.interconnect import (
+    BufferedInterconnectModel,
+    InterconnectEstimate,
+)
+from repro.models.table_model import TableInterconnectModel
+from repro.models.baselines.bakoglu import BakogluModel
+from repro.models.baselines.pamunuwa import PamunuwaModel
+
+__all__ = [
+    "RegressionResult",
+    "inverse_fit",
+    "linear_fit",
+    "multilinear_fit",
+    "quadratic_fit",
+    "CalibratedTechnology",
+    "DirectionCoefficients",
+    "OutputSlewForm",
+    "calibrate_technology",
+    "load_calibration",
+    "RepeaterModel",
+    "wire_delay",
+    "wire_delay_components",
+    "dynamic_power",
+    "leakage_power_from_coefficients",
+    "predictive_repeater_area",
+    "regression_repeater_area",
+    "wire_area",
+    "BufferedInterconnectModel",
+    "InterconnectEstimate",
+    "TableInterconnectModel",
+    "BakogluModel",
+    "PamunuwaModel",
+]

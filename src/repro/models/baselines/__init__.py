@@ -1,0 +1,20 @@
+"""Classic interconnect models the paper compares against (Table II).
+
+Both baselines expose the same ``evaluate(...)`` interface as
+:class:`repro.models.interconnect.BufferedInterconnectModel`, so the
+accuracy experiments and the NoC synthesizer can swap models freely.
+
+* :class:`~repro.models.baselines.bakoglu.BakogluModel` — the classic
+  Bakoglu formulation: slew-independent characteristic drive
+  resistance, **no coupling capacitance**, bulk copper resistivity, and
+  a simplistic transistor-active-area estimate.  This is the model the
+  original COSI-OCC used.
+* :class:`~repro.models.baselines.pamunuwa.PamunuwaModel` — adds the
+  crosstalk-aware wire term of Pamunuwa et al., but keeps the
+  slew-independent drive resistance and bulk resistivity.
+"""
+
+from repro.models.baselines.bakoglu import BakogluModel
+from repro.models.baselines.pamunuwa import PamunuwaModel
+
+__all__ = ["BakogluModel", "PamunuwaModel"]

@@ -1,0 +1,195 @@
+"""The classic Bakoglu buffered-interconnect model.
+
+This is the "original" model of Tables II and III: the formulation used
+by early communication-synthesis tools (and by COSI-OCC before the
+paper's models were integrated).  Its simplifications, each of which the
+proposed model removes, are:
+
+* drive resistance is the slew-independent characteristic resistance
+  ``r_d = vdd / i_dsat`` (inversely proportional to size only);
+* intrinsic delay is the constant self-loading term — no input-slew
+  dependence at all;
+* the wire model uses **ground capacitance only** — lateral coupling is
+  neglected for both delay and power;
+* wire resistance assumes bulk copper resistivity (no scattering, no
+  barrier);
+* repeater area is the raw transistor active area — the "simplistic
+  assumption on the area occupation" the paper calls out.
+
+The classic delay-optimal repeater count and size closed forms are also
+provided; they are what the original flow uses to buffer a line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.models.area import wire_area
+from repro.models.interconnect import InterconnectEstimate
+from repro.models.power import dynamic_power
+from repro.tech.design_styles import WireConfiguration
+from repro.tech.parameters import TechnologyParameters
+
+#: Elmore switching coefficient of the lumped gate RC stage.
+GATE_COEFFICIENT = 0.69
+
+#: Distributed-wire Elmore coefficient.
+WIRE_COEFFICIENT = 0.4
+
+#: Wire-resistance-into-load coefficient.
+WIRE_LOAD_COEFFICIENT = 0.7
+
+
+@dataclass(frozen=True)
+class BakogluModel:
+    """Bakoglu model bound to one technology node and wire layer."""
+
+    tech: TechnologyParameters
+    config: WireConfiguration
+    activity_factor: float = 0.15
+
+    def _optimistic_config(self) -> WireConfiguration:
+        """The wire view this model takes: bulk resistivity, no barrier."""
+        return dataclasses.replace(
+            self.config, include_scattering=False, include_barrier=False)
+
+    # -- element models ---------------------------------------------------
+
+    def drive_resistance(self, size: float) -> float:
+        """Characteristic resistance ``vdd / i_dsat`` in ohms.
+
+        Averaged over the pull-down (nMOS) and pull-up (pMOS) networks.
+        """
+        wn, wp = self.tech.inverter_widths(size)
+        vdd = self.tech.vdd
+        i_n = self.tech.nmos.saturation_current(wn, vdd - self.tech.nmos.vth)
+        i_p = self.tech.pmos.saturation_current(wp, vdd - self.tech.pmos.vth)
+        return 0.5 * (vdd / i_n + vdd / i_p)
+
+    def input_capacitance(self, size: float) -> float:
+        """Gate capacitance of the repeater, from device data."""
+        wn, wp = self.tech.inverter_widths(size)
+        return self.tech.nmos.c_gate * wn + self.tech.pmos.c_gate * wp
+
+    def self_capacitance(self, size: float) -> float:
+        """Drain (self-loading) capacitance of the repeater."""
+        wn, wp = self.tech.inverter_widths(size)
+        return self.tech.nmos.c_drain * wn + self.tech.pmos.c_drain * wp
+
+    def wire_resistance(self, length: float) -> float:
+        return self._optimistic_config().resistance_per_meter() * length
+
+    def wire_capacitance(self, length: float) -> float:
+        """Ground capacitance only — coupling is neglected."""
+        return (self._optimistic_config().ground_capacitance_per_meter()
+                * length)
+
+    def repeater_area(self, size: float) -> float:
+        """Raw transistor gate area (the simplistic estimate).
+
+        Real cells pay for diffusion, contacts, and finger pitch; the
+        original model counts only ``width x gate length``, which is
+        why the paper finds its area figures wildly optimistic.
+        """
+        wn, wp = self.tech.inverter_widths(size)
+        return (wn + wp) * self.tech.feature_size
+
+    def repeater_leakage(self, size: float) -> float:
+        """Average leakage from device data, per Section III-C."""
+        wn, wp = self.tech.inverter_widths(size)
+        vdd = self.tech.vdd
+        return 0.5 * (self.tech.nmos.leakage_power(wn, vdd)
+                      + self.tech.pmos.leakage_power(wp, vdd))
+
+    # -- line evaluation ------------------------------------------------------
+
+    def stage_delay(self, size: float, segment_length: float,
+                    next_cap: float) -> float:
+        """Elmore delay of one repeater stage, coupling neglected."""
+        r_d = self.drive_resistance(size)
+        r_w = self.wire_resistance(segment_length)
+        c_w = self.wire_capacitance(segment_length)
+        c_self = self.self_capacitance(size)
+        gate = GATE_COEFFICIENT * r_d * (c_self + c_w + next_cap)
+        wire = r_w * (WIRE_COEFFICIENT * c_w
+                      + WIRE_LOAD_COEFFICIENT * next_cap)
+        return gate + wire
+
+    def evaluate(
+        self,
+        length: float,
+        num_repeaters: int,
+        repeater_size: float,
+        input_slew: float = 0.0,
+        bus_width: int = 1,
+        receiver_cap: Optional[float] = None,
+    ) -> InterconnectEstimate:
+        """Evaluate a buffered line; ``input_slew`` is accepted for
+        interface compatibility but ignored (the model has no slew
+        dependence)."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if num_repeaters < 1:
+            raise ValueError("need at least one repeater")
+
+        segment = length / num_repeaters
+        input_cap = self.input_capacitance(repeater_size)
+        if receiver_cap is None:
+            receiver_cap = input_cap
+
+        stage_delays = []
+        for stage in range(num_repeaters):
+            next_cap = (input_cap if stage + 1 < num_repeaters
+                        else receiver_cap)
+            stage_delays.append(
+                self.stage_delay(repeater_size, segment, next_cap))
+
+        switched = (self.wire_capacitance(length)
+                    + num_repeaters * input_cap)
+        p_dynamic = bus_width * dynamic_power(
+            switched, self.tech.vdd, self.tech.clock_frequency,
+            self.activity_factor)
+        p_leak = (bus_width * num_repeaters
+                  * self.repeater_leakage(repeater_size))
+        a_repeaters = (bus_width * num_repeaters
+                       * self.repeater_area(repeater_size))
+        a_wire = wire_area(self.config, length, bus_width)
+
+        return InterconnectEstimate(
+            delay=sum(stage_delays),
+            output_slew=0.0,
+            stage_delays=tuple(stage_delays),
+            dynamic_power=p_dynamic,
+            leakage_power=p_leak,
+            repeater_area=a_repeaters,
+            wire_area=a_wire,
+            num_repeaters=num_repeaters,
+            repeater_size=repeater_size,
+            length=length,
+            bus_width=bus_width,
+        )
+
+    # -- classic closed-form buffering ---------------------------------------
+
+    def delay_optimal_buffering(self, length: float
+                                ) -> Tuple[int, float]:
+        """Classic delay-optimal repeater count and size.
+
+        ``k = sqrt(0.4 R_w C_w / (0.7 R_0 C_0))`` repeaters of size
+        ``h = sqrt(R_0 C_w / (R_w C_0))`` — the Bakoglu formulas, using
+        this model's (optimistic) wire view.  The paper notes these
+        sizes are "never used in practice"; the buffering optimizer
+        exists precisely to do better.
+        """
+        r_total = self.wire_resistance(length)
+        c_total = self.wire_capacitance(length)
+        r0 = self.drive_resistance(1.0)
+        c0 = self.input_capacitance(1.0)
+        count = max(1, round(math.sqrt(
+            (WIRE_COEFFICIENT * r_total * c_total)
+            / (GATE_COEFFICIENT * r0 * c0))))
+        size = math.sqrt(r0 * c_total / (r_total * c0))
+        return count, max(size, 1.0)

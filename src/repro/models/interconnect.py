@@ -1,0 +1,175 @@
+"""End-to-end buffered-interconnect evaluation (the proposed model).
+
+A buffered interconnect is a chain of repeater stages, each a repeater
+driving one wire segment.  The total delay is the sum over stages of
+
+    ``d_stage = d_r(s_i, c_l) + d_w``
+
+where the repeater load ``c_l`` folds in the segment's ground
+capacitance, its Miller-amplified lateral capacitance and the next
+repeater's input capacitance, and ``d_w`` is the distributed wire term
+of :mod:`repro.models.wire`.  The output slew of each stage, computed
+with the calibrated slew model, becomes the next stage's input slew —
+this slew propagation is precisely what the classic models skip and a
+key reason the proposed model tracks sign-off (Section III-A).
+
+Power and area come from :mod:`repro.models.power` and
+:mod:`repro.models.area`; the same object therefore supplies every
+metric the buffering optimizer and the NoC synthesizer need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.models.area import repeater_area, wire_area
+from repro.models.calibration import CalibratedTechnology
+from repro.models.power import dynamic_power, repeater_leakage_power
+from repro.models.repeater import RepeaterModel
+from repro.models.wire import (
+    effective_load_capacitance,
+    switched_wire_capacitance,
+    wire_delay,
+)
+from repro.tech.design_styles import WireConfiguration
+from repro.tech.parameters import TechnologyParameters
+
+
+@dataclass(frozen=True)
+class InterconnectEstimate:
+    """Every metric of one buffered-interconnect configuration.
+
+    Delays/slews in seconds, powers in watts (per bit unless a bus
+    width was given), areas in m^2.
+    """
+
+    delay: float
+    output_slew: float
+    stage_delays: Tuple[float, ...]
+    dynamic_power: float
+    leakage_power: float
+    repeater_area: float
+    wire_area: float
+    num_repeaters: int
+    repeater_size: float
+    length: float
+    bus_width: int
+
+    @property
+    def total_power(self) -> float:
+        return self.dynamic_power + self.leakage_power
+
+    @property
+    def total_area(self) -> float:
+        return self.repeater_area + self.wire_area
+
+
+@dataclass(frozen=True)
+class BufferedInterconnectModel:
+    """The proposed predictive model, bound to one technology node.
+
+    ``activity_factor`` is the fraction of clock cycles the wire
+    toggles; the NoC experiments derive it per link from flow bandwidth.
+    """
+
+    tech: TechnologyParameters
+    calibration: CalibratedTechnology
+    config: WireConfiguration
+    activity_factor: float = 0.15
+
+    def repeater_model(self) -> RepeaterModel:
+        return RepeaterModel(tech=self.tech, calibration=self.calibration)
+
+    # -- stage-level ----------------------------------------------------
+
+    def stage_delay(self, size: float, input_slew: float,
+                    segment_length: float, next_cap: float,
+                    rising_output: bool) -> Tuple[float, float]:
+        """(delay, output slew) of one repeater stage."""
+        repeater = self.repeater_model()
+        load = effective_load_capacitance(
+            self.config, segment_length, next_cap)
+        d_repeater = repeater.delay(size, input_slew, load, rising_output)
+        d_wire = wire_delay(self.config, segment_length, next_cap)
+        slew_out = repeater.output_slew(size, input_slew, load,
+                                        rising_output)
+        return d_repeater + d_wire, slew_out
+
+    # -- line-level -----------------------------------------------------
+
+    def evaluate(
+        self,
+        length: float,
+        num_repeaters: int,
+        repeater_size: float,
+        input_slew: float,
+        bus_width: int = 1,
+        receiver_cap: Optional[float] = None,
+    ) -> InterconnectEstimate:
+        """Evaluate a uniformly buffered line of ``length`` meters.
+
+        ``receiver_cap`` defaults to the input capacitance of a
+        repeater of the same size (matching the golden testbench).
+        Powers and areas scale with ``bus_width``.
+        """
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if num_repeaters < 1:
+            raise ValueError("need at least one repeater")
+
+        repeater = self.repeater_model()
+        segment = length / num_repeaters
+        input_cap = repeater.input_capacitance(repeater_size)
+        if receiver_cap is None:
+            receiver_cap = input_cap
+
+        stage_delays: List[float] = []
+        slew = input_slew
+        rising = True
+        inverting = self.calibration.kind.inverting
+        for stage in range(num_repeaters):
+            next_cap = (input_cap if stage + 1 < num_repeaters
+                        else receiver_cap)
+            delay, slew = self.stage_delay(
+                repeater_size, slew, segment, next_cap, rising)
+            stage_delays.append(delay)
+            if inverting:
+                rising = not rising
+
+        # Power: every stage switches the wire's once-counted lateral
+        # capacitance plus ground capacitance plus the downstream gate.
+        switched = (switched_wire_capacitance(self.config, length)
+                    + num_repeaters * input_cap)
+        p_dynamic = bus_width * dynamic_power(
+            switched, self.tech.vdd, self.tech.clock_frequency,
+            self.activity_factor)
+        p_leak = bus_width * num_repeaters * repeater_leakage_power(
+            self.tech, self.calibration, repeater_size)
+
+        a_repeaters = bus_width * num_repeaters * repeater_area(
+            self.tech, self.calibration, repeater_size)
+        a_wire = wire_area(self.config, length, bus_width)
+
+        return InterconnectEstimate(
+            delay=sum(stage_delays),
+            output_slew=slew,
+            stage_delays=tuple(stage_delays),
+            dynamic_power=p_dynamic,
+            leakage_power=p_leak,
+            repeater_area=a_repeaters,
+            wire_area=a_wire,
+            num_repeaters=num_repeaters,
+            repeater_size=repeater_size,
+            length=length,
+            bus_width=bus_width,
+        )
+
+    def staggered(self) -> "BufferedInterconnectModel":
+        """The same model with staggered repeater insertion (Miller 0)."""
+        return BufferedInterconnectModel(
+            tech=self.tech,
+            calibration=self.calibration,
+            config=self.config.staggered(),
+            activity_factor=self.activity_factor,
+        )

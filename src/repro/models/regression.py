@@ -1,0 +1,149 @@
+"""Least-squares regression utilities.
+
+The paper derives every model coefficient by linear or quadratic
+regression against characterization data (Section III).  These helpers
+wrap ``numpy.linalg.lstsq`` with the exact variants needed:
+
+* ordinary linear fit, with or without intercept;
+* quadratic fit (for the intrinsic-delay-vs-slew relation);
+* inverse-proportional fit ``y = a / x`` with zero intercept (for the
+  drive-resistance-vs-size relation);
+* general multilinear fit over arbitrary regressor columns (for the
+  output-slew model).
+
+Every fit returns the coefficient vector together with the coefficient
+of determination, so calibration can assert fit quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RegressionResult:
+    """Fitted coefficients plus goodness of fit."""
+
+    coefficients: Tuple[float, ...]
+    r_squared: float
+
+    def __iter__(self):
+        return iter(self.coefficients)
+
+    def __getitem__(self, index: int) -> float:
+        return self.coefficients[index]
+
+
+def _r_squared(y: np.ndarray, predicted: np.ndarray) -> float:
+    residual = float(np.sum((y - predicted) ** 2))
+    total = float(np.sum((y - np.mean(y)) ** 2))
+    if total == 0.0:
+        # Constant target: perfect if the prediction matches it to
+        # numerical precision.
+        scale = max(float(np.sum(y * y)), 1e-300)
+        return 1.0 if residual <= 1e-20 * scale else 0.0
+    return 1.0 - residual / total
+
+
+def _solve(design: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Least squares with column equilibration.
+
+    Calibration data mixes columns of wildly different physical scales
+    (a constant column of 1 next to squared slews of ~1e-20), which
+    pushes the raw normal system far beyond float64 conditioning and
+    makes ``lstsq`` silently drop the small columns.  Scaling each
+    column to unit norm before solving and unscaling the coefficients
+    afterwards keeps every regressor numerically alive.
+    """
+    norms = np.linalg.norm(design, axis=0)
+    norms = np.where(norms == 0.0, 1.0, norms)
+    scaled = design / norms
+    coefficients, *_ = np.linalg.lstsq(scaled, y, rcond=None)
+    return coefficients / norms
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float],
+               intercept: bool = True) -> RegressionResult:
+    """Fit ``y = c0 + c1 x`` (or ``y = c1 x`` without intercept).
+
+    Returns coefficients ``(c0, c1)`` — with ``c0 = 0`` fixed when
+    ``intercept`` is False so the result shape is uniform.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.size != ys.size:
+        raise ValueError("x and y must have equal length")
+    if xs.size < (2 if intercept else 1):
+        raise ValueError("not enough points for a linear fit")
+    if intercept:
+        design = np.column_stack([np.ones_like(xs), xs])
+        c0, c1 = _solve(design, ys)
+    else:
+        design = xs.reshape(-1, 1)
+        (c1,) = _solve(design, ys)
+        c0 = 0.0
+    predicted = c0 + c1 * xs
+    return RegressionResult((float(c0), float(c1)),
+                            _r_squared(ys, predicted))
+
+
+def quadratic_fit(x: Sequence[float], y: Sequence[float]
+                  ) -> RegressionResult:
+    """Fit ``y = c0 + c1 x + c2 x^2``; returns ``(c0, c1, c2)``."""
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.size != ys.size:
+        raise ValueError("x and y must have equal length")
+    if xs.size < 3:
+        raise ValueError("not enough points for a quadratic fit")
+    design = np.column_stack([np.ones_like(xs), xs, xs * xs])
+    c0, c1, c2 = _solve(design, ys)
+    predicted = design @ np.array([c0, c1, c2])
+    return RegressionResult((float(c0), float(c1), float(c2)),
+                            _r_squared(ys, predicted))
+
+
+def inverse_fit(x: Sequence[float], y: Sequence[float]
+                ) -> RegressionResult:
+    """Fit ``y = a / x`` (zero intercept); returns ``(a,)``.
+
+    This is the paper's drive-resistance-vs-repeater-size relation: a
+    linear regression with zero intercept of ``y`` against ``1/x``.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if np.any(xs == 0.0):
+        raise ValueError("x values must be nonzero for an inverse fit")
+    if xs.size != ys.size or xs.size < 1:
+        raise ValueError("x and y must be non-empty and equal length")
+    design = (1.0 / xs).reshape(-1, 1)
+    (a,) = _solve(design, ys)
+    predicted = a / xs
+    return RegressionResult((float(a),), _r_squared(ys, predicted))
+
+
+def multilinear_fit(columns: Sequence[Sequence[float]],
+                    y: Sequence[float],
+                    intercept: bool = True) -> RegressionResult:
+    """Fit ``y = c0 + c1 col1 + c2 col2 + ...``.
+
+    ``columns`` is a sequence of regressor columns.  The intercept
+    coefficient comes first in the result when ``intercept`` is True.
+    """
+    ys = np.asarray(y, dtype=float)
+    cols = [np.asarray(column, dtype=float) for column in columns]
+    if not cols:
+        raise ValueError("need at least one regressor column")
+    if any(column.size != ys.size for column in cols):
+        raise ValueError("all columns must match y in length")
+    parts = ([np.ones_like(ys)] if intercept else []) + cols
+    design = np.column_stack(parts)
+    if ys.size < design.shape[1]:
+        raise ValueError("not enough points for the requested fit")
+    coefficients = _solve(design, ys)
+    predicted = design @ coefficients
+    return RegressionResult(tuple(float(c) for c in coefficients),
+                            _r_squared(ys, predicted))

@@ -1,0 +1,89 @@
+"""Deadlock analysis of routed NoCs.
+
+Wormhole networks deadlock when the channel dependency graph (CDG) has
+a cycle: a packet holding channel A while waiting for channel B creates
+a dependency A -> B, and a cyclic chain of such dependencies can stall
+forever.  The classical result (Dally & Seitz): a routing function is
+deadlock-free iff its CDG is acyclic.
+
+This module builds the CDG induced by a topology's *actual routes* (the
+dependencies real traffic can create, not all that the topology could
+express) and checks it for cycles.  XY mesh routing is provably acyclic;
+the greedy synthesizer's routes must be verified, and the checker also
+reports the offending cycles so a designer can add virtual channels or
+re-route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import networkx as nx
+
+from repro.noc.topology import NocTopology, NodeId
+
+Channel = Tuple[NodeId, NodeId]
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """Outcome of a channel-dependency analysis."""
+
+    channel_count: int
+    dependency_count: int
+    cycles: Tuple[Tuple[Channel, ...], ...]
+
+    @property
+    def deadlock_free(self) -> bool:
+        return not self.cycles
+
+    def summary(self) -> str:
+        verdict = ("deadlock-free" if self.deadlock_free
+                   else f"{len(self.cycles)} dependency cycle(s)")
+        return (f"{self.channel_count} channels, "
+                f"{self.dependency_count} dependencies: {verdict}")
+
+
+def channel_dependency_graph(topology: NocTopology) -> nx.DiGraph:
+    """CDG induced by the routed flows.
+
+    Nodes are directed channels (links); an edge A -> B exists when
+    some routed flow traverses channel A immediately before channel B.
+    """
+    cdg = nx.DiGraph()
+    for a, b, _data in topology.links():
+        cdg.add_node((a, b))
+    for path in topology.routes.values():
+        channels = list(zip(path, path[1:]))
+        for held, wanted in zip(channels, channels[1:]):
+            cdg.add_edge(held, wanted)
+    return cdg
+
+
+def analyze_deadlock(topology: NocTopology,
+                     max_cycles: int = 10) -> DeadlockReport:
+    """Check the routed topology for potential wormhole deadlock."""
+    cdg = channel_dependency_graph(topology)
+    cycles: List[Tuple[Channel, ...]] = []
+    try:
+        for cycle in nx.simple_cycles(cdg):
+            cycles.append(tuple(cycle))
+            if len(cycles) >= max_cycles:
+                break
+    except nx.NetworkXNoCycle:  # pragma: no cover - version-dependent
+        pass
+    return DeadlockReport(
+        channel_count=cdg.number_of_nodes(),
+        dependency_count=cdg.number_of_edges(),
+        cycles=tuple(cycles),
+    )
+
+
+def assert_deadlock_free(topology: NocTopology) -> None:
+    """Raise ``RuntimeError`` with the offending cycle when unsafe."""
+    report = analyze_deadlock(topology, max_cycles=1)
+    if not report.deadlock_free:
+        cycle = report.cycles[0]
+        pretty = " -> ".join(f"{a[1]}>{b[1]}" for a, b in cycle)
+        raise RuntimeError(f"channel dependency cycle: {pretty}")

@@ -1,0 +1,151 @@
+"""Standard 2D-mesh NoC baseline with dimension-ordered (XY) routing.
+
+Constraint-driven synthesis is conventionally judged against the
+regular 2D mesh: routers on a grid, every core attached to its nearest
+router, flows routed X-first-then-Y.  This module builds that baseline
+for any :class:`~repro.noc.spec.CommunicationSpec`, producing the same
+:class:`~repro.noc.topology.NocTopology` the synthesizer emits, so the
+same :func:`~repro.noc.evaluation.evaluate_topology` applies and the
+custom-vs-mesh comparison is apples to apples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.noc.spec import CommunicationSpec
+from repro.noc.topology import NocTopology, NodeId, core_node, \
+    router_node
+from repro.units import um
+
+#: Physical length of the core-to-router attachment, meters.
+MESH_ACCESS_LENGTH = um(200)
+
+
+def _grid_shape(num_cores: int) -> Tuple[int, int]:
+    """(columns, rows) of the smallest near-square grid covering all
+    cores."""
+    columns = max(2, math.ceil(math.sqrt(num_cores)))
+    rows = max(2, math.ceil(num_cores / columns))
+    return columns, rows
+
+
+def _router_name(col: int, row: int) -> str:
+    return f"mesh_{col}_{row}"
+
+
+class MeshPlacement:
+    """Geometry of a mesh over a floorplan bounding box."""
+
+    def __init__(self, spec: CommunicationSpec,
+                 columns: Optional[int] = None,
+                 rows: Optional[int] = None):
+        xs = [core.x for core in spec.cores.values()]
+        ys = [core.y for core in spec.cores.values()]
+        self.x0, self.y0 = min(xs), min(ys)
+        width = max(xs) - self.x0
+        height = max(ys) - self.y0
+        if columns is None or rows is None:
+            columns, rows = _grid_shape(spec.num_cores)
+        self.columns, self.rows = columns, rows
+        self.pitch_x = width / max(columns - 1, 1)
+        self.pitch_y = height / max(rows - 1, 1)
+        # Degenerate (collinear) floorplans still need a finite pitch.
+        if self.pitch_x == 0.0:
+            self.pitch_x = max(self.pitch_y, MESH_ACCESS_LENGTH)
+        if self.pitch_y == 0.0:
+            self.pitch_y = max(self.pitch_x, MESH_ACCESS_LENGTH)
+
+    def position(self, col: int, row: int) -> Tuple[float, float]:
+        return (self.x0 + col * self.pitch_x,
+                self.y0 + row * self.pitch_y)
+
+    def nearest(self, x: float, y: float) -> Tuple[int, int]:
+        col = min(max(round((x - self.x0) / self.pitch_x), 0),
+                  self.columns - 1)
+        row = min(max(round((y - self.y0) / self.pitch_y), 0),
+                  self.rows - 1)
+        return int(col), int(row)
+
+
+def xy_route(source: Tuple[int, int],
+             dest: Tuple[int, int]) -> List[Tuple[int, int]]:
+    """Dimension-ordered route: X first, then Y (inclusive of ends)."""
+    col, row = source
+    path = [(col, row)]
+    step = 1 if dest[0] > col else -1
+    while col != dest[0]:
+        col += step
+        path.append((col, row))
+    step = 1 if dest[1] > row else -1
+    while row != dest[1]:
+        row += step
+        path.append((col, row))
+    return path
+
+
+def build_mesh(
+    spec: CommunicationSpec,
+    columns: Optional[int] = None,
+    rows: Optional[int] = None,
+) -> NocTopology:
+    """Build the mesh topology and XY-route every flow.
+
+    Only mesh links actually used by some flow are installed (idle mesh
+    channels would be clock-gated away; counting them would only make
+    the mesh look worse in the comparison).
+    """
+    spec.validate()
+    placement = MeshPlacement(spec, columns, rows)
+    topology = NocTopology(spec=spec)
+
+    # Routers and core attachments.
+    attachment: Dict[str, Tuple[int, int]] = {}
+    for name, core in spec.cores.items():
+        col, row = placement.nearest(core.x, core.y)
+        attachment[name] = (col, row)
+        topology.add_core_node(name)
+        x, y = placement.position(col, row)
+        topology.add_router(_router_name(col, row), x, y)
+        topology.add_link(core_node(name),
+                          router_node(_router_name(col, row)),
+                          MESH_ACCESS_LENGTH)
+        topology.add_link(router_node(_router_name(col, row)),
+                          core_node(name), MESH_ACCESS_LENGTH)
+
+    def link_length(a: Tuple[int, int], b: Tuple[int, int]) -> float:
+        (x0, y0), (x1, y1) = placement.position(*a), \
+            placement.position(*b)
+        return abs(x1 - x0) + abs(y1 - y0)
+
+    for index, flow in enumerate(spec.flows):
+        grid_path = xy_route(attachment[flow.source],
+                             attachment[flow.dest])
+        nodes: List[NodeId] = [core_node(flow.source)]
+        for grid in grid_path:
+            col, row = grid
+            name = _router_name(col, row)
+            x, y = placement.position(col, row)
+            topology.add_router(name, x, y)
+            nodes.append(router_node(name))
+        nodes.append(core_node(flow.dest))
+        for a, b in zip(nodes, nodes[1:]):
+            if a[0] == "router" and b[0] == "router":
+                length = link_length(
+                    _grid_of(a[1]), _grid_of(b[1]))
+                topology.add_link(a, b, length)
+        topology.route_flow(index, nodes)
+    return topology
+
+
+def _grid_of(router_name: str) -> Tuple[int, int]:
+    """Grid coordinates encoded in a mesh router's name."""
+    parts = router_name.split("_")
+    return int(parts[-2]), int(parts[-1])
+
+
+def mesh_hop_bound(spec: CommunicationSpec) -> int:
+    """Worst-case router hops of the mesh for this spec's shape."""
+    columns, rows = _grid_shape(spec.num_cores)
+    return columns + rows

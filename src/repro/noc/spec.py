@@ -1,0 +1,138 @@
+"""Communication specification: cores, floorplan, flows.
+
+A :class:`CommunicationSpec` is the input to NoC synthesis: a set of
+cores with floorplan positions, the point-to-point flows between them
+with sustained bandwidth requirements, and the bus data width.  This is
+the same abstraction COSI-OCC consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class Core:
+    """A SoC core: a name and a floorplan position in meters."""
+
+    name: str
+    x: float
+    y: float
+
+    def distance_to(self, other: "Core") -> float:
+        """Manhattan (routed) distance to another core, meters."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A directed communication requirement between two cores.
+
+    ``bandwidth`` is the sustained requirement in bits per second.
+    ``max_hops`` optionally bounds the number of router traversals the
+    synthesized route may take (a latency constraint); ``None`` leaves
+    the flow unconstrained.
+    """
+
+    source: str
+    dest: str
+    bandwidth: float
+    max_hops: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.source == self.dest:
+            raise ValueError(f"flow {self.source!r} -> itself is invalid")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.max_hops is not None and self.max_hops < 2:
+            raise ValueError(
+                "max_hops must be at least 2 (ingress + egress router)")
+
+
+@dataclass
+class CommunicationSpec:
+    """The full synthesis input for one SoC."""
+
+    name: str
+    cores: Dict[str, Core] = field(default_factory=dict)
+    flows: List[Flow] = field(default_factory=list)
+    data_width: int = 128
+
+    # -- construction ------------------------------------------------------
+
+    def add_core(self, name: str, x: float, y: float) -> Core:
+        if name in self.cores:
+            raise ValueError(f"core {name!r} already exists")
+        core = Core(name=name, x=x, y=y)
+        self.cores[name] = core
+        return core
+
+    def add_flow(self, source: str, dest: str, bandwidth: float,
+                 max_hops: "int | None" = None) -> Flow:
+        flow = Flow(source=source, dest=dest, bandwidth=bandwidth,
+                    max_hops=max_hops)
+        for endpoint in (source, dest):
+            if endpoint not in self.cores:
+                raise KeyError(f"flow endpoint {endpoint!r} is not a core")
+        self.flows.append(flow)
+        return flow
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an inconsistent specification."""
+        if not self.cores:
+            raise ValueError("specification has no cores")
+        if not self.flows:
+            raise ValueError("specification has no flows")
+        if self.data_width < 1:
+            raise ValueError("data_width must be at least 1 bit")
+        for flow in self.flows:
+            for endpoint in (flow.source, flow.dest):
+                if endpoint not in self.cores:
+                    raise ValueError(
+                        f"flow references unknown core {endpoint!r}")
+
+    # -- summaries ----------------------------------------------------------
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    def total_bandwidth(self) -> float:
+        """Sum of all flow bandwidths, bits/s."""
+        return sum(flow.bandwidth for flow in self.flows)
+
+    def bounding_box(self) -> Tuple[float, float]:
+        """(width, height) of the floorplan in meters."""
+        xs = [core.x for core in self.cores.values()]
+        ys = [core.y for core in self.cores.values()]
+        return max(xs) - min(xs), max(ys) - min(ys)
+
+    def flow_distance(self, flow: Flow) -> float:
+        """Manhattan distance between a flow's endpoints, meters."""
+        return self.cores[flow.source].distance_to(self.cores[flow.dest])
+
+    def scaled(self, factor: float, name_suffix: str = "") -> \
+            "CommunicationSpec":
+        """A copy with all floorplan positions scaled by ``factor``.
+
+        Used to shrink the same application's floorplan for smaller
+        technology nodes, as die area scales.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        scaled = CommunicationSpec(
+            name=self.name + name_suffix, data_width=self.data_width)
+        for core in self.cores.values():
+            scaled.add_core(core.name, core.x * factor, core.y * factor)
+        for flow in self.flows:
+            scaled.add_flow(flow.source, flow.dest, flow.bandwidth,
+                            max_hops=flow.max_hops)
+        return scaled
+
+
+def flows_by_bandwidth(flows: Iterable[Flow]) -> List[Flow]:
+    """Deterministic processing order: descending bandwidth, then names."""
+    return sorted(flows, key=lambda f: (-f.bandwidth, f.source, f.dest))

@@ -1,0 +1,286 @@
+"""Constraint-driven NoC synthesis (the COSI-OCC algorithm substitute).
+
+The synthesis problem: given a communication specification, build a
+network of routers and buffered links that routes every flow, respects
+link capacity, router degree and wire-length feasibility constraints,
+and minimizes total interconnect power.
+
+The algorithm is the greedy incremental-cost formulation used by
+constraint-driven synthesis tools:
+
+1. One candidate router site per core (at the core's position); cores
+   attach to their own router through a short access link.
+2. Candidate router-router channels exist between every pair of sites
+   whose Manhattan distance is *feasible* — i.e., an optimally buffered
+   bus of that length can traverse it in one clock period under the
+   active interconnect model.  This is where model accuracy bites: an
+   optimistic model admits longer candidate links.
+3. Flows are routed one at a time in decreasing bandwidth order, each
+   along its minimum *marginal power* path (Dijkstra): reusing an
+   installed link costs only the added dynamic power, while installing
+   a new link pays its leakage and the new router ports too.
+4. Installing a path commits its links, loads and routers.
+
+The output topology depends on the interconnect model through the
+candidate-edge feasibility and every edge weight — exactly the
+mechanism by which Table III's "original" and "proposed" columns end up
+with different architectures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.noc.link import LinkDesigner
+from repro.noc.router import RouterParameters
+from repro.noc.spec import CommunicationSpec, flows_by_bandwidth
+from repro.noc.topology import NocTopology, NodeId, core_node, router_node
+from repro.tech.parameters import TechnologyParameters
+from repro.units import um
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Synthesis knobs.
+
+    ``access_length`` is the physical core-to-router (network
+    interface) wire length.  ``utilization`` derates raw link bandwidth
+    to usable payload capacity.  ``max_flow_hops`` is a global latency
+    constraint (maximum router traversals per flow); individual flows
+    can tighten it further via ``Flow.max_hops``.
+    """
+
+    access_length: float = um(200)
+    utilization: float = 0.75
+    max_ports: int = 8
+    max_flow_hops: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.access_length <= 0:
+            raise ValueError("access_length must be positive")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError("utilization must lie in (0, 1]")
+        if self.max_flow_hops is not None and self.max_flow_hops < 2:
+            raise ValueError("max_flow_hops must be at least 2")
+
+
+class SynthesisError(RuntimeError):
+    """Raised when a flow cannot be routed under the constraints."""
+
+
+@dataclass
+class _Candidate:
+    """A candidate directed edge in the synthesis search graph."""
+
+    source: NodeId
+    dest: NodeId
+    length: float
+
+
+def _candidate_edges(spec: CommunicationSpec, config: SynthesisConfig,
+                     max_link_length: float) -> Dict[NodeId,
+                                                     List[_Candidate]]:
+    """Adjacency of the candidate graph keyed by source node."""
+    adjacency: Dict[NodeId, List[_Candidate]] = {}
+
+    def add(source: NodeId, dest: NodeId, length: float) -> None:
+        adjacency.setdefault(source, []).append(
+            _Candidate(source=source, dest=dest, length=length))
+
+    names = sorted(spec.cores)
+    for name in names:
+        add(core_node(name), router_node(name), config.access_length)
+        add(router_node(name), core_node(name), config.access_length)
+    for a in names:
+        core_a = spec.cores[a]
+        for b in names:
+            if a == b:
+                continue
+            distance = core_a.distance_to(spec.cores[b])
+            length = max(distance, config.access_length)
+            if length <= max_link_length:
+                add(router_node(a), router_node(b), length)
+    return adjacency
+
+
+def synthesize(
+    spec: CommunicationSpec,
+    model,
+    tech: TechnologyParameters,
+    router_params: Optional[RouterParameters] = None,
+    config: Optional[SynthesisConfig] = None,
+) -> NocTopology:
+    """Synthesize a NoC for ``spec`` under the given interconnect model.
+
+    ``model`` is any object with the ``evaluate(...)`` interconnect
+    interface (proposed or baseline).  Raises :class:`SynthesisError`
+    if some flow cannot be routed within the constraints.
+    """
+    spec.validate()
+    if config is None:
+        config = SynthesisConfig()
+    if router_params is None:
+        router_params = RouterParameters.for_technology(
+            tech, flit_width=spec.data_width)
+
+    designer = LinkDesigner(model, tech, spec.data_width,
+                            utilization=config.utilization)
+    capacity = designer.capacity()
+    max_length = designer.max_length()
+    adjacency = _candidate_edges(spec, config, max_length)
+
+    topology = NocTopology(spec=spec)
+    flow_order = flows_by_bandwidth(spec.flows)
+    index_of = {id(flow): i for i, flow in enumerate(spec.flows)}
+
+    for flow in flow_order:
+        hop_budget = _hop_budget(flow.max_hops, config.max_flow_hops)
+        path = _route_one_flow(
+            flow.source, flow.dest, flow.bandwidth, adjacency, topology,
+            designer, router_params, capacity, config, tech,
+            hop_budget=hop_budget)
+        if path is None:
+            constraint = (f" within {hop_budget} hops"
+                          if hop_budget is not None else "")
+            raise SynthesisError(
+                f"flow {flow.source} -> {flow.dest} "
+                f"({flow.bandwidth:.3g} b/s) cannot be routed"
+                f"{constraint}")
+        _commit_path(topology, spec, path, adjacency)
+        topology.route_flow(index_of[id(flow)], path)
+    return topology
+
+
+def _hop_budget(flow_limit: Optional[int],
+                global_limit: Optional[int]) -> Optional[int]:
+    """The binding hop constraint for one flow, or ``None``."""
+    limits = [limit for limit in (flow_limit, global_limit)
+              if limit is not None]
+    return min(limits) if limits else None
+
+
+def _edge_weight(candidate: _Candidate, bandwidth: float,
+                 topology: NocTopology, designer: LinkDesigner,
+                 router_params: RouterParameters, capacity: float,
+                 config: SynthesisConfig,
+                 tech: TechnologyParameters) -> Optional[float]:
+    """Marginal power (W) of pushing ``bandwidth`` over a candidate edge.
+
+    Returns ``None`` for inadmissible edges (capacity exhausted, degree
+    limit, infeasible length).
+    """
+    graph = topology.graph
+    installed = (candidate.source in graph and candidate.dest in graph
+                 and graph.has_edge(candidate.source, candidate.dest))
+    if installed:
+        load = topology.edge_load(candidate.source, candidate.dest)
+        if load + bandwidth > capacity:
+            return None
+    design = designer.design(candidate.length)
+    if design is None:
+        return None
+
+    weight = design.dynamic_power(bandwidth, tech.vdd,
+                                  tech.clock_frequency)
+    # Router traversal energy at the edge head (if it is a router).
+    if candidate.dest[0] == "router":
+        weight += router_params.dynamic_power(bandwidth)
+
+    if not installed:
+        weight += design.leakage_power
+        # New ports: each endpoint router gains a neighbour unless the
+        # reverse direction already exists.
+        for this, other in ((candidate.source, candidate.dest),
+                            (candidate.dest, candidate.source)):
+            if this[0] != "router":
+                continue
+            already_neighbours = (
+                this in graph and other in graph
+                and (graph.has_edge(this, other)
+                     or graph.has_edge(other, this)))
+            if already_neighbours:
+                continue
+            degree = (topology.router_degree(this)
+                      if this in graph else 0)
+            if degree + 1 > router_params.max_ports:
+                return None
+            weight += router_params.leakage_per_port
+    return weight
+
+
+def _route_one_flow(source: str, dest: str, bandwidth: float,
+                    adjacency: Dict[NodeId, List[_Candidate]],
+                    topology: NocTopology, designer: LinkDesigner,
+                    router_params: RouterParameters, capacity: float,
+                    config: SynthesisConfig,
+                    tech: TechnologyParameters,
+                    hop_budget: Optional[int] = None,
+                    ) -> Optional[List[NodeId]]:
+    """Dijkstra over the candidate graph with marginal-power weights.
+
+    With a hop budget the search runs over (node, hops-used) states, so
+    a node may be revisited with fewer hops spent — the standard
+    resource-constrained shortest-path relaxation.
+    """
+    start = core_node(source)
+    goal = core_node(dest)
+    State = Tuple[NodeId, int]
+    start_state: State = (start, 0)
+    best: Dict[State, float] = {start_state: 0.0}
+    parent: Dict[State, State] = {}
+    heap: List[Tuple[float, State]] = [(0.0, start_state)]
+    visited = set()
+
+    while heap:
+        cost, state = heapq.heappop(heap)
+        if state in visited:
+            continue
+        visited.add(state)
+        node, hops = state
+        if node == goal:
+            path = [node]
+            cursor = state
+            while cursor != start_state:
+                cursor = parent[cursor]
+                path.append(cursor[0])
+            return list(reversed(path))
+        for candidate in adjacency.get(node, ()):  # sorted construction
+            next_hops = hops + (1 if candidate.dest[0] == "router"
+                                else 0)
+            if hop_budget is not None and next_hops > hop_budget:
+                continue
+            weight = _edge_weight(candidate, bandwidth, topology,
+                                  designer, router_params, capacity,
+                                  config, tech)
+            if weight is None:
+                continue
+            next_state: State = (candidate.dest,
+                                 next_hops if hop_budget is not None
+                                 else 0)
+            new_cost = cost + weight
+            if new_cost < best.get(next_state, float("inf")):
+                best[next_state] = new_cost
+                parent[next_state] = state
+                heapq.heappush(heap, (new_cost, next_state))
+    return None
+
+
+def _commit_path(topology: NocTopology, spec: CommunicationSpec,
+                 path: List[NodeId],
+                 adjacency: Dict[NodeId, List[_Candidate]]) -> None:
+    """Install the path's nodes and links into the topology."""
+    lengths = {}
+    for candidates in adjacency.values():
+        for candidate in candidates:
+            lengths[(candidate.source, candidate.dest)] = candidate.length
+
+    for node in path:
+        if node[0] == "core":
+            topology.add_core_node(node[1])
+        else:
+            core = spec.cores[node[1]]
+            topology.add_router(node[1], core.x, core.y)
+    for a, b in zip(path, path[1:]):
+        topology.add_link(a, b, lengths[(a, b)])

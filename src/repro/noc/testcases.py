@@ -1,0 +1,201 @@
+"""The two SoC test cases of Table III.
+
+* **VPROC** — a 42-core video processor with 128-bit data paths: four
+  parallel processing pipelines with line memories, motion estimation,
+  a DSP cluster, scaler/deinterlacer back end and control.  The paper
+  describes it only as "a video processor with 42 cores and 128-b data
+  widths"; the structure here is a representative video pipeline at
+  that scale.
+* **DVOPD** — a dual video object plane decoder: two parallel instances
+  of the published VOPD task graph (13 cores each including the stream
+  input), 26 cores total, 128-bit data widths.  The per-edge bandwidths
+  follow the VOPD numbers used throughout the NoC synthesis literature.
+
+Floorplans are defined at the 90 nm node and scale linearly with
+feature size for smaller nodes (die area shrinks with the technology),
+so each node's synthesis sees wire lengths consistent with its era.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.noc.spec import CommunicationSpec
+from repro.tech.parameters import TechnologyParameters
+from repro.units import mm, nm
+
+#: Megabytes per second -> bits per second.
+MBPS = 8.0e6
+
+#: Floorplans below are drawn for this node and scaled elsewhere.
+_BASE_FEATURE = nm(90)
+
+
+def _scale_for(tech: Optional[TechnologyParameters]) -> float:
+    if tech is None:
+        return 1.0
+    return tech.feature_size / _BASE_FEATURE
+
+
+# ---------------------------------------------------------------------------
+# Dual VOPD
+# ---------------------------------------------------------------------------
+
+#: The VOPD task graph: (source, dest, bandwidth MB/s).
+_VOPD_FLOWS = (
+    ("in_stream", "vld", 70),
+    ("vld", "run_le_dec", 70),
+    ("run_le_dec", "inv_scan", 362),
+    ("inv_scan", "acdc_pred", 362),
+    ("acdc_pred", "iquant", 362),
+    ("acdc_pred", "stripe_mem", 49),
+    ("stripe_mem", "acdc_pred", 27),
+    ("iquant", "idct", 357),
+    ("idct", "up_samp", 353),
+    ("arm", "idct", 16),
+    ("idct", "arm", 16),
+    ("up_samp", "vop_rec", 300),
+    ("vop_rec", "pad", 313),
+    ("pad", "vop_mem", 313),
+    ("vop_mem", "pad", 94),
+)
+
+#: Per-instance placement (grid columns/rows), chosen so the decode
+#: pipeline snakes through the region.
+_VOPD_PLACEMENT = {
+    "in_stream": (0, 0),
+    "vld": (1, 0),
+    "run_le_dec": (2, 0),
+    "inv_scan": (3, 0),
+    "acdc_pred": (3, 1),
+    "stripe_mem": (2, 1),
+    "iquant": (3, 2),
+    "idct": (2, 2),
+    "arm": (1, 1),
+    "up_samp": (1, 2),
+    "vop_rec": (0, 2),
+    "pad": (0, 1),
+    "vop_mem": (1, 3),
+}
+
+
+def dual_vopd(tech: Optional[TechnologyParameters] = None,
+              core_pitch: float = mm(1.4)) -> CommunicationSpec:
+    """The 26-core dual video object plane decoder specification.
+
+    Two VOPD instances decode independent streams in parallel; the
+    instances sit side by side on the die.
+    """
+    scale = _scale_for(tech)
+    pitch = core_pitch * scale
+    spec = CommunicationSpec(name="DVOPD", data_width=128)
+    instance_offset_columns = 5
+    for instance in range(2):
+        prefix = f"d{instance}_"
+        x_offset = instance * instance_offset_columns
+        for name, (col, row) in _VOPD_PLACEMENT.items():
+            spec.add_core(prefix + name, (col + x_offset) * pitch,
+                          row * pitch)
+        for source, dest, mbps in _VOPD_FLOWS:
+            spec.add_flow(prefix + source, prefix + dest, mbps * MBPS)
+    spec.validate()
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# VPROC
+# ---------------------------------------------------------------------------
+
+def vproc(tech: Optional[TechnologyParameters] = None,
+          core_pitch: float = mm(1.6)) -> CommunicationSpec:
+    """The 42-core video processor specification.
+
+    Structure: stream input feeds a demux that fans out to four
+    parallel processing pipelines of five stages, each pipeline backed
+    by a line memory; a motion-estimation pair and a four-core DSP
+    cluster assist; results merge into a scaler + deinterlacer back end
+    before the stream output; a CPU and DMA engine provide control.
+    """
+    scale = _scale_for(tech)
+    pitch = core_pitch * scale
+    spec = CommunicationSpec(name="VPROC", data_width=128)
+
+    def place(name: str, col: float, row: float) -> None:
+        spec.add_core(name, col * pitch, row * pitch)
+
+    # Front end (left column) and back end (right column).
+    place("vin", 0, 2)
+    place("demux", 1, 2)
+    place("mux", 5, 2)
+    place("scaler", 6, 2)
+    place("deint", 6, 1)
+    place("vout", 6, 0)
+
+    # Four pipelines of five stages (rows 0..3, columns 1.5..4.5 area),
+    # each with a line memory beside stage 2.
+    for k in range(4):
+        for j in range(5):
+            place(f"pe{k}_s{j}", 1.8 + 0.8 * j, k + 0.0 if k < 2
+                  else k + 0.5)
+        place(f"mem{k}", 1.8 + 0.8 * 5, k + 0.0 if k < 2 else k + 0.5)
+
+    # Motion estimation, DSP cluster, control, audio path.
+    place("me_coarse", 0, 4)
+    place("me_fine", 1, 4)
+    place("dsp0", 3, 5)
+    place("dsp1", 4, 5)
+    place("dsp2", 5, 5)
+    place("dsp3", 6, 5)
+    place("cpu", 0, 5)
+    place("dma", 1, 5)
+    place("aud_in", 0, 0)
+    place("aud_proc", 0, 1)
+    place("aud_out", 0, 3)
+    place("vpp", 5, 4)
+
+    assert spec.num_cores == 42, spec.num_cores
+
+    def flow(source: str, dest: str, mbps: float) -> None:
+        spec.add_flow(source, dest, mbps * MBPS)
+
+    # Main video stream.
+    flow("vin", "demux", 2000)
+    for k in range(4):
+        flow("demux", f"pe{k}_s0", 500)
+        for j in range(4):
+            flow(f"pe{k}_s{j}", f"pe{k}_s{j + 1}", 500)
+        flow(f"pe{k}_s4", "mux", 500)
+        flow(f"pe{k}_s2", f"mem{k}", 400)
+        flow(f"mem{k}", f"pe{k}_s3", 400)
+    flow("mux", "vpp", 2000)
+    flow("vpp", "scaler", 2000)
+    flow("scaler", "deint", 2000)
+    flow("deint", "vout", 2000)
+
+    # Motion estimation taps the input and informs the pipelines.
+    flow("demux", "me_coarse", 600)
+    flow("me_coarse", "me_fine", 300)
+    for k in range(4):
+        flow("me_fine", f"pe{k}_s1", 150)
+
+    # DSP cluster post-processing assistance.
+    flow("vpp", "dsp0", 250)
+    flow("dsp0", "dsp1", 250)
+    flow("dsp1", "dsp2", 250)
+    flow("dsp2", "dsp3", 250)
+    flow("dsp3", "vpp", 250)
+
+    # Control and DMA.
+    for k in range(4):
+        flow("dma", f"mem{k}", 100)
+    flow("cpu", "dma", 50)
+    flow("cpu", "demux", 20)
+    flow("cpu", "mux", 20)
+
+    # Audio path.
+    flow("aud_in", "aud_proc", 25)
+    flow("aud_proc", "aud_out", 25)
+    flow("cpu", "aud_proc", 10)
+
+    spec.validate()
+    return spec

@@ -1,0 +1,125 @@
+"""Flow-level timing analysis of a synthesized NoC.
+
+Links are registered at the routers and designed to traverse their
+length within one clock period, so a flow's zero-load latency is a pure
+cycle count: one cycle per link plus the router pipeline depth per hop.
+This module computes per-flow latency reports — the static-timing view
+of the network — and checks them against optional latency requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.noc.router import RouterParameters
+from repro.noc.topology import NocTopology
+from repro.tech.parameters import TechnologyParameters
+from repro.units import to_ns
+
+
+@dataclass(frozen=True)
+class FlowTiming:
+    """Zero-load latency breakdown of one routed flow."""
+
+    flow_index: int
+    source: str
+    dest: str
+    hops: int
+    link_cycles: int
+    router_cycles: int
+    latency_seconds: float
+
+    @property
+    def total_cycles(self) -> int:
+        return self.link_cycles + self.router_cycles
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Per-flow latencies plus aggregate statistics."""
+
+    flows: Tuple[FlowTiming, ...]
+    clock_period: float
+
+    def worst(self) -> FlowTiming:
+        return max(self.flows, key=lambda f: f.total_cycles)
+
+    def average_cycles(self) -> float:
+        return (sum(f.total_cycles for f in self.flows)
+                / len(self.flows))
+
+    def format(self, limit: int = 12) -> str:
+        ordered = sorted(self.flows, key=lambda f: -f.total_cycles)
+        lines = [
+            f"{'flow':<30} {'hops':>5} {'links':>6} {'rtr cyc':>8} "
+            f"{'total':>6} {'ns':>7}",
+        ]
+        for timing in ordered[:limit]:
+            label = f"{timing.source}->{timing.dest}"
+            lines.append(
+                f"{label:<30} {timing.hops:5d} {timing.link_cycles:6d} "
+                f"{timing.router_cycles:8d} {timing.total_cycles:6d} "
+                f"{to_ns(timing.latency_seconds):7.3f}")
+        if len(ordered) > limit:
+            lines.append(f"  ... {len(ordered) - limit} more flows")
+        worst = self.worst()
+        lines.append(
+            f"worst latency: {worst.total_cycles} cycles "
+            f"({to_ns(worst.latency_seconds):.3f} ns) on "
+            f"{worst.source}->{worst.dest}; average "
+            f"{self.average_cycles():.2f} cycles")
+        return "\n".join(lines)
+
+
+def analyze_timing(
+    topology: NocTopology,
+    tech: TechnologyParameters,
+    router_params: Optional[RouterParameters] = None,
+) -> TimingReport:
+    """Zero-load latency of every routed flow."""
+    if router_params is None:
+        router_params = RouterParameters.for_technology(
+            tech, flit_width=topology.spec.data_width)
+    period = tech.clock_period()
+
+    flows: List[FlowTiming] = []
+    for index, path in sorted(topology.routes.items()):
+        flow = topology.spec.flows[index]
+        hops = sum(1 for node in path if node[0] == "router")
+        link_cycles = len(path) - 1
+        router_cycles = hops * router_params.pipeline_cycles
+        latency = (link_cycles + router_cycles) * period
+        flows.append(FlowTiming(
+            flow_index=index,
+            source=flow.source,
+            dest=flow.dest,
+            hops=hops,
+            link_cycles=link_cycles,
+            router_cycles=router_cycles,
+            latency_seconds=latency,
+        ))
+    if not flows:
+        raise ValueError("topology has no routed flows to analyze")
+    return TimingReport(flows=tuple(flows), clock_period=period)
+
+
+def check_latency_requirements(
+    report: TimingReport,
+    requirements: Dict[Tuple[str, str], float],
+) -> List[str]:
+    """Violations of per-flow latency requirements (seconds).
+
+    ``requirements`` maps (source, dest) to a maximum latency; flows
+    without an entry are unconstrained.  Returns human-readable
+    violation messages (empty when all met).
+    """
+    violations = []
+    for timing in report.flows:
+        limit = requirements.get((timing.source, timing.dest))
+        if limit is not None and timing.latency_seconds > limit:
+            violations.append(
+                f"{timing.source}->{timing.dest}: "
+                f"{to_ns(timing.latency_seconds):.3f} ns exceeds "
+                f"{to_ns(limit):.3f} ns")
+    return violations

@@ -1,0 +1,107 @@
+"""Text rendering of floorplans and synthesized topologies.
+
+System-level tools live or die by how inspectable their outputs are.
+This module renders a :class:`~repro.noc.topology.NocTopology` as an
+ASCII floorplan (cores and routers placed on a character grid, link
+endpoints annotated) plus a link table — enough to eyeball why the
+synthesizer chose the architecture it did, with no plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.noc.spec import CommunicationSpec
+from repro.noc.topology import NocTopology
+from repro.units import to_mm
+
+#: Character-grid resolution of the floorplan sketch.
+GRID_COLUMNS = 72
+GRID_ROWS = 24
+
+
+def render_floorplan(spec: CommunicationSpec,
+                     columns: int = GRID_COLUMNS,
+                     rows: int = GRID_ROWS) -> str:
+    """ASCII sketch of core positions on the die."""
+    xs = [core.x for core in spec.cores.values()]
+    ys = [core.y for core in spec.cores.values()]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    span_x = max(x1 - x0, 1e-9)
+    span_y = max(y1 - y0, 1e-9)
+
+    grid = [[" "] * columns for _ in range(rows)]
+    labels: List[Tuple[int, int, str]] = []
+    for name, core in sorted(spec.cores.items()):
+        col = round((core.x - x0) / span_x * (columns - 1))
+        row = round((core.y - y0) / span_y * (rows - 1))
+        labels.append((row, col, name))
+    for row, col, name in labels:
+        marker = name[:8]
+        for offset, char in enumerate(marker):
+            position = col + offset
+            if position < columns:
+                grid[row][position] = char
+
+    width_mm = to_mm(x1 - x0)
+    height_mm = to_mm(y1 - y0)
+    header = (f"{spec.name}: {spec.num_cores} cores on "
+              f"{width_mm:.1f} x {height_mm:.1f} mm")
+    border = "+" + "-" * columns + "+"
+    body = ["|" + "".join(line) + "|" for line in grid]
+    return "\n".join([header, border] + body + [border])
+
+
+def render_topology(topology: NocTopology,
+                    max_links: int = 40) -> str:
+    """Link table of a synthesized NoC, heaviest links first."""
+    spec = topology.spec
+    rows: List[Tuple[float, str]] = []
+    for a, b, data in topology.links():
+        if a[0] != "router" or b[0] != "router":
+            continue
+        load_gbps = data["load"] / 1e9
+        rows.append((
+            data["load"],
+            f"  {a[1]:<14} -> {b[1]:<14} "
+            f"{to_mm(data['length']):6.2f} mm  {load_gbps:8.2f} Gb/s",
+        ))
+    rows.sort(key=lambda item: -item[0])
+
+    avg_hops, max_hops = topology.hop_statistics()
+    lines = [
+        topology.summary(),
+        f"router-router links (top {min(max_links, len(rows))} "
+        f"of {len(rows)} by load):",
+    ]
+    lines.extend(text for _, text in rows[:max_links])
+    if len(rows) > max_links:
+        lines.append(f"  ... {len(rows) - max_links} more")
+
+    lines.append("per-flow routes:")
+    shown = 0
+    for index in sorted(topology.routes):
+        if shown >= 10:
+            lines.append(f"  ... {len(topology.routes) - shown} more "
+                         f"flows")
+            break
+        flow = spec.flows[index]
+        hops = topology.hop_count(index)
+        lines.append(f"  {flow.source:<14} -> {flow.dest:<14} "
+                     f"{flow.bandwidth / 8e6:7.0f} MB/s  {hops} hops")
+        shown += 1
+    return "\n".join(lines)
+
+
+def render_report(topology: NocTopology,
+                  spec: CommunicationSpec) -> str:
+    """Floorplan + topology in one printable block."""
+    return (render_floorplan(spec) + "\n\n"
+            + render_topology(topology))
+
+
+def router_utilization(topology: NocTopology) -> Dict[str, int]:
+    """Router name -> port count, for quick hot-spot inspection."""
+    return {router[1]: topology.router_degree(router)
+            for router in topology.routers()}

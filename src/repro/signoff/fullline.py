@@ -1,0 +1,127 @@
+"""Whole-line golden evaluation in a single circuit.
+
+The stage-based golden evaluator (:mod:`repro.signoff.golden`) breaks
+the buffered line at repeater inputs and re-launches each stage with an
+ideal ramp of the measured slew — the abstraction every static timer
+makes.  This module provides the even stronger reference used to
+validate *that* abstraction: the entire line — every repeater and every
+distributed wire segment — simulated as one nonlinear circuit, with no
+ramp re-launching anywhere.
+
+At ~10 nodes per stage the monolithic circuit stays small enough for
+the dense MNA solver, so this is practical for the line lengths of
+Table II.  The cross-check (``tests/signoff/test_fullline.py``) shows
+the stage decomposition tracks the monolithic simulation to within a
+few percent, which is the justification for using the fast stage-based
+flow as the Table II reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.signoff.extraction import ExtractedLine
+from repro.spice.elements import ramp
+from repro.spice.netlist import Circuit
+from repro.spice.transient import simulate_transient
+
+#: RC sections per wire segment in the monolithic circuit.  Fewer than
+#: the stage-based flow's eight keeps the node count moderate; four
+#: sections keep the distributed-line error under ~1%.
+FULLLINE_SEGMENTS = 4
+
+
+@dataclass(frozen=True)
+class FullLineResult:
+    """Monolithic simulation outcome."""
+
+    total_delay: float
+    output_slew: float
+    node_count: int
+
+
+def build_full_line_circuit(
+    line: ExtractedLine,
+    input_slew: float,
+    miller_factor: Optional[float] = None,
+) -> "tuple[Circuit, float]":
+    """The whole buffered line as one netlist.
+
+    Returns the circuit and a suggested stop time.  The line input node
+    is ``in`` and the far-end (receiver input) node is ``out``.
+    """
+    if miller_factor is None:
+        miller_factor = line.config.delay_miller
+    tech = line.tech
+    vdd = tech.vdd
+
+    circuit = Circuit(f"fullline_{tech.name}")
+    circuit.add_supply("vdd", vdd)
+    start = 0.1 * input_slew + 1e-12
+    circuit.add_voltage_source("in", ramp(0.0, vdd, start, input_slew))
+
+    elmore_total = 0.0
+    previous = "in"
+    for index, stage in enumerate(line.stages):
+        wn, wp = tech.inverter_widths(stage.driver_size)
+        drive = f"s{index}_drv"
+        out = ("out" if index == line.num_repeaters - 1
+               else f"s{index}_out")
+        circuit.add_inverter(previous, drive, "vdd", tech.nmos,
+                             tech.pmos, wn, wp, vdd)
+        wire_cap = stage.wire.total_cap(miller_factor)
+        circuit.add_rc_ladder(drive, out, stage.wire.resistance,
+                              wire_cap, FULLLINE_SEGMENTS,
+                              prefix=f"s{index}")
+        previous = out
+
+        overdrive = max(vdd - tech.nmos.vth, 0.2 * vdd)
+        drive_resistance = vdd / (tech.nmos.k_sat * wn
+                                  * overdrive**tech.nmos.alpha)
+        elmore_total += (drive_resistance
+                         * (wire_cap + line.stage_load_cap(index))
+                         + stage.wire.resistance
+                         * (0.5 * wire_cap
+                            + line.stage_load_cap(index)))
+    circuit.add_capacitor("out", "0", line.receiver_cap)
+
+    stop_time = start + input_slew + 10.0 * elmore_total + 50e-12
+    return circuit, stop_time
+
+
+def evaluate_full_line(
+    line: ExtractedLine,
+    input_slew: float,
+    miller_factor: Optional[float] = None,
+    max_retries: int = 3,
+) -> FullLineResult:
+    """Simulate the entire line monolithically and measure its timing."""
+    circuit, stop_time = build_full_line_circuit(line, input_slew,
+                                                 miller_factor)
+    vdd = line.tech.vdd
+    # An even repeater count leaves the far end at the input's polarity;
+    # an odd count inverts it.
+    rising_output = line.num_repeaters % 2 == 0
+    target = vdd if rising_output else 0.0
+
+    for _attempt in range(max_retries + 1):
+        result = simulate_transient(
+            circuit, stop_time,
+            time_step=stop_time / max(2000, 400 * line.num_repeaters),
+            record=["in", "out"])
+        out_wave = result.waveform("out")
+        if out_wave.settled(target, 0.02 * vdd):
+            break
+        stop_time *= 2.0
+    else:  # pragma: no cover - defensive
+        raise RuntimeError("full-line simulation never settled")
+
+    in_wave = result.waveform("in")
+    delay = (out_wave.midpoint_time(0.0, vdd)
+             - in_wave.midpoint_time(0.0, vdd))
+    return FullLineResult(
+        total_delay=delay,
+        output_slew=out_wave.slew(0.0, vdd),
+        node_count=circuit.node_count,
+    )

@@ -1,0 +1,233 @@
+"""Golden buffered-line evaluation by nonlinear transient simulation.
+
+This is the reference against which Table II measures model accuracy —
+the role PrimeTime SI plays in the paper.  A buffered line is evaluated
+stage by stage, the way a sign-off timer propagates timing:
+
+1. The first repeater's input sees an ideal ramp with the requested
+   input slew.
+2. Each stage — a CMOS repeater driving its distributed-RC wire segment
+   (lateral coupling folded in at the configured Miller factor) loaded
+   by the next repeater's gate capacitance — is simulated with the full
+   nonlinear device model.
+3. The measured 50%–50% stage delay accumulates, and the slew measured
+   at the far end of the wire becomes the next stage's input slew.
+   Signal polarity alternates through the inverter chain.
+
+Uniform lines converge to a periodic steady state after a few stages
+(the slew entering stage ``k`` equals the slew that entered stage
+``k - 2``), so once two consecutive same-parity stages agree the
+remaining stage delays are reused instead of re-simulated.  The paper's
+15 mm lines have tens of repeaters; this shortcut makes the golden
+evaluation tractable without changing its result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.signoff.extraction import ExtractedLine
+from repro.spice.netlist import Circuit
+from repro.spice.elements import ramp
+from repro.spice.transient import simulate_transient
+from repro.tech.parameters import TechnologyParameters
+
+#: Lumped RC sections per wire segment.  Eight sections keep the
+#: distributed-line error well under 1%.
+SEGMENTS_PER_WIRE = 8
+
+#: Relative slew change below which the stage cascade is declared
+#: periodic.
+SLEW_CONVERGENCE = 0.01
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Measured timing of one repeater stage."""
+
+    delay: float
+    output_slew: float
+    input_slew: float
+    rising_input: bool
+
+
+@dataclass(frozen=True)
+class GoldenResult:
+    """Golden evaluation of a full buffered line."""
+
+    total_delay: float
+    output_slew: float
+    stage_timings: Tuple[StageTiming, ...]
+    runtime_seconds: float
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_timings)
+
+
+def _build_stage_circuit(
+    tech: TechnologyParameters,
+    driver_size: float,
+    wire_resistance: float,
+    wire_capacitance: float,
+    load_cap: float,
+    input_slew: float,
+    rising_input: bool,
+) -> Tuple[Circuit, float]:
+    """One repeater stage driving its wire; returns (circuit, stop time)."""
+    wn, wp = tech.inverter_widths(driver_size)
+    vdd = tech.vdd
+
+    circuit = Circuit("stage")
+    circuit.add_supply("vdd", vdd)
+    start = 0.1 * input_slew + 1e-12
+    if rising_input:
+        source = ramp(0.0, vdd, start, input_slew)
+    else:
+        source = ramp(vdd, 0.0, start, input_slew)
+    circuit.add_voltage_source("in", source)
+    circuit.add_inverter("in", "drv", "vdd", tech.nmos, tech.pmos,
+                         wn, wp, vdd)
+    circuit.add_rc_ladder("drv", "out", wire_resistance, wire_capacitance,
+                          SEGMENTS_PER_WIRE)
+    circuit.add_capacitor("out", "0", load_cap)
+
+    # Stop-time estimate: input ramp plus a few Elmore delays of the
+    # loaded stage, with generous margin.
+    overdrive = max(vdd - tech.nmos.vth, 0.2 * vdd)
+    drive_resistance = vdd / (tech.nmos.k_sat * wn * overdrive**tech.nmos.alpha)
+    elmore = (drive_resistance * (wire_capacitance + load_cap)
+              + wire_resistance * (0.5 * wire_capacitance + load_cap))
+    stop_time = start + input_slew + 8.0 * elmore + 20e-12
+    return circuit, stop_time
+
+
+def simulate_stage(
+    tech: TechnologyParameters,
+    driver_size: float,
+    wire_resistance: float,
+    wire_capacitance: float,
+    load_cap: float,
+    input_slew: float,
+    rising_input: bool,
+    max_retries: int = 3,
+) -> StageTiming:
+    """Simulate one stage and measure its 50% delay and output slew.
+
+    Retries with a longer stop time if the output has not settled —
+    the stop-time estimate is heuristic and long resistive wires can
+    exceed it.
+    """
+    circuit, stop_time = _build_stage_circuit(
+        tech, driver_size, wire_resistance, wire_capacitance, load_cap,
+        input_slew, rising_input)
+    vdd = tech.vdd
+    target = 0.0 if rising_input else vdd  # inverter output rail
+
+    for attempt in range(max_retries + 1):
+        result = simulate_transient(circuit, stop_time,
+                                    record=["in", "out"])
+        out_wave = result.waveform("out")
+        if out_wave.settled(target, 0.02 * vdd):
+            break
+        stop_time *= 2.0
+    else:  # pragma: no cover - defensive
+        raise RuntimeError("stage simulation never settled")
+
+    in_wave = result.waveform("in")
+    t_in = in_wave.midpoint_time(0.0, vdd)
+    t_out = out_wave.midpoint_time(0.0, vdd)
+    output_slew = out_wave.slew(0.0, vdd)
+    return StageTiming(
+        delay=t_out - t_in,
+        output_slew=output_slew,
+        input_slew=input_slew,
+        rising_input=rising_input,
+    )
+
+
+def evaluate_buffered_line(
+    line: ExtractedLine,
+    input_slew: float,
+    miller_factor: Optional[float] = None,
+    use_periodicity: bool = True,
+) -> GoldenResult:
+    """Golden delay/slew of a buffered line (the Table II reference).
+
+    Parameters
+    ----------
+    line:
+        Extracted parasitics from
+        :func:`~repro.signoff.extraction.extract_buffered_line`.
+    input_slew:
+        Transition time of the ramp at the first repeater input, in
+        seconds (the paper uses 300 ps).
+    miller_factor:
+        Coupling amplification for the assumed neighbour switching;
+        defaults to the line's wire-configuration delay Miller factor.
+    use_periodicity:
+        Reuse converged same-parity stage results on uniform lines.
+    """
+    if miller_factor is None:
+        miller_factor = line.config.delay_miller
+
+    started = time.perf_counter()
+    timings: List[StageTiming] = []
+    slew = input_slew
+    rising = True
+    # Per-parity memo of (input slew, timing) for periodicity reuse.
+    parity_memo: "dict[int, StageTiming]" = {}
+    converged_cycle: Optional[Tuple[StageTiming, StageTiming]] = None
+
+    stage_count = line.num_repeaters
+    for index in range(stage_count):
+        stage = line.stages[index]
+        # The periodic shortcut only applies to interior stages of a
+        # uniform line (the last stage drives the receiver, whose load
+        # can differ from a repeater's).
+        reusable = (converged_cycle is not None
+                    and index < stage_count - 1
+                    and index > 0
+                    and stage == line.stages[index - 1])
+        if reusable:
+            cycle_timing = converged_cycle[index % 2]
+            timing = StageTiming(
+                delay=cycle_timing.delay,
+                output_slew=cycle_timing.output_slew,
+                input_slew=slew,
+                rising_input=rising,
+            )
+        else:
+            timing = simulate_stage(
+                line.tech,
+                stage.driver_size,
+                stage.wire.resistance,
+                stage.wire.total_cap(miller_factor),
+                line.stage_load_cap(index),
+                slew,
+                rising,
+            )
+            if use_periodicity:
+                parity = index % 2
+                previous = parity_memo.get(parity)
+                if (previous is not None
+                        and abs(previous.input_slew - slew)
+                        <= SLEW_CONVERGENCE * max(slew, 1e-15)):
+                    other = parity_memo.get(1 - parity)
+                    if other is not None:
+                        converged_cycle = ((timing, other) if parity == 0
+                                           else (other, timing))
+                parity_memo[parity] = timing
+        timings.append(timing)
+        slew = timing.output_slew
+        rising = not rising
+
+    runtime = time.perf_counter() - started
+    return GoldenResult(
+        total_delay=sum(t.delay for t in timings),
+        output_slew=timings[-1].output_slew,
+        stage_timings=tuple(timings),
+        runtime_seconds=runtime,
+    )

@@ -1,0 +1,182 @@
+"""SPEF-like parasitic exchange: writer and reader.
+
+The validation flow in the paper moves extracted parasitics from the
+layout tool to the sign-off timer as SPEF.  This module serializes an
+:class:`~repro.signoff.extraction.ExtractedLine` to a SPEF-flavoured
+text format (one ``*D_NET`` per wire segment with ``*CAP`` and ``*RES``
+sections) and parses it back, so the golden flow can round-trip through
+files exactly like the real tool chain.
+
+The subset written/parsed:
+
+.. code-block:: text
+
+    *SPEF "IEEE 1481"
+    *DESIGN line_90nm
+    *T_UNIT 1 PS
+    *C_UNIT 1 FF
+    *R_UNIT 1 OHM
+    *D_NET seg0 12.5
+    *CAP
+    1 seg0:1 3.1
+    2 seg0:1 seg1:1 1.4
+    *RES
+    1 seg0:1 seg0:2 25.0
+    *END
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.units import FEMTO, PICO
+
+
+@dataclass
+class SpefNet:
+    """One net's parasitics in SI units.
+
+    ``ground_caps`` maps node name -> capacitance to ground (F).
+    ``coupling_caps`` maps (node, other_net_node) -> capacitance (F).
+    ``resistors`` is a list of (node_a, node_b, ohms).
+    """
+
+    name: str
+    total_cap: float = 0.0
+    ground_caps: Dict[str, float] = field(default_factory=dict)
+    coupling_caps: Dict[Tuple[str, str], float] = field(
+        default_factory=dict)
+    resistors: List[Tuple[str, str, float]] = field(default_factory=list)
+
+
+@dataclass
+class SpefFile:
+    """A parsed SPEF document."""
+
+    design: str
+    nets: List[SpefNet] = field(default_factory=list)
+
+    def net(self, name: str) -> SpefNet:
+        for net in self.nets:
+            if net.name == name:
+                return net
+        raise KeyError(f"no net {name!r} in SPEF design {self.design!r}")
+
+
+def dumps_spef(spef: SpefFile) -> str:
+    """Serialize to SPEF text (times in ps, caps in fF, res in ohm)."""
+    lines = [
+        '*SPEF "IEEE 1481"',
+        f"*DESIGN {spef.design}",
+        "*T_UNIT 1 PS",
+        "*C_UNIT 1 FF",
+        "*R_UNIT 1 OHM",
+    ]
+    for net in spef.nets:
+        lines.append(f"*D_NET {net.name} {net.total_cap / FEMTO:.6g}")
+        lines.append("*CAP")
+        index = 1
+        for node, cap in net.ground_caps.items():
+            lines.append(f"{index} {node} {cap / FEMTO:.6g}")
+            index += 1
+        for (node, other), cap in net.coupling_caps.items():
+            lines.append(f"{index} {node} {other} {cap / FEMTO:.6g}")
+            index += 1
+        lines.append("*RES")
+        for index, (a, b, ohms) in enumerate(net.resistors, start=1):
+            lines.append(f"{index} {a} {b} {ohms:.6g}")
+        lines.append("*END")
+    return "\n".join(lines) + "\n"
+
+
+class SpefParseError(ValueError):
+    """Raised on malformed SPEF input."""
+
+
+def loads_spef(text: str) -> SpefFile:
+    """Parse SPEF text produced by :func:`dumps_spef`."""
+    design = ""
+    nets: List[SpefNet] = []
+    current: SpefNet = SpefNet(name="")
+    section = ""
+    have_net = False
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == "*SPEF":
+            continue
+        if keyword == "*DESIGN":
+            design = tokens[1]
+        elif keyword in ("*T_UNIT", "*C_UNIT", "*R_UNIT"):
+            continue  # fixed units are always written by dumps_spef
+        elif keyword == "*D_NET":
+            current = SpefNet(name=tokens[1],
+                              total_cap=float(tokens[2]) * FEMTO)
+            have_net = True
+            section = ""
+        elif keyword == "*CAP":
+            section = "cap"
+        elif keyword == "*RES":
+            section = "res"
+        elif keyword == "*END":
+            if not have_net:
+                raise SpefParseError("*END without *D_NET")
+            nets.append(current)
+            have_net = False
+        elif section == "cap":
+            if len(tokens) == 3:
+                current.ground_caps[tokens[1]] = float(tokens[2]) * FEMTO
+            elif len(tokens) == 4:
+                key = (tokens[1], tokens[2])
+                current.coupling_caps[key] = float(tokens[3]) * FEMTO
+            else:
+                raise SpefParseError(f"malformed cap line: {line!r}")
+        elif section == "res":
+            if len(tokens) != 4:
+                raise SpefParseError(f"malformed res line: {line!r}")
+            current.resistors.append(
+                (tokens[1], tokens[2], float(tokens[3])))
+        else:
+            raise SpefParseError(f"unexpected SPEF line: {line!r}")
+    if have_net:
+        raise SpefParseError("unterminated *D_NET section")
+    return SpefFile(design=design, nets=nets)
+
+
+def line_to_spef(line, segments_per_wire: int = 8) -> SpefFile:
+    """Export an :class:`~repro.signoff.extraction.ExtractedLine`.
+
+    Each stage's wire becomes one net, discretized into
+    ``segments_per_wire`` RC sections; coupling capacitance is recorded
+    against the (symbolic) neighbour nets ``<net>_aggr``.
+    """
+    spef = SpefFile(design=f"line_{line.tech.name}")
+    for stage_index, stage in enumerate(line.stages):
+        wire = stage.wire
+        net = SpefNet(
+            name=f"seg{stage_index}",
+            total_cap=wire.ground_cap + wire.coupling_cap,
+        )
+        n = segments_per_wire
+        r_step = wire.resistance / n
+        cg_step = wire.ground_cap / n
+        cc_step = wire.coupling_cap / n
+        for k in range(1, n + 1):
+            node = f"seg{stage_index}:{k}"
+            net.ground_caps[node] = cg_step
+            net.coupling_caps[(node, f"seg{stage_index}_aggr:{k}")] = cc_step
+            previous = (f"seg{stage_index}:{k - 1}" if k > 1
+                        else f"seg{stage_index}:in")
+            net.resistors.append((previous, node, r_step))
+        spef.nets.append(net)
+    return spef
+
+
+#: Unit constants exposed for tests (values written by dumps_spef).
+SPEF_TIME_UNIT = PICO
+SPEF_CAP_UNIT = FEMTO

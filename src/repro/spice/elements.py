@@ -1,0 +1,108 @@
+"""Linear circuit elements and independent sources.
+
+Nodes are referred to by integer index; index ``-1`` is ground.  The
+:class:`~repro.spice.netlist.Circuit` container hands out indices for
+named nodes, so user code normally never touches raw indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: Node index reserved for ground.
+GROUND = -1
+
+WaveformFunction = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """Ideal resistor between two nodes."""
+
+    node_a: int
+    node_b: int
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise ValueError("resistance must be positive")
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """Ideal capacitor between two nodes (node_b may be ground)."""
+
+    node_a: int
+    node_b: int
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise ValueError("capacitance must be non-negative")
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """Independent current source injecting into ``node`` (from ground)."""
+
+    node: int
+    current: WaveformFunction
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """Grounded ideal voltage source driving ``node``.
+
+    Only grounded sources are supported: they model input drivers and
+    supply rails, which is all the characterization and sign-off
+    circuits need.  A driven node's voltage is a known function of time,
+    so it is eliminated from the MNA unknowns rather than handled with a
+    branch-current row — smaller, better-conditioned systems.
+    """
+
+    node: int
+    voltage: WaveformFunction
+
+
+def step(level: float, at: float = 0.0, initial: float = 0.0
+         ) -> WaveformFunction:
+    """Ideal step from ``initial`` to ``level`` at time ``at``."""
+    def waveform(t: float) -> float:
+        return level if t >= at else initial
+    return waveform
+
+
+def ramp(v_start: float, v_end: float, t_start: float,
+         transition: float) -> WaveformFunction:
+    """Linear ramp from ``v_start`` to ``v_end``.
+
+    The ramp begins at ``t_start`` and completes after ``transition``
+    seconds.  A ``transition`` of zero degenerates to a step.  This is
+    the canonical "input slew" excitation: a ramp with transition time
+    ``T`` has a measured full-swing slew of exactly ``T`` under the
+    20–80% slew definition used throughout the library.
+    """
+    if transition < 0:
+        raise ValueError("transition must be non-negative")
+
+    def waveform(t: float) -> float:
+        if t <= t_start:
+            return v_start
+        if transition == 0.0 or t >= t_start + transition:
+            return v_end
+        fraction = (t - t_start) / transition
+        return v_start + fraction * (v_end - v_start)
+
+    return waveform
+
+
+def constant(level: float) -> WaveformFunction:
+    """Constant source (supply rails)."""
+    def waveform(_t: float) -> float:
+        return level
+    return waveform

@@ -1,0 +1,198 @@
+"""Alpha-power-law MOSFET model with a smooth subthreshold transition.
+
+The alpha-power law (Sakurai–Newton) captures velocity saturation — the
+dominant short-channel effect for delay — which is why digital-delay
+literature, including the gate models the paper builds on, uses it for
+hand analysis.  Two practical refinements make it usable inside a Newton
+solver and for leakage characterization:
+
+* The gate overdrive goes through a softplus interpolation
+  ``v_eff = s * ln(1 + exp((v_gs - vth) / s))`` so the current is smooth
+  (C-infinity) through the threshold and decays exponentially below it —
+  the same interpolation idea as the EKV model.  The smoothing parameter
+  ``s`` is solved per device flavour such that the off-current at
+  ``v_gs = 0, v_ds = vdd`` equals the technology's specified subthreshold
+  leakage, making DC leakage characterization consistent by construction.
+* Channel-length modulation adds a finite output conductance in
+  saturation, and the linear region is the standard smooth quadratic.
+
+Terminal convention: :meth:`Mosfet.evaluate` takes physical terminal
+voltages and returns the physical drain current (negative for a
+conducting pMOS in the nMOS sign convention) plus analytic derivatives
+for the Newton companion model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from scipy.optimize import brentq
+
+from repro.tech.parameters import DeviceParameters
+
+
+@dataclass(frozen=True)
+class MosfetOperatingPoint:
+    """Drain current and small-signal derivatives at one bias point.
+
+    ``ids`` is the drain-to-source current (A); ``gm = d ids / d vgs``
+    and ``gds = d ids / d vds`` are what the Newton solver stamps.
+    """
+
+    ids: float
+    gm: float
+    gds: float
+
+
+# Cache of solved softplus smoothing parameters, keyed by the frozen
+# DeviceParameters instance (hashable) and the reference vdd.
+_SMOOTHING_CACHE: Dict[Tuple[DeviceParameters, float], float] = {}
+
+#: Search interval for the smoothing parameter, in volts.
+_SMOOTHING_RANGE = (0.005, 0.5)
+
+
+def _softplus(x: float, s: float) -> float:
+    """Numerically safe ``s * ln(1 + exp(x / s))``."""
+    ratio = x / s
+    if ratio > 40.0:
+        return x
+    if ratio < -40.0:
+        return s * math.exp(ratio)
+    return s * math.log1p(math.exp(ratio))
+
+
+def _sigmoid(x: float, s: float) -> float:
+    """Derivative of :func:`_softplus` with respect to ``x``."""
+    ratio = x / s
+    if ratio > 40.0:
+        return 1.0
+    if ratio < -40.0:
+        return math.exp(ratio)
+    return 1.0 / (1.0 + math.exp(-ratio))
+
+
+def subthreshold_smoothing(parameters: DeviceParameters,
+                           reference_vdd: float) -> float:
+    """Smoothing parameter ``s`` (volts) matching the specified leakage.
+
+    Solves ``k_sat * v_eff(0)**alpha = i_leak`` where
+    ``v_eff(0) = softplus(-vth, s)`` is the effective overdrive of an
+    off device.  The solution is cached per (flavour, vdd).
+    """
+    key = (parameters, reference_vdd)
+    cached = _SMOOTHING_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    target = parameters.i_leak / parameters.k_sat
+
+    def objective(s: float) -> float:
+        v_eff = _softplus(-parameters.vth, s)
+        v_dsat = parameters.k_lin * v_eff**(parameters.alpha / 2.0)
+        clm = 1.0 + parameters.channel_length_modulation * max(
+            reference_vdd - v_dsat, 0.0)
+        return v_eff**parameters.alpha * clm - target
+
+    low, high = _SMOOTHING_RANGE
+    if objective(high) < 0:
+        solution = high  # leakage spec higher than the model can reach
+    elif objective(low) > 0:
+        solution = low   # leakage spec lower than the model can reach
+    else:
+        solution = brentq(objective, low, high, xtol=1e-6)
+    _SMOOTHING_CACHE[key] = solution
+    return solution
+
+
+@dataclass(frozen=True)
+class Mosfet:
+    """A MOSFET instance: node connections, flavour, and width (meters)."""
+
+    drain: int
+    gate: int
+    source: int
+    parameters: DeviceParameters
+    width: float
+    reference_vdd: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+
+    # -- capacitances ----------------------------------------------------
+
+    @property
+    def gate_capacitance(self) -> float:
+        """Total gate capacitance in farads."""
+        return self.parameters.c_gate * self.width
+
+    @property
+    def drain_capacitance(self) -> float:
+        """Drain diffusion capacitance in farads."""
+        return self.parameters.c_drain * self.width
+
+    # -- current ----------------------------------------------------------
+
+    def evaluate(self, v_gs: float, v_ds: float) -> MosfetOperatingPoint:
+        """Drain current and derivatives at physical terminal voltages."""
+        sign = self.parameters.polarity
+        vgs = sign * v_gs
+        vds = sign * v_ds
+
+        if vds >= 0:
+            ids, gm, gds = self._forward(vgs, vds)
+        else:
+            # Channel conduction is symmetric: swap drain and source.
+            # In the swapped frame vgs' = vgd = vgs - vds, vds' = -vds.
+            ids_s, gm_s, gds_s = self._forward(vgs - vds, -vds)
+            ids = -ids_s
+            gm = -gm_s
+            gds = gm_s + gds_s
+
+        return MosfetOperatingPoint(ids=sign * ids, gm=gm, gds=gds)
+
+    def _forward(self, vgs: float, vds: float
+                 ) -> Tuple[float, float, float]:
+        """Current and derivatives in the nMOS frame with vds >= 0."""
+        p = self.parameters
+        w = self.width
+        s = subthreshold_smoothing(p, self.reference_vdd)
+
+        v_eff = _softplus(vgs - p.vth, s)
+        dv_eff = _sigmoid(vgs - p.vth, s)
+        if v_eff <= 0.0:
+            return 0.0, 0.0, 0.0
+
+        i_sat = p.k_sat * w * v_eff**p.alpha
+        di_sat_dvgs = p.alpha * p.k_sat * w * v_eff**(p.alpha - 1.0) * dv_eff
+        v_dsat = p.k_lin * v_eff**(p.alpha / 2.0)
+        dv_dsat_dvgs = (p.k_lin * (p.alpha / 2.0)
+                        * v_eff**(p.alpha / 2.0 - 1.0) * dv_eff)
+
+        lam = p.channel_length_modulation
+        if vds >= v_dsat:
+            clm = 1.0 + lam * (vds - v_dsat)
+            ids = i_sat * clm
+            gds = i_sat * lam
+            gm = di_sat_dvgs * clm - i_sat * lam * dv_dsat_dvgs
+        else:
+            x = vds / v_dsat
+            shape = (2.0 - x) * x
+            ids = i_sat * shape
+            gds = i_sat * (2.0 - 2.0 * x) / v_dsat
+            dx_dvgs = -vds * dv_dsat_dvgs / (v_dsat * v_dsat)
+            dshape_dvgs = (2.0 - 2.0 * x) * dx_dvgs
+            gm = di_sat_dvgs * shape + i_sat * dshape_dvgs
+        return ids, gm, gds
+
+    def leakage_current(self, vdd: float) -> float:
+        """Off-state current magnitude (A) including gate tunneling.
+
+        Evaluated at ``v_gs = 0`` with the full supply across the channel
+        — the bias of the non-conducting device in a static CMOS gate.
+        """
+        point = self.evaluate(0.0, self.parameters.polarity * vdd)
+        return abs(point.ids) + self.parameters.i_gate_leak * self.width

@@ -1,0 +1,178 @@
+"""Circuit container with named nodes.
+
+A :class:`Circuit` owns a registry of named nodes and lists of elements.
+Node names are arbitrary strings; the name ``"0"`` (and the alias
+``"gnd"``) is ground.  Indices are dense integers handed out in
+creation order, which the MNA assembly in
+:mod:`repro.spice.transient` relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.spice.elements import (
+    GROUND,
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    VoltageSource,
+    WaveformFunction,
+    constant,
+)
+from repro.spice.mosfet import Mosfet
+from repro.tech.parameters import DeviceParameters
+
+#: Names that refer to the ground node.
+GROUND_NAMES = frozenset({"0", "gnd", "GND", "vss", "VSS"})
+
+
+class Circuit:
+    """A flat netlist of linear elements, sources and MOSFETs."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._node_index: Dict[str, int] = {}
+        self._node_names: List[str] = []
+        self.resistors: List[Resistor] = []
+        self.capacitors: List[Capacitor] = []
+        self.current_sources: List[CurrentSource] = []
+        self.voltage_sources: List[VoltageSource] = []
+        self.mosfets: List[Mosfet] = []
+
+    # -- nodes -----------------------------------------------------------
+
+    def node(self, name: str) -> int:
+        """Index of the named node, creating it on first use."""
+        if name in GROUND_NAMES:
+            return GROUND
+        index = self._node_index.get(name)
+        if index is None:
+            index = len(self._node_names)
+            self._node_index[name] = index
+            self._node_names.append(name)
+        return index
+
+    @property
+    def node_count(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self._node_names)
+
+    def node_name(self, index: int) -> str:
+        """Name of the node at ``index`` (``"0"`` for ground)."""
+        if index == GROUND:
+            return "0"
+        return self._node_names[index]
+
+    def node_names(self) -> List[str]:
+        """All non-ground node names in index order."""
+        return list(self._node_names)
+
+    def has_node(self, name: str) -> bool:
+        return name in GROUND_NAMES or name in self._node_index
+
+    # -- elements ----------------------------------------------------------
+
+    def add_resistor(self, node_a: str, node_b: str,
+                     resistance: float) -> Resistor:
+        """Resistor between two named nodes (ohms)."""
+        element = Resistor(self.node(node_a), self.node(node_b), resistance)
+        self.resistors.append(element)
+        return element
+
+    def add_capacitor(self, node_a: str, node_b: str,
+                      capacitance: float) -> Capacitor:
+        """Capacitor between two named nodes (farads)."""
+        element = Capacitor(self.node(node_a), self.node(node_b),
+                            capacitance)
+        self.capacitors.append(element)
+        return element
+
+    def add_current_source(self, node: str,
+                           current: WaveformFunction) -> CurrentSource:
+        """Current source injecting ``current(t)`` amperes into ``node``."""
+        element = CurrentSource(self.node(node), current)
+        self.current_sources.append(element)
+        return element
+
+    def add_voltage_source(self, node: str,
+                           voltage: WaveformFunction) -> VoltageSource:
+        """Grounded voltage source driving ``node`` to ``voltage(t)``."""
+        index = self.node(node)
+        if index == GROUND:
+            raise ValueError("cannot drive the ground node")
+        if any(source.node == index for source in self.voltage_sources):
+            raise ValueError(f"node {node!r} already has a voltage source")
+        element = VoltageSource(index, voltage)
+        self.voltage_sources.append(element)
+        return element
+
+    def add_supply(self, node: str, voltage: float) -> VoltageSource:
+        """Constant supply rail."""
+        return self.add_voltage_source(node, constant(voltage))
+
+    def add_mosfet(self, drain: str, gate: str, source: str,
+                   parameters: DeviceParameters, width: float,
+                   reference_vdd: float = 1.0) -> Mosfet:
+        """MOSFET with terminals given as node names; width in meters."""
+        element = Mosfet(
+            drain=self.node(drain),
+            gate=self.node(gate),
+            source=self.node(source),
+            parameters=parameters,
+            width=width,
+            reference_vdd=reference_vdd,
+        )
+        self.mosfets.append(element)
+        return element
+
+    # -- composite helpers ---------------------------------------------
+
+    def add_inverter(self, input_node: str, output_node: str,
+                     supply_node: str, nmos: DeviceParameters,
+                     pmos: DeviceParameters, wn: float, wp: float,
+                     vdd: float) -> "tuple[Mosfet, Mosfet]":
+        """A static CMOS inverter between ``input_node`` and
+        ``output_node`` powered from ``supply_node``."""
+        n_device = self.add_mosfet(output_node, input_node, "0",
+                                   nmos, wn, reference_vdd=vdd)
+        p_device = self.add_mosfet(output_node, input_node, supply_node,
+                                   pmos, wp, reference_vdd=vdd)
+        return n_device, p_device
+
+    def add_rc_ladder(self, input_node: str, output_node: str,
+                      total_resistance: float, total_capacitance: float,
+                      segments: int, prefix: Optional[str] = None) -> None:
+        """A distributed RC line as ``segments`` lumped pi-segments.
+
+        Each segment carries R/n series resistance with C/n split half at
+        each end (pi model), which converges to the distributed line as
+        ``segments`` grows.
+        """
+        if segments < 1:
+            raise ValueError("segments must be >= 1")
+        prefix = prefix or f"{input_node}__{output_node}"
+        r_seg = total_resistance / segments
+        c_seg = total_capacitance / segments
+        previous = input_node
+        for index in range(segments):
+            nxt = (output_node if index == segments - 1
+                   else f"{prefix}__n{index + 1}")
+            self.add_capacitor(previous, "0", 0.5 * c_seg)
+            self.add_resistor(previous, nxt, r_seg)
+            self.add_capacitor(nxt, "0", 0.5 * c_seg)
+            previous = nxt
+
+    # -- introspection ---------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line element census for debugging."""
+        return (f"{self.name}: {self.node_count} nodes, "
+                f"{len(self.resistors)}R {len(self.capacitors)}C "
+                f"{len(self.mosfets)}M {len(self.voltage_sources)}V "
+                f"{len(self.current_sources)}I")
+
+    def driven_nodes(self) -> Dict[int, Callable[[float], float]]:
+        """Mapping node index -> voltage waveform for driven nodes."""
+        return {source.node: source.voltage
+                for source in self.voltage_sources}

@@ -1,0 +1,147 @@
+"""Waveform measurements: threshold crossings, delay, slew.
+
+Definitions used throughout the library (and stated here once):
+
+* **Delay** between two waveforms is measured at the 50% points of their
+  respective swings.
+* **Slew** (transition time) is the 20%–80% crossing interval scaled by
+  1/0.6 to a full-swing equivalent.  With this definition an ideal
+  linear ramp of duration ``T`` measures a slew of exactly ``T``, so
+  "input slew" values fed to ramp sources and slews measured from
+  simulation share one scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Lower/upper measurement thresholds for slew, as swing fractions.
+SLEW_LOW = 0.2
+SLEW_HIGH = 0.8
+
+#: Full-swing scale factor matching the 20-80 window.
+SLEW_SCALE = 1.0 / (SLEW_HIGH - SLEW_LOW)
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """A sampled voltage waveform with measurement helpers."""
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.values):
+            raise ValueError("times and values must have equal length")
+        if len(self.times) < 2:
+            raise ValueError("waveform needs at least two samples")
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def initial(self) -> float:
+        return float(self.values[0])
+
+    @property
+    def final(self) -> float:
+        return float(self.values[-1])
+
+    @property
+    def rising(self) -> bool:
+        """True when the net excursion is upward."""
+        return self.final > self.initial
+
+    def swing(self) -> float:
+        """Signed net excursion (final minus initial value)."""
+        return self.final - self.initial
+
+    # -- crossings -----------------------------------------------------------
+
+    def crossing_time(self, level: float,
+                      rising: Optional[bool] = None) -> float:
+        """Time of the first crossing of ``level``.
+
+        ``rising`` restricts the crossing direction; by default the
+        waveform's net direction is used.  Linear interpolation between
+        samples.  Raises ``ValueError`` when the level is never crossed.
+        """
+        if rising is None:
+            rising = self.rising
+        v = self.values
+        if rising:
+            below = v[:-1] < level
+            above = v[1:] >= level
+            hits = np.nonzero(below & above)[0]
+        else:
+            above_now = v[:-1] > level
+            below_next = v[1:] <= level
+            hits = np.nonzero(above_now & below_next)[0]
+        if hits.size == 0:
+            direction = "rising" if rising else "falling"
+            raise ValueError(
+                f"waveform never crosses {level:.4g} V {direction} "
+                f"(range {v.min():.4g}..{v.max():.4g} V)")
+        i = int(hits[0])
+        v0, v1 = float(v[i]), float(v[i + 1])
+        t0, t1 = float(self.times[i]), float(self.times[i + 1])
+        if v1 == v0:
+            return t0
+        return t0 + (level - v0) * (t1 - t0) / (v1 - v0)
+
+    def fraction_crossing(self, fraction: float,
+                          v_low: float, v_high: float,
+                          rising: Optional[bool] = None) -> float:
+        """Crossing time of ``v_low + fraction * (v_high - v_low)``."""
+        level = v_low + fraction * (v_high - v_low)
+        return self.crossing_time(level, rising)
+
+    # -- measurements ---------------------------------------------------------
+
+    def slew(self, v_low: float, v_high: float,
+             rising: Optional[bool] = None) -> float:
+        """Full-swing-equivalent transition time (seconds).
+
+        Measured between the 20% and 80% points of the ``v_low``..
+        ``v_high`` swing and scaled by 1/0.6.
+        """
+        if rising is None:
+            rising = self.rising
+        first = SLEW_LOW if rising else SLEW_HIGH
+        second = SLEW_HIGH if rising else SLEW_LOW
+        t_first = self.fraction_crossing(first, v_low, v_high, rising)
+        t_second = self.fraction_crossing(second, v_low, v_high, rising)
+        return (t_second - t_first) * SLEW_SCALE
+
+    def midpoint_time(self, v_low: float, v_high: float,
+                      rising: Optional[bool] = None) -> float:
+        """Time of the 50% crossing of the ``v_low``..``v_high`` swing."""
+        return self.fraction_crossing(0.5, v_low, v_high, rising)
+
+    def settled(self, target: float, tolerance: float) -> bool:
+        """True when the final sample is within ``tolerance`` of
+        ``target``."""
+        return abs(self.final - target) <= tolerance
+
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated value at time ``t``."""
+        return float(np.interp(t, self.times, self.values))
+
+
+def measure_delay(input_wave: Waveform, output_wave: Waveform,
+                  v_low: float, v_high: float) -> float:
+    """50%-to-50% propagation delay from input to output (seconds).
+
+    The output may rise or fall independently of the input (an inverter
+    inverts); each waveform's own direction is used for its crossing.
+    """
+    t_in = input_wave.midpoint_time(v_low, v_high)
+    t_out = output_wave.midpoint_time(v_low, v_high)
+    return t_out - t_in
+
+
+def measure_slew(wave: Waveform, v_low: float, v_high: float) -> float:
+    """Full-swing-equivalent slew of a waveform (seconds)."""
+    return wave.slew(v_low, v_high)

@@ -1,0 +1,138 @@
+"""Process/voltage corners.
+
+The paper motivates accurate early models by the need to "reduce design
+guard band" — the margin added because early estimates are taken at a
+single typical point.  This module provides the corner machinery that
+quantifies such guard bands: derated views of a technology node
+(slow/typical/fast process, low/high supply) produced by consistent
+parameter shifts, so any model or experiment in the library can be
+re-run across corners.
+
+Derating rules (standard practice):
+
+* **Process**: drive strength (``k_sat``) and threshold move together —
+  a slow corner has weaker drive and higher ``vth``; leakage moves the
+  opposite way (slow process leaks less).
+* **Voltage**: the supply shifts by a percentage; device parameters are
+  untouched (their bias dependence is in the model equations).
+* **Wires**: metal thickness and width vary with process, moving
+  resistance against capacitance (thicker metal: less R, more lateral C).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.tech.parameters import (
+    DeviceParameters,
+    TechnologyParameters,
+    WireLayerGeometry,
+)
+
+
+class ProcessCorner(enum.Enum):
+    """Named process/voltage corner."""
+
+    SLOW = "ss"
+    TYPICAL = "tt"
+    FAST = "ff"
+
+
+@dataclass(frozen=True)
+class CornerDerating:
+    """Multiplicative shifts applied to build one corner.
+
+    Fractions are signed: ``drive_shift = -0.1`` weakens drive by 10%.
+    """
+
+    drive_shift: float
+    vth_shift: float
+    leakage_shift: float
+    vdd_shift: float
+    metal_thickness_shift: float
+
+    def scale(self, value: float, shift: float) -> float:
+        return value * (1.0 + shift)
+
+
+#: Standard three-corner set: ±10% drive, ∓5% vth, ±10% supply
+#: (worst-case low voltage at the slow corner), ±8% metal.
+STANDARD_CORNERS: Dict[ProcessCorner, CornerDerating] = {
+    ProcessCorner.SLOW: CornerDerating(
+        drive_shift=-0.10, vth_shift=+0.05, leakage_shift=-0.40,
+        vdd_shift=-0.10, metal_thickness_shift=-0.08),
+    ProcessCorner.TYPICAL: CornerDerating(
+        drive_shift=0.0, vth_shift=0.0, leakage_shift=0.0,
+        vdd_shift=0.0, metal_thickness_shift=0.0),
+    ProcessCorner.FAST: CornerDerating(
+        drive_shift=+0.10, vth_shift=-0.05, leakage_shift=+0.80,
+        vdd_shift=+0.10, metal_thickness_shift=+0.08),
+}
+
+
+def _derate_device(device: DeviceParameters,
+                   derating: CornerDerating) -> DeviceParameters:
+    return dataclasses.replace(
+        device,
+        k_sat=derating.scale(device.k_sat, derating.drive_shift),
+        vth=derating.scale(device.vth, derating.vth_shift),
+        i_leak=derating.scale(device.i_leak, derating.leakage_shift),
+        i_gate_leak=derating.scale(device.i_gate_leak,
+                                   derating.leakage_shift),
+    )
+
+
+def _derate_layer(layer: WireLayerGeometry,
+                  derating: CornerDerating) -> WireLayerGeometry:
+    return dataclasses.replace(
+        layer,
+        thickness=derating.scale(layer.thickness,
+                                 derating.metal_thickness_shift),
+    )
+
+
+def apply_corner(
+    tech: TechnologyParameters,
+    corner: ProcessCorner,
+    deratings: "Dict[ProcessCorner, CornerDerating] | None" = None,
+) -> TechnologyParameters:
+    """A corner view of a technology node.
+
+    The typical corner returns parameters equal to the input (with a
+    corner-suffixed name), so corner sweeps can treat all three
+    uniformly.
+    """
+    if deratings is None:
+        deratings = STANDARD_CORNERS
+    derating = deratings[corner]
+    return dataclasses.replace(
+        tech,
+        name=f"{tech.name}-{corner.value}",
+        vdd=derating.scale(tech.vdd, derating.vdd_shift),
+        nmos=_derate_device(tech.nmos, derating),
+        pmos=_derate_device(tech.pmos, derating),
+        wire_layers={name: _derate_layer(layer, derating)
+                     for name, layer in tech.wire_layers.items()},
+    )
+
+
+def corner_sweep(tech: TechnologyParameters
+                 ) -> Dict[ProcessCorner, TechnologyParameters]:
+    """All three standard corner views of a node."""
+    return {corner: apply_corner(tech, corner)
+            for corner in ProcessCorner}
+
+
+def guard_band(slow_value: float, typical_value: float) -> float:
+    """Fractional margin a designer must add over the typical estimate.
+
+    The quantity the paper's accurate-models argument is about: with a
+    coarse model you budget for the worst corner blindly; with accurate
+    per-corner estimates the guard band is measured, not guessed.
+    """
+    if typical_value <= 0:
+        raise ValueError("typical_value must be positive")
+    return slow_value / typical_value - 1.0

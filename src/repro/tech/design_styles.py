@@ -1,0 +1,150 @@
+"""Wire design styles.
+
+The paper evaluates two global-wiring design styles (Table II):
+
+* ``SWSS`` — single width, single spacing: minimum-pitch bus wires whose
+  neighbours are other switching signals.  Worst-case neighbour switching
+  amplifies the lateral capacitance by a Miller factor close to 2.
+* ``SHIELDED`` — a grounded shield wire is inserted between every pair of
+  signal wires.  The lateral capacitance still exists but never switches,
+  so the Miller factor is exactly 1 and the delay is deterministic; the
+  price is roughly double the routing area.
+
+Section III-D additionally uses *staggered* repeater insertion, which
+cancels the coupling term in the delay equation (Miller factor 0 for
+delay) while the switched power is unchanged; that is modelled by
+:class:`WireConfiguration.staggered`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.tech.capacitance import wire_capacitances
+from repro.tech.parameters import WireLayerGeometry
+from repro.tech.resistivity import wire_resistance_per_meter
+
+
+class DesignStyle(enum.Enum):
+    """Global-wiring design style."""
+
+    SWSS = "swss"
+    SHIELDED = "shielded"
+    DOUBLE_SPACING = "double-spacing"
+
+    @property
+    def description(self) -> str:
+        return {
+            DesignStyle.SWSS: "single width, single spacing",
+            DesignStyle.SHIELDED: "grounded shields between signals",
+            DesignStyle.DOUBLE_SPACING: "doubled inter-signal spacing",
+        }[self]
+
+
+#: Worst-case Miller amplification of the lateral capacitance when both
+#: neighbours switch in the opposite direction during the victim's
+#: transition window.  The classic bound is 2; switching-window overlap
+#: makes the effective value slightly smaller.
+WORST_CASE_MILLER = 1.9
+
+
+@dataclass(frozen=True)
+class WireConfiguration:
+    """A wire layer combined with a design style and a switching assumption.
+
+    This is the object the wire-delay/power models consume: it exposes the
+    per-meter resistance and the ground/coupling capacitances *after* the
+    design style has been applied, plus the Miller factors for delay and
+    for switched power.
+    """
+
+    layer: WireLayerGeometry
+    style: DesignStyle = DesignStyle.SWSS
+    delay_miller: float = WORST_CASE_MILLER
+    power_miller: float = 1.0
+    include_scattering: bool = True
+    include_barrier: bool = True
+
+    @classmethod
+    def for_style(
+        cls,
+        layer: WireLayerGeometry,
+        style: DesignStyle,
+        include_scattering: bool = True,
+        include_barrier: bool = True,
+    ) -> "WireConfiguration":
+        """Build the standard configuration for a design style."""
+        if style is DesignStyle.SWSS:
+            effective_layer = layer
+            delay_miller = WORST_CASE_MILLER
+        elif style is DesignStyle.SHIELDED:
+            # Shields are static: lateral capacitance counts once, always.
+            effective_layer = layer
+            delay_miller = 1.0
+        elif style is DesignStyle.DOUBLE_SPACING:
+            effective_layer = layer.scaled(spacing_multiple=2.0)
+            delay_miller = WORST_CASE_MILLER
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown design style {style}")
+        return cls(
+            layer=effective_layer,
+            style=style,
+            delay_miller=delay_miller,
+            power_miller=1.0,
+            include_scattering=include_scattering,
+            include_barrier=include_barrier,
+        )
+
+    # -- derived electricals -------------------------------------------
+
+    def resistance_per_meter(self) -> float:
+        """Wire resistance in ohm/m (with the configured resistivity
+        corrections)."""
+        return wire_resistance_per_meter(
+            self.layer,
+            include_scattering=self.include_scattering,
+            include_barrier=self.include_barrier,
+        )
+
+    def ground_capacitance_per_meter(self) -> float:
+        """Ground capacitance ``c_g`` in F/m (both planes)."""
+        ground, _ = wire_capacitances(self.layer)
+        return ground
+
+    def coupling_capacitance_per_meter(self) -> float:
+        """Total lateral capacitance ``c_c`` in F/m (both neighbours)."""
+        _, coupling = wire_capacitances(self.layer)
+        return coupling
+
+    def switched_capacitance_per_meter(self) -> float:
+        """Capacitance per meter charged by the driver each transition."""
+        return (self.ground_capacitance_per_meter()
+                + self.power_miller * self.coupling_capacitance_per_meter())
+
+    def signal_pitch(self) -> float:
+        """Routing pitch consumed per signal bit, in meters.
+
+        Shielding interleaves one shield track per signal track, doubling
+        the consumed pitch.
+        """
+        pitch = self.layer.pitch
+        if self.style is DesignStyle.SHIELDED:
+            return 2.0 * pitch
+        return pitch
+
+    def staggered(self) -> "WireConfiguration":
+        """The same wires with staggered repeater insertion.
+
+        Staggering aligns neighbouring transitions so the coupling term
+        drops out of the *delay* equation (Miller factor 0) while the
+        switched capacitance for power is unchanged.
+        """
+        return WireConfiguration(
+            layer=self.layer,
+            style=self.style,
+            delay_miller=0.0,
+            power_miller=self.power_miller,
+            include_scattering=self.include_scattering,
+            include_barrier=self.include_barrier,
+        )

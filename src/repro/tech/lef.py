@@ -1,0 +1,199 @@
+"""Mini-LEF: reader/writer for the LEF subset used by the wire models.
+
+LEF (Library Exchange Format) files carry the routing-layer geometry the
+paper's wire models need: width, spacing, pitch and thickness per layer,
+plus the standard-cell site (row height) used by the predictive area
+model.  This module round-trips that subset:
+
+.. code-block:: text
+
+    VERSION 5.7 ;
+    SITE core
+      SIZE 0.28 BY 2.8 ;
+    END core
+    LAYER global
+      TYPE ROUTING ;
+      WIDTH 0.4 ;
+      SPACING 0.4 ;
+      THICKNESS 0.85 ;
+      HEIGHT 0.65 ;
+      DIELECTRIC 3.3 ;
+      BARRIER 0.012 ;
+    END global
+    END LIBRARY
+
+Dimensions in LEF are microns; conversion to/from the SI-unit
+:class:`~repro.tech.parameters.WireLayerGeometry` happens here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.tech.parameters import TechnologyParameters, WireLayerGeometry
+from repro.units import to_um, um
+
+
+@dataclass
+class LefSite:
+    """A standard-cell placement site (width x height, microns)."""
+
+    name: str
+    width_um: float
+    height_um: float
+
+
+@dataclass
+class LefLibrary:
+    """Parsed contents of a mini-LEF file."""
+
+    version: str = "5.7"
+    sites: Dict[str, LefSite] = field(default_factory=dict)
+    layers: Dict[str, WireLayerGeometry] = field(default_factory=dict)
+
+    def routing_layer(self, name: str) -> WireLayerGeometry:
+        try:
+            return self.layers[name]
+        except KeyError:
+            known = ", ".join(sorted(self.layers))
+            raise KeyError(f"no layer {name!r}; known layers: {known}")
+
+
+class LefParseError(ValueError):
+    """Raised when LEF text does not match the supported subset."""
+
+
+def dumps(library: LefLibrary) -> str:
+    """Serialize a :class:`LefLibrary` to mini-LEF text."""
+    lines = [f"VERSION {library.version} ;"]
+    for site in library.sites.values():
+        lines.append(f"SITE {site.name}")
+        lines.append(f"  SIZE {site.width_um:.6g} BY {site.height_um:.6g} ;")
+        lines.append(f"END {site.name}")
+    for layer in library.layers.values():
+        lines.append(f"LAYER {layer.name}")
+        lines.append("  TYPE ROUTING ;")
+        lines.append(f"  WIDTH {to_um(layer.width):.6g} ;")
+        lines.append(f"  SPACING {to_um(layer.spacing):.6g} ;")
+        lines.append(f"  THICKNESS {to_um(layer.thickness):.6g} ;")
+        lines.append(f"  HEIGHT {to_um(layer.ild_thickness):.6g} ;")
+        lines.append(f"  DIELECTRIC {layer.dielectric_constant:.6g} ;")
+        lines.append(f"  BARRIER {to_um(layer.barrier_thickness):.6g} ;")
+        lines.append(f"END {layer.name}")
+    lines.append("END LIBRARY")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> LefLibrary:
+    """Parse mini-LEF text into a :class:`LefLibrary`."""
+    library = LefLibrary()
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        tokens = line.replace(";", " ").split()
+        if not tokens:
+            index += 1
+            continue
+        keyword = tokens[0].upper()
+        if keyword == "VERSION":
+            library.version = tokens[1]
+            index += 1
+        elif keyword == "SITE":
+            index = _parse_site(lines, index, library)
+        elif keyword == "LAYER":
+            index = _parse_layer(lines, index, library)
+        elif keyword == "END":
+            index += 1
+        else:
+            raise LefParseError(f"unsupported LEF statement: {line!r}")
+    return library
+
+
+def _parse_site(lines: List[str], index: int, library: LefLibrary) -> int:
+    name = lines[index].split()[1]
+    index += 1
+    width = height = None
+    while index < len(lines):
+        tokens = lines[index].replace(";", " ").split()
+        if tokens[0].upper() == "END":
+            index += 1
+            break
+        if tokens[0].upper() == "SIZE":
+            width = float(tokens[1])
+            if tokens[2].upper() != "BY":
+                raise LefParseError(f"malformed SIZE line: {lines[index]!r}")
+            height = float(tokens[3])
+        index += 1
+    if width is None or height is None:
+        raise LefParseError(f"site {name!r} is missing a SIZE statement")
+    library.sites[name] = LefSite(name=name, width_um=width,
+                                  height_um=height)
+    return index
+
+
+_LAYER_KEYS = {"WIDTH", "SPACING", "THICKNESS", "HEIGHT", "DIELECTRIC",
+               "BARRIER"}
+
+
+def _parse_layer(lines: List[str], index: int, library: LefLibrary) -> int:
+    name = lines[index].split()[1]
+    index += 1
+    values: Dict[str, float] = {}
+    while index < len(lines):
+        tokens = lines[index].replace(";", " ").split()
+        keyword = tokens[0].upper()
+        if keyword == "END":
+            index += 1
+            break
+        if keyword == "TYPE":
+            if tokens[1].upper() != "ROUTING":
+                raise LefParseError(
+                    f"layer {name!r}: only ROUTING layers are supported")
+        elif keyword in _LAYER_KEYS:
+            values[keyword] = float(tokens[1])
+        else:
+            raise LefParseError(
+                f"layer {name!r}: unsupported statement {lines[index]!r}")
+        index += 1
+    missing = _LAYER_KEYS - set(values)
+    if missing:
+        raise LefParseError(
+            f"layer {name!r} is missing: {', '.join(sorted(missing))}")
+    library.layers[name] = WireLayerGeometry(
+        name=name,
+        width=um(values["WIDTH"]),
+        spacing=um(values["SPACING"]),
+        thickness=um(values["THICKNESS"]),
+        ild_thickness=um(values["HEIGHT"]),
+        dielectric_constant=values["DIELECTRIC"],
+        barrier_thickness=um(values["BARRIER"]),
+    )
+    return index
+
+
+def from_technology(tech: TechnologyParameters) -> LefLibrary:
+    """Export a technology node's wire stack and cell site as mini-LEF."""
+    library = LefLibrary()
+    library.sites["core"] = LefSite(
+        name="core",
+        width_um=to_um(tech.contact_pitch),
+        height_um=to_um(tech.row_height),
+    )
+    library.layers = dict(tech.wire_layers)
+    return library
+
+
+def roundtrip(library: LefLibrary) -> LefLibrary:
+    """Serialize then reparse (used by tests to verify losslessness)."""
+    return loads(dumps(library))
+
+
+def site_dimensions(library: LefLibrary,
+                    name: str = "core") -> Tuple[float, float]:
+    """(contact pitch, row height) in meters from a parsed site."""
+    site: Optional[LefSite] = library.sites.get(name)
+    if site is None:
+        raise KeyError(f"no site {name!r} in LEF library")
+    return um(site.width_um), um(site.height_um)

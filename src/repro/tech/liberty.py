@@ -1,0 +1,301 @@
+"""Mini-Liberty: a small reader/writer for the Liberty (.lib) subset we use.
+
+Section III-E of the paper derives its models from "Liberty library files
+or SPICE simulations".  This module implements the Liberty building
+blocks required for that flow: hierarchical groups, simple attributes,
+and ``values(...)`` complex attributes (NLDM lookup tables), with a
+round-trippable serializer.  The characterization harness exports its
+tables as Liberty text and the calibration pipeline can read them back,
+mirroring the paper's library-driven path.
+
+The grammar subset:
+
+.. code-block:: text
+
+    group_name (arg1, arg2) {
+        simple_attribute : value;
+        complex_attribute ("1, 2", "3, 4");
+        nested_group (name) { ... }
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+AttributeValue = Union[str, float, int, bool]
+
+
+@dataclass
+class LibertyGroup:
+    """One Liberty group: ``kind (args) { attributes; subgroups }``."""
+
+    kind: str
+    args: Tuple[str, ...] = ()
+    attributes: Dict[str, AttributeValue] = field(default_factory=dict)
+    complex_attributes: Dict[str, Tuple[str, ...]] = field(
+        default_factory=dict)
+    groups: List["LibertyGroup"] = field(default_factory=list)
+
+    # -- navigation ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """First group argument (the conventional group name)."""
+        return self.args[0] if self.args else ""
+
+    def find(self, kind: str, name: Optional[str] = None
+             ) -> Optional["LibertyGroup"]:
+        """First subgroup of ``kind`` (and ``name``, when given)."""
+        for group in self.groups:
+            if group.kind == kind and (name is None or group.name == name):
+                return group
+        return None
+
+    def find_all(self, kind: str) -> Iterator["LibertyGroup"]:
+        """All direct subgroups of ``kind``."""
+        return (group for group in self.groups if group.kind == kind)
+
+    def require(self, kind: str, name: Optional[str] = None
+                ) -> "LibertyGroup":
+        """Like :meth:`find` but raises when the subgroup is missing."""
+        group = self.find(kind, name)
+        if group is None:
+            label = kind if name is None else f"{kind}({name})"
+            raise KeyError(f"group {self.kind}({self.name}) has no {label}")
+        return group
+
+    def add_group(self, kind: str, *args: str) -> "LibertyGroup":
+        """Append and return a new subgroup."""
+        group = LibertyGroup(kind=kind, args=tuple(args))
+        self.groups.append(group)
+        return group
+
+    # -- NLDM helpers -----------------------------------------------------
+
+    def set_table(self, index_1: Sequence[float], index_2: Sequence[float],
+                  values: Sequence[Sequence[float]]) -> None:
+        """Store a 2-D NLDM table on this group."""
+        self.complex_attributes["index_1"] = (
+            ", ".join(f"{x:.6g}" for x in index_1),)
+        self.complex_attributes["index_2"] = (
+            ", ".join(f"{x:.6g}" for x in index_2),)
+        self.complex_attributes["values"] = tuple(
+            ", ".join(f"{v:.6g}" for v in row) for row in values)
+
+    def get_table(self) -> Tuple[List[float], List[float],
+                                 List[List[float]]]:
+        """Read back a 2-D NLDM table stored with :meth:`set_table`."""
+        def floats(entry: Tuple[str, ...]) -> List[List[float]]:
+            return [[float(token) for token in row.split(",")]
+                    for row in entry]
+
+        index_1 = floats(self.complex_attributes["index_1"])[0]
+        index_2 = floats(self.complex_attributes["index_2"])[0]
+        values = floats(self.complex_attributes["values"])
+        return index_1, index_2, values
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+def _format_value(value: AttributeValue) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        # Quote anything that is not a bare identifier/number.
+        if re.fullmatch(r"[A-Za-z0-9_.\-+]+", value):
+            return value
+        return f'"{value}"'
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def dumps(group: LibertyGroup, indent: int = 0) -> str:
+    """Serialize a group (recursively) to Liberty text."""
+    pad = "    " * indent
+    args = ", ".join(group.args)
+    lines = [f"{pad}{group.kind} ({args}) {{"]
+    for key, value in group.attributes.items():
+        lines.append(f"{pad}    {key} : {_format_value(value)};")
+    for key, rows in group.complex_attributes.items():
+        if len(rows) == 1:
+            lines.append(f'{pad}    {key} ("{rows[0]}");')
+        else:
+            body = ", \\\n".join(f'{pad}        "{row}"' for row in rows)
+            lines.append(f"{pad}    {key} ( \\\n{body});")
+    for sub in group.groups:
+        lines.append(dumps(sub, indent + 1))
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>"(?:[^"\\]|\\.)*")       # quoted string
+    | (?P<punct>[(){};:,])               # punctuation
+    | (?P<word>[^\s(){};:,"]+)           # bare word
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    # Strip comments and line continuations first.
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    text = re.sub(r"//[^\n]*", " ", text)
+    text = text.replace("\\\n", " ")
+    tokens = []
+    for match in _TOKEN_RE.finditer(text):
+        token = match.group(0)
+        if token.startswith('"'):
+            token = token[1:-1]
+            tokens.append(("string", token))
+        elif match.lastgroup == "punct":
+            tokens.append(("punct", token))
+        else:
+            tokens.append(("word", token))
+    return tokens
+
+
+class LibertyParseError(ValueError):
+    """Raised when Liberty text does not match the supported subset."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise LibertyParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _expect(self, text: str) -> None:
+        kind, value = self._next()
+        if value != text:
+            raise LibertyParseError(f"expected {text!r}, got {value!r}")
+
+    def parse_group(self) -> LibertyGroup:
+        _, kind = self._next()
+        self._expect("(")
+        args: List[str] = []
+        while True:
+            token_kind, value = self._next()
+            if value == ")" and token_kind == "punct":
+                break
+            if value == "," and token_kind == "punct":
+                continue
+            args.append(value)
+        self._expect("{")
+        group = LibertyGroup(kind=kind, args=tuple(args))
+        self._parse_body(group)
+        return group
+
+    def _parse_body(self, group: LibertyGroup) -> None:
+        while True:
+            token = self._peek()
+            if token is None:
+                raise LibertyParseError(
+                    f"unterminated group {group.kind}({group.name})")
+            kind, value = token
+            if kind == "punct" and value == "}":
+                self._next()
+                return
+            self._parse_statement(group)
+
+    def _parse_statement(self, group: LibertyGroup) -> None:
+        _, name = self._next()
+        kind, value = self._next()
+        if kind == "punct" and value == ":":
+            self._parse_simple_attribute(group, name)
+        elif kind == "punct" and value == "(":
+            self._parse_parenthesized(group, name)
+        else:
+            raise LibertyParseError(
+                f"unexpected token {value!r} after {name!r}")
+
+    def _parse_simple_attribute(self, group: LibertyGroup,
+                                name: str) -> None:
+        parts: List[str] = []
+        while True:
+            kind, value = self._next()
+            if kind == "punct" and value == ";":
+                break
+            parts.append(value)
+        group.attributes[name] = _coerce(" ".join(parts))
+
+    def _parse_parenthesized(self, group: LibertyGroup, name: str) -> None:
+        entries: List[str] = []
+        while True:
+            kind, value = self._next()
+            if kind == "punct" and value == ")":
+                break
+            if kind == "punct" and value == ",":
+                continue
+            entries.append(value)
+        kind, value = self._next()
+        if kind == "punct" and value == "{":
+            subgroup = LibertyGroup(kind=name, args=tuple(entries))
+            self._parse_body(subgroup)
+            group.groups.append(subgroup)
+        elif kind == "punct" and value == ";":
+            group.complex_attributes[name] = tuple(entries)
+        else:
+            raise LibertyParseError(
+                f"expected '{{' or ';' after {name}(...), got {value!r}")
+
+
+def _coerce(text: str) -> AttributeValue:
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        number = float(text)
+    except ValueError:
+        return text
+    if number.is_integer() and "." not in text and "e" not in text.lower():
+        return int(number)
+    return number
+
+
+def loads(text: str) -> LibertyGroup:
+    """Parse Liberty text into a :class:`LibertyGroup` tree."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise LibertyParseError("empty Liberty input")
+    parser = _Parser(tokens)
+    group = parser.parse_group()
+    if parser._peek() is not None:
+        raise LibertyParseError("trailing tokens after top-level group")
+    return group
+
+
+def new_library(name: str, *, time_unit: str = "1ps",
+                capacitive_load_unit: str = "1fF",
+                voltage: float = 1.0) -> LibertyGroup:
+    """Create an empty library group with the unit declarations we emit."""
+    library = LibertyGroup(kind="library", args=(name,))
+    library.attributes["time_unit"] = time_unit
+    library.attributes["leakage_power_unit"] = "1nW"
+    library.attributes["nom_voltage"] = voltage
+    library.complex_attributes["capacitive_load_unit"] = (
+        tuple(capacitive_load_unit.split()))
+    return library

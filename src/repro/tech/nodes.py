@@ -1,0 +1,147 @@
+"""Built-in technology parameter sets for six nanometer nodes.
+
+The paper calibrates its models against TSMC 90/65-nm, a foundry 45-nm,
+and PTM 32/22/16-nm technologies.  Those industry files cannot be
+redistributed, so this module provides parameter sets assembled from the
+public sources the paper itself recommends for system-level designers
+(ITRS tables and PTM-style predictive device data).  Absolute values are
+representative rather than foundry-exact; every derived trend the paper
+relies on (supply and threshold scaling, the 1.0 V -> 1.1 V supply step
+from 65 nm to 45 nm, shrinking wire cross-sections, growing resistivity
+corrections, growing leakage) is preserved.
+
+Values are given here in engineering units (microns, fF/um, uA/um, GHz)
+for readability and converted to SI on construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.tech.parameters import (
+    DeviceParameters,
+    TechnologyParameters,
+    WireLayerGeometry,
+)
+from repro.units import ghz, nm, um
+
+#: Nominal pMOS/nMOS width ratio used for all repeaters (Section III-E
+#: keeps the P/N ratio constant across sizes).
+DEFAULT_PN_RATIO = 2.0
+
+
+def _k_sat(idsat_ua_per_um: float, vdd: float, vth: float,
+           alpha: float) -> float:
+    """Alpha-power transconductance (A/m) from a target Idsat (uA/um)."""
+    overdrive = vdd - vth
+    if overdrive <= 0:
+        raise ValueError("vdd must exceed vth")
+    idsat_per_meter = idsat_ua_per_um * 1e-6 / 1e-6  # uA/um -> A/m
+    return idsat_per_meter / overdrive**alpha
+
+
+def _device(polarity: int, vdd: float, vth: float, alpha: float,
+            idsat_ua_per_um: float, c_gate_ff_per_um: float,
+            i_leak_na_per_um: float, gate_leak_fraction: float,
+            ) -> DeviceParameters:
+    """Build one device flavour from engineering-unit inputs."""
+    return DeviceParameters(
+        polarity=polarity,
+        vth=vth,
+        alpha=alpha,
+        k_sat=_k_sat(idsat_ua_per_um, vdd, vth, alpha),
+        k_lin=0.45,
+        channel_length_modulation=0.15,
+        c_gate=c_gate_ff_per_um * 1e-15 / 1e-6,
+        c_drain=0.5 * c_gate_ff_per_um * 1e-15 / 1e-6,
+        i_leak=i_leak_na_per_um * 1e-9 / 1e-6,
+        i_gate_leak=gate_leak_fraction * i_leak_na_per_um * 1e-9 / 1e-6,
+    )
+
+
+def _wire_layers(w_um: float, s_um: float, t_um: float, h_um: float,
+                 k: float, barrier_nm: float) -> Dict[str, WireLayerGeometry]:
+    """Global + intermediate wire layers from global-layer geometry."""
+    global_layer = WireLayerGeometry(
+        name="global",
+        width=um(w_um),
+        spacing=um(s_um),
+        thickness=um(t_um),
+        ild_thickness=um(h_um),
+        dielectric_constant=k,
+        barrier_thickness=nm(barrier_nm),
+    )
+    intermediate = WireLayerGeometry(
+        name="intermediate",
+        width=um(0.5 * w_um),
+        spacing=um(0.5 * s_um),
+        thickness=um(0.55 * t_um),
+        ild_thickness=um(0.6 * h_um),
+        dielectric_constant=k,
+        barrier_thickness=nm(0.8 * barrier_nm),
+    )
+    return {"global": global_layer, "intermediate": intermediate}
+
+
+def _node(name: str, feature_nm: float, vdd: float, vth_n: float,
+          vth_p: float, alpha: float, idsat_n: float, idsat_p: float,
+          c_gate: float, i_leak: float, gate_leak_fraction: float,
+          wire: "tuple[float, float, float, float, float, float]",
+          row_height_um: float, contact_pitch_um: float,
+          clock_ghz: float, min_wn_um: float) -> TechnologyParameters:
+    nmos = _device(+1, vdd, vth_n, alpha, idsat_n, c_gate, i_leak,
+                   gate_leak_fraction)
+    pmos = _device(-1, vdd, vth_p, alpha, idsat_p, c_gate, 0.5 * i_leak,
+                   gate_leak_fraction)
+    return TechnologyParameters(
+        name=name,
+        feature_size=nm(feature_nm),
+        vdd=vdd,
+        nmos=nmos,
+        pmos=pmos,
+        pn_ratio=DEFAULT_PN_RATIO,
+        wire_layers=_wire_layers(*wire),
+        row_height=um(row_height_um),
+        contact_pitch=um(contact_pitch_um),
+        clock_frequency=ghz(clock_ghz),
+        min_nmos_width=um(min_wn_um),
+    )
+
+
+#: The six nodes of Table I.  Wire tuple: (w, s, t, h, k, barrier_nm) with
+#: lengths in microns except the barrier in nanometers.
+TECHNOLOGY_NODES: Dict[str, TechnologyParameters] = {
+    "90nm": _node("90nm", 90, 1.0, 0.30, 0.32, 1.35, 600, 280, 1.00,
+                  100, 0.5, (0.40, 0.40, 0.85, 0.65, 3.3, 12.0),
+                  2.8, 0.28, 1.5, 0.55),
+    "65nm": _node("65nm", 65, 1.0, 0.28, 0.30, 1.32, 700, 330, 0.85,
+                  200, 0.6, (0.30, 0.30, 0.65, 0.50, 3.0, 10.0),
+                  2.0, 0.20, 2.25, 0.40),
+    "45nm": _node("45nm", 45, 1.1, 0.32, 0.34, 1.30, 800, 380, 0.75,
+                  300, 0.1, (0.20, 0.20, 0.45, 0.38, 2.8, 8.0),
+                  1.4, 0.14, 3.0, 0.30),
+    "32nm": _node("32nm", 32, 0.9, 0.27, 0.29, 1.28, 850, 410, 0.65,
+                  400, 0.1, (0.14, 0.14, 0.32, 0.28, 2.6, 6.0),
+                  1.0, 0.10, 3.5, 0.22),
+    "22nm": _node("22nm", 22, 0.8, 0.25, 0.27, 1.25, 900, 440, 0.55,
+                  500, 0.1, (0.10, 0.10, 0.23, 0.21, 2.4, 5.0),
+                  0.7, 0.075, 4.0, 0.16),
+    "16nm": _node("16nm", 16, 0.7, 0.22, 0.24, 1.22, 950, 470, 0.50,
+                  600, 0.1, (0.072, 0.072, 0.17, 0.16, 2.2, 4.0),
+                  0.5, 0.056, 4.5, 0.12),
+}
+
+
+def available_nodes() -> List[str]:
+    """Names of the built-in technology nodes, largest feature first."""
+    return sorted(TECHNOLOGY_NODES,
+                  key=lambda name: -TECHNOLOGY_NODES[name].feature_size)
+
+
+def get_technology(name: str) -> TechnologyParameters:
+    """Look up a built-in technology node by name (e.g. ``"65nm"``)."""
+    try:
+        return TECHNOLOGY_NODES[name]
+    except KeyError:
+        known = ", ".join(available_nodes())
+        raise KeyError(f"unknown technology {name!r}; known nodes: {known}")

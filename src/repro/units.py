@@ -1,0 +1,169 @@
+"""Unit conventions and conversion helpers.
+
+The entire library works in SI base units:
+
+* time        — seconds (s)
+* resistance  — ohms (Ohm)
+* capacitance — farads (F)
+* length      — meters (m)
+* power       — watts (W)
+* voltage     — volts (V)
+* current     — amperes (A)
+* frequency   — hertz (Hz)
+
+Papers and technology files usually quote picoseconds, femtofarads,
+microns, milliwatts and gigahertz.  These helpers make the conversions
+explicit at API boundaries so that no function ever has to guess what
+unit a bare float is in.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Multiplicative prefixes
+# ---------------------------------------------------------------------------
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+
+# ---------------------------------------------------------------------------
+# To SI
+# ---------------------------------------------------------------------------
+
+def ps(value: float) -> float:
+    """Convert picoseconds to seconds."""
+    return value * PICO
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * NANO
+
+
+def fF(value: float) -> float:  # noqa: N802 - deliberate unit capitalisation
+    """Convert femtofarads to farads."""
+    return value * FEMTO
+
+
+def pF(value: float) -> float:  # noqa: N802
+    """Convert picofarads to farads."""
+    return value * PICO
+
+
+def um(value: float) -> float:
+    """Convert microns to meters."""
+    return value * MICRO
+
+
+def nm(value: float) -> float:
+    """Convert nanometers to meters."""
+    return value * NANO
+
+
+def mm(value: float) -> float:
+    """Convert millimeters to meters."""
+    return value * MILLI
+
+
+def ghz(value: float) -> float:
+    """Convert gigahertz to hertz."""
+    return value * GIGA
+
+
+def mhz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * MEGA
+
+
+def mw(value: float) -> float:
+    """Convert milliwatts to watts."""
+    return value * MILLI
+
+
+def uw(value: float) -> float:
+    """Convert microwatts to watts."""
+    return value * MICRO
+
+
+def nw(value: float) -> float:
+    """Convert nanowatts to watts."""
+    return value * NANO
+
+
+def kohm(value: float) -> float:
+    """Convert kilo-ohms to ohms."""
+    return value * KILO
+
+
+# ---------------------------------------------------------------------------
+# From SI (for report printing)
+# ---------------------------------------------------------------------------
+
+def to_ps(seconds: float) -> float:
+    """Convert seconds to picoseconds."""
+    return seconds / PICO
+
+
+def to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds / NANO
+
+
+def to_fF(farads: float) -> float:  # noqa: N802
+    """Convert farads to femtofarads."""
+    return farads / FEMTO
+
+
+def to_um(meters: float) -> float:
+    """Convert meters to microns."""
+    return meters / MICRO
+
+
+def to_mm(meters: float) -> float:
+    """Convert meters to millimeters."""
+    return meters / MILLI
+
+
+def to_mw(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts / MILLI
+
+
+def to_uw(watts: float) -> float:
+    """Convert watts to microwatts."""
+    return watts / MICRO
+
+
+def to_ghz(hertz: float) -> float:
+    """Convert hertz to gigahertz."""
+    return hertz / GIGA
+
+
+# Physical constants ---------------------------------------------------------
+
+#: Vacuum permittivity in F/m.
+EPSILON_0 = 8.854187817e-12
+
+#: Boltzmann constant in J/K.
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge in C.
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Thermal voltage kT/q at 300 K, in volts.
+THERMAL_VOLTAGE_300K = BOLTZMANN * 300.0 / ELEMENTARY_CHARGE
+
+#: Bulk resistivity of copper at room temperature, in ohm-meters.
+COPPER_BULK_RESISTIVITY = 1.9e-8
+
+#: Electron mean free path in copper at room temperature, in meters.
+COPPER_MEAN_FREE_PATH = 39e-9

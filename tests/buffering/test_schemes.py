@@ -1,0 +1,54 @@
+"""Closed-form buffering schemes."""
+
+import pytest
+
+from repro.buffering.optimizer import optimize_buffering
+from repro.buffering.schemes import delay_optimal_buffering
+from repro.units import mm, ps
+
+
+class TestDelayOptimal:
+    def test_count_grows_with_length(self, suite90):
+        short = delay_optimal_buffering(suite90.tech,
+                                        suite90.calibration,
+                                        suite90.config, mm(2))
+        long_ = delay_optimal_buffering(suite90.tech,
+                                        suite90.calibration,
+                                        suite90.config, mm(10))
+        assert long_.num_repeaters > short.num_repeaters
+
+    def test_size_is_impractically_large(self, suite90):
+        # Section III-D: delay-optimal sizes are never used in practice.
+        prescription = delay_optimal_buffering(
+            suite90.tech, suite90.calibration, suite90.config, mm(10))
+        assert prescription.repeater_size > 50
+
+    def test_size_independent_of_length(self, suite90):
+        # h_opt = sqrt(R0 c_w / (r_w C0)) is length-invariant because
+        # both c_w and r_w are linear in length.
+        a = delay_optimal_buffering(suite90.tech, suite90.calibration,
+                                    suite90.config, mm(4))
+        b = delay_optimal_buffering(suite90.tech, suite90.calibration,
+                                    suite90.config, mm(12))
+        assert a.repeater_size == pytest.approx(b.repeater_size,
+                                                rel=0.01)
+
+    def test_close_to_searched_delay_optimum(self, suite90):
+        """The closed form should land near the search-based optimum."""
+        length = mm(8)
+        closed = delay_optimal_buffering(
+            suite90.tech, suite90.calibration, suite90.config, length)
+        searched = optimize_buffering(
+            suite90.proposed, length, delay_weight=1.0, max_size=400.0)
+        closed_delay = suite90.proposed.evaluate(
+            length, closed.num_repeaters,
+            min(closed.repeater_size, 400.0), ps(100)).delay
+        # The closed form over-inserts repeaters (its wire capacitance
+        # includes the Miller-amplified coupling), so it lands within a
+        # modest factor of the searched optimum, not on top of it.
+        assert closed_delay <= 1.6 * searched.delay
+
+    def test_length_validation(self, suite90):
+        with pytest.raises(ValueError):
+            delay_optimal_buffering(suite90.tech, suite90.calibration,
+                                    suite90.config, 0.0)

@@ -1,0 +1,39 @@
+"""Staggered-insertion experiment."""
+
+import pytest
+
+from repro.buffering.staggering import compare_staggering
+from repro.units import mm
+
+
+class TestCompareStaggering:
+    def test_power_saving_positive(self, suite90):
+        comparison = compare_staggering(suite90.proposed, mm(5))
+        assert comparison.power_saving > 0.05
+
+    def test_delay_penalty_within_budget(self, suite90):
+        comparison = compare_staggering(suite90.proposed, mm(5),
+                                        allowed_delay_penalty=0.025)
+        assert comparison.delay_penalty <= 0.025 + 1e-6
+
+    def test_reproduces_paper_magnitude(self, suite90):
+        """~20% power for just above 2% delay (Section III-D)."""
+        comparison = compare_staggering(suite90.proposed, mm(5))
+        assert 0.10 <= comparison.power_saving <= 0.35
+
+    def test_staggered_uses_fewer_or_equal_repeaters(self, suite90):
+        comparison = compare_staggering(suite90.proposed, mm(10))
+        assert (comparison.staggered.num_repeaters
+                <= comparison.normal.num_repeaters)
+
+    def test_zero_budget_still_feasible(self, suite90):
+        # Even with no delay allowance, the staggered line can match the
+        # normal solution (Miller cancellation provides slack).
+        comparison = compare_staggering(suite90.proposed, mm(5),
+                                        allowed_delay_penalty=0.0)
+        assert comparison.power_saving >= 0.0
+
+    def test_penalty_validation(self, suite90):
+        with pytest.raises(ValueError):
+            compare_staggering(suite90.proposed, mm(5),
+                               allowed_delay_penalty=-0.1)

@@ -1,0 +1,80 @@
+"""Wire sizing co-optimization."""
+
+import pytest
+
+from repro.buffering.wire_sizing import (
+    optimize_wire_sizing,
+    sized_configuration,
+    sizing_frontier,
+)
+from repro.units import mm
+
+
+class TestSizedConfiguration:
+    def test_scales_geometry(self, swss90):
+        sized = sized_configuration(swss90, 2.0, 1.5)
+        assert sized.layer.width == pytest.approx(2 * swss90.layer.width)
+        assert sized.layer.spacing == pytest.approx(
+            1.5 * swss90.layer.spacing)
+
+    def test_validation(self, swss90):
+        with pytest.raises(ValueError):
+            sized_configuration(swss90, 0.0, 1.0)
+
+
+class TestScatteringPayoff:
+    def test_resistance_falls_superlinearly_with_width(self, suite90):
+        """The Shi-Pan effect: R(2W) < R(W)/2 because scattering
+        relaxes as the cross-section grows."""
+        frontier = sizing_frontier(suite90.tech, suite90.calibration,
+                                   suite90.config, mm(5),
+                                   width_multiples=(1.0, 2.0))
+        (_, _, r_base), (_, _, r_wide) = frontier
+        assert r_wide < 0.5 * r_base
+
+    def test_wider_wires_are_faster(self, suite90):
+        frontier = sizing_frontier(suite90.tech, suite90.calibration,
+                                   suite90.config, mm(8),
+                                   width_multiples=(1.0, 2.0, 3.0))
+        delays = [delay for _, delay, _ in frontier]
+        assert delays[0] > delays[1] > delays[2]
+
+
+class TestOptimizeWireSizing:
+    def test_long_line_picks_wider_wire(self, suite90):
+        solution = optimize_wire_sizing(
+            suite90.tech, suite90.calibration, suite90.config, mm(10),
+            delay_weight=0.9)
+        assert solution.width_multiple > 1.0
+
+    def test_beats_base_geometry(self, suite90):
+        from repro.buffering.optimizer import optimize_buffering
+        base = optimize_buffering(suite90.proposed, mm(10),
+                                  delay_weight=0.9)
+        sized = optimize_wire_sizing(
+            suite90.tech, suite90.calibration, suite90.config, mm(10),
+            delay_weight=0.9)
+        assert sized.buffering.objective <= base.objective * (1 + 1e-9)
+
+    def test_pitch_cap_respected(self, suite90):
+        solution = optimize_wire_sizing(
+            suite90.tech, suite90.calibration, suite90.config, mm(10),
+            delay_weight=0.9, max_pitch_multiple=1.5)
+        assert solution.pitch_multiple <= 1.5 + 1e-9
+
+    def test_impossible_pitch_cap_rejected(self, suite90):
+        with pytest.raises(ValueError, match="pitch cap"):
+            optimize_wire_sizing(
+                suite90.tech, suite90.calibration, suite90.config,
+                mm(5), max_pitch_multiple=0.5)
+
+    def test_describe(self, suite90):
+        solution = optimize_wire_sizing(
+            suite90.tech, suite90.calibration, suite90.config, mm(5),
+            width_multiples=(1.0, 2.0), spacing_multiples=(1.0,))
+        assert "repeaters" in solution.describe()
+
+    def test_length_validation(self, suite90):
+        with pytest.raises(ValueError):
+            optimize_wire_sizing(suite90.tech, suite90.calibration,
+                                 suite90.config, 0.0)

@@ -1,0 +1,113 @@
+"""Characterization harness and Liberty export."""
+
+import pytest
+
+from repro.characterization import (
+    CharacterizationGrid,
+    RepeaterKind,
+    characterize_library,
+    library_to_liberty,
+)
+from repro.characterization.harness import (
+    describe_library,
+    liberty_to_tables,
+)
+from repro.tech import liberty
+from repro.units import ps, to_ps
+
+
+class TestGrid:
+    def test_default_grid_nonempty(self):
+        grid = CharacterizationGrid()
+        assert len(grid.sizes) >= 3
+        assert len(grid.input_slews) >= 3
+        assert len(grid.load_factors) >= 3
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            CharacterizationGrid(sizes=())
+
+    def test_loads_scale_with_cell(self, tech90, small_grid):
+        from repro.characterization.cells import RepeaterCell
+        small = RepeaterCell(tech90, RepeaterKind.INVERTER, 4.0)
+        large = RepeaterCell(tech90, RepeaterKind.INVERTER, 16.0)
+        assert small_grid.loads_for(large)[0] == pytest.approx(
+            4 * small_grid.loads_for(small)[0])
+
+
+class TestCellCharacterization:
+    def test_tables_have_grid_shape(self, cell_char90, small_grid):
+        table = cell_char90.rise.delay
+        assert len(table.index_1) == len(small_grid.input_slews)
+        assert len(table.index_2) == len(small_grid.load_factors)
+
+    def test_delay_increases_with_load(self, cell_char90):
+        for slew_index in range(len(cell_char90.rise.delay.index_1)):
+            row = cell_char90.rise.delay.row(slew_index)
+            assert all(b > a for a, b in zip(row, row[1:]))
+
+    def test_delay_increases_with_slew(self, cell_char90):
+        for load_index in range(len(cell_char90.rise.delay.index_2)):
+            column = cell_char90.rise.delay.column(load_index)
+            assert all(b > a for a, b in zip(column, column[1:]))
+
+    def test_output_slew_increases_with_load(self, cell_char90):
+        row = cell_char90.fall.output_slew.row(0)
+        assert all(b > a for a, b in zip(row, row[1:]))
+
+    def test_leakage_states_recorded(self, cell_char90):
+        assert cell_char90.leakage_output_high > 0
+        assert cell_char90.leakage_output_low > 0
+        assert cell_char90.leakage_power == pytest.approx(
+            0.5 * (cell_char90.leakage_output_high
+                   + cell_char90.leakage_output_low))
+
+    def test_rise_and_fall_differ(self, cell_char90):
+        # The pMOS is weaker per width; rise and fall delays are not
+        # identical.
+        rise = cell_char90.rise.delay.lookup(ps(160), 100e-15)
+        fall = cell_char90.fall.delay.lookup(ps(160), 100e-15)
+        assert rise != pytest.approx(fall, rel=0.01)
+
+
+class TestLibrary:
+    @pytest.fixture(scope="class")
+    def library(self, tech90, small_grid):
+        return characterize_library(tech90, RepeaterKind.INVERTER,
+                                    small_grid)
+
+    def test_all_sizes_characterized(self, library, small_grid):
+        assert library.sizes() == tuple(sorted(small_grid.sizes))
+
+    def test_cell_lookup(self, library):
+        assert library.cell(8.0).cell.size == 8.0
+        with pytest.raises(KeyError, match="not characterized"):
+            library.cell(5.0)
+
+    def test_describe(self, library):
+        text = describe_library(library)
+        assert "90nm" in text
+        assert "x8" in text
+
+    def test_liberty_roundtrip(self, library):
+        root = library_to_liberty(library)
+        text = liberty.dumps(root)
+        parsed = liberty.loads(text)
+        tables = liberty_to_tables(parsed, "INVD8")
+        original = library.cell(8.0).rise.delay
+        restored = tables["cell_rise"]
+        assert len(restored.index_1) == len(original.index_1)
+        for got, expected in zip(restored.index_1, original.index_1):
+            assert to_ps(got) == pytest.approx(to_ps(expected),
+                                               rel=1e-4)
+        for got_row, exp_row in zip(restored.values, original.values):
+            for got, expected in zip(got_row, exp_row):
+                assert got == pytest.approx(expected, rel=1e-4)
+
+    def test_liberty_has_cell_attributes(self, library):
+        root = library_to_liberty(library)
+        cell = root.require("cell", "INVD32")
+        assert cell.attributes["area"] > 0
+        assert cell.attributes["cell_leakage_power"] > 0
+        pin = cell.require("pin", "A")
+        assert pin.attributes["capacitance"] > 0

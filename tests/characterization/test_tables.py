@@ -1,0 +1,77 @@
+"""NLDM lookup tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.characterization.tables import NLDMTable
+
+
+def make_table():
+    # values[i][j] = 10*i + j for easy checking.
+    return NLDMTable.from_arrays(
+        [1.0, 2.0, 4.0],
+        [10.0, 20.0],
+        [[0.0, 1.0], [10.0, 11.0], [20.0, 21.0]],
+    )
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            NLDMTable.from_arrays([1.0], [1.0, 2.0], [[1.0]])
+        with pytest.raises(ValueError):
+            NLDMTable.from_arrays([], [1.0], [])
+
+    def test_axes_must_increase(self):
+        with pytest.raises(ValueError, match="increasing"):
+            NLDMTable.from_arrays([2.0, 1.0], [1.0], [[1.0], [2.0]])
+        with pytest.raises(ValueError, match="increasing"):
+            NLDMTable.from_arrays([1.0], [3.0, 3.0], [[1.0, 2.0]])
+
+    def test_row_and_column_access(self):
+        table = make_table()
+        assert table.row(1) == [10.0, 11.0]
+        assert table.column(1) == [1.0, 11.0, 21.0]
+
+
+class TestLookup:
+    def test_exact_grid_points(self):
+        table = make_table()
+        assert table.lookup(2.0, 20.0) == pytest.approx(11.0)
+        assert table.lookup(1.0, 10.0) == pytest.approx(0.0)
+
+    def test_interpolation_between_points(self):
+        table = make_table()
+        assert table.lookup(1.5, 10.0) == pytest.approx(5.0)
+        assert table.lookup(1.0, 15.0) == pytest.approx(0.5)
+        assert table.lookup(3.0, 15.0) == pytest.approx(15.5)
+
+    def test_extrapolation_beyond_edges(self):
+        table = make_table()
+        # Linear continuation of the last segment.
+        assert table.lookup(8.0, 10.0) == pytest.approx(40.0)
+        assert table.lookup(1.0, 30.0) == pytest.approx(2.0)
+
+    def test_single_row_table(self):
+        table = NLDMTable.from_arrays([1.0], [10.0, 20.0],
+                                      [[5.0, 7.0]])
+        assert table.lookup(99.0, 15.0) == pytest.approx(6.0)
+
+    def test_single_cell_table(self):
+        table = NLDMTable.from_arrays([1.0], [10.0], [[5.0]])
+        assert table.lookup(3.0, 30.0) == 5.0
+
+    @given(st.floats(min_value=1.0, max_value=4.0),
+           st.floats(min_value=10.0, max_value=20.0))
+    def test_interpolation_bounded_by_corners(self, x, y):
+        table = make_table()
+        value = table.lookup(x, y)
+        flat = [v for row in table.values for v in row]
+        assert min(flat) - 1e-9 <= value <= max(flat) + 1e-9
+
+    @given(st.floats(min_value=1.0, max_value=4.0))
+    def test_monotonic_in_slew_axis(self, x):
+        # This particular table grows along index_1.
+        table = make_table()
+        assert table.lookup(x, 15.0) <= table.lookup(
+            min(x + 0.5, 4.0), 15.0) + 1e-9

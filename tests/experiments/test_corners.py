@@ -1,0 +1,32 @@
+"""Corner-sensitivity experiment."""
+
+import pytest
+
+from repro.experiments import corners
+from repro.tech.corners import ProcessCorner
+from repro.units import mm
+
+
+@pytest.fixture(scope="module")
+def result():
+    return corners.run(node="90nm", length=mm(3))
+
+
+class TestCornerExperiment:
+    def test_delay_ordering(self, result):
+        rows = result.rows
+        assert rows[ProcessCorner.FAST].delay < \
+            rows[ProcessCorner.TYPICAL].delay < \
+            rows[ProcessCorner.SLOW].delay
+
+    def test_guard_band_is_meaningful(self, result):
+        # +/-10% supply and drive should produce a double-digit margin.
+        assert 0.05 < result.delay_guard_band() < 0.40
+
+    def test_leakage_spread(self, result):
+        assert result.leakage_ratio() > 1.5
+
+    def test_format(self, result):
+        text = result.format()
+        assert "guard band" in text
+        assert "ss" in text and "ff" in text

@@ -1,0 +1,36 @@
+"""Technology-scaling experiment."""
+
+import pytest
+
+from repro.experiments import scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return scaling.run(nodes=("90nm", "45nm", "16nm"))
+
+
+class TestScalingTrends:
+    def test_resistance_explodes(self, result):
+        trend = result.resistance_trend()
+        assert trend[-1] > 10 * trend[0]
+
+    def test_delay_per_mm_worsens(self, result):
+        trend = result.delay_trend()
+        assert all(b > a for a, b in zip(trend, trend[1:]))
+
+    def test_feasible_length_collapses(self, result):
+        trend = result.feasible_trend()
+        assert all(b < a for a, b in zip(trend, trend[1:]))
+        # By 16 nm a link spanning a real die edge is infeasible in one
+        # clock — the motivation for NoCs.
+        assert trend[-1] < 3e-3
+
+    def test_repeater_density_rises(self, result):
+        densities = [row.repeaters_per_mm for row in result.rows]
+        assert densities[-1] > densities[0]
+
+    def test_format(self, result):
+        text = result.format()
+        assert "feasible" in text
+        assert "90nm" in text and "16nm" in text

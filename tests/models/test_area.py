@@ -1,0 +1,73 @@
+"""Area models."""
+
+import pytest
+
+from repro.models.area import (
+    predictive_repeater_area,
+    regression_repeater_area,
+    repeater_area,
+    wire_area,
+)
+from repro.tech import DesignStyle, WireConfiguration
+from repro.units import mm, um
+
+
+class TestRepeaterArea:
+    def test_regression_linear(self, calibration90):
+        f0, f1 = calibration90.area
+        assert regression_repeater_area(calibration90, um(2)) == \
+            pytest.approx(f0 + f1 * um(2))
+
+    def test_predictive_grows_with_size(self, tech90):
+        areas = [predictive_repeater_area(tech90, size)
+                 for size in (4.0, 16.0, 64.0)]
+        assert areas[0] < areas[1] < areas[2]
+
+    def test_predictive_close_to_regression_for_calibrated_node(
+            self, tech90, calibration90):
+        # Both paths describe the same layout generator, so they agree
+        # within the regression residual for mid-range sizes.
+        for size in (8.0, 16.0, 32.0):
+            wn, _ = tech90.inverter_widths(size)
+            from_fit = regression_repeater_area(calibration90, wn)
+            from_fingers = predictive_repeater_area(tech90, size)
+            assert from_fit == pytest.approx(from_fingers, rel=0.25)
+
+    def test_repeater_area_dispatch(self, tech90, calibration90):
+        wn, _ = tech90.inverter_widths(8.0)
+        assert repeater_area(tech90, calibration90, 8.0) == \
+            pytest.approx(regression_repeater_area(calibration90, wn))
+        assert repeater_area(tech90, None, 8.0) == pytest.approx(
+            predictive_repeater_area(tech90, 8.0))
+
+    def test_future_node_predictive_area_works(self):
+        from repro.tech import get_technology
+        tech16 = get_technology("16nm")
+        assert predictive_repeater_area(tech16, 8.0) > 0
+
+
+class TestWireArea:
+    def test_bus_formula(self, swss90):
+        layer = swss90.layer
+        expected = (8 * (layer.width + layer.spacing)
+                    + layer.spacing) * mm(2)
+        assert wire_area(swss90, mm(2), bus_width=8) == \
+            pytest.approx(expected)
+
+    def test_shielded_bus_wider(self, tech90):
+        swss = WireConfiguration.for_style(tech90.global_layer,
+                                           DesignStyle.SWSS)
+        shielded = WireConfiguration.for_style(tech90.global_layer,
+                                               DesignStyle.SHIELDED)
+        assert wire_area(shielded, mm(1), 16) > \
+            1.8 * wire_area(swss, mm(1), 16)
+
+    def test_validation(self, swss90):
+        with pytest.raises(ValueError):
+            wire_area(swss90, mm(1), bus_width=0)
+        with pytest.raises(ValueError):
+            wire_area(swss90, -mm(1), bus_width=1)
+
+    def test_scales_linearly_with_length(self, swss90):
+        assert wire_area(swss90, mm(4), 4) == pytest.approx(
+            2 * wire_area(swss90, mm(2), 4))

@@ -1,0 +1,92 @@
+"""Bakoglu and Pamunuwa baseline models."""
+
+import pytest
+
+from repro.units import fF, mm, ps
+
+
+class TestBakoglu:
+    def test_estimate_interface_compatible(self, suite90):
+        estimate = suite90.bakoglu.evaluate(mm(5), 5, 16.0, ps(100))
+        assert estimate.delay > 0
+        assert estimate.dynamic_power > 0
+        assert estimate.leakage_power > 0
+        assert estimate.num_repeaters == 5
+
+    def test_slew_independent(self, suite90):
+        fast = suite90.bakoglu.evaluate(mm(5), 5, 16.0, ps(10))
+        slow = suite90.bakoglu.evaluate(mm(5), 5, 16.0, ps(500))
+        assert fast.delay == pytest.approx(slow.delay)
+
+    def test_neglects_coupling_in_power(self, suite90):
+        # Bakoglu's switched capacitance excludes lateral capacitance,
+        # so its dynamic power is far below the proposed model's.
+        bakoglu = suite90.bakoglu.evaluate(mm(5), 5, 16.0, ps(100))
+        proposed = suite90.proposed.evaluate(mm(5), 5, 16.0, ps(100))
+        assert bakoglu.dynamic_power < 0.6 * proposed.dynamic_power
+
+    def test_underestimates_delay_on_long_coupled_lines(self, suite90):
+        bakoglu = suite90.bakoglu.evaluate(mm(10), 10, 32.0, ps(300))
+        proposed = suite90.proposed.evaluate(mm(10), 10, 32.0, ps(300))
+        assert bakoglu.delay < proposed.delay
+
+    def test_simplistic_area_much_smaller(self, suite90):
+        bakoglu = suite90.bakoglu.evaluate(mm(5), 5, 16.0, ps(100))
+        proposed = suite90.proposed.evaluate(mm(5), 5, 16.0, ps(100))
+        assert bakoglu.repeater_area < 0.2 * proposed.repeater_area
+
+    def test_drive_resistance_inverse_in_size(self, suite90):
+        r4 = suite90.bakoglu.drive_resistance(4.0)
+        r16 = suite90.bakoglu.drive_resistance(16.0)
+        assert r4 == pytest.approx(4 * r16, rel=1e-9)
+
+    def test_delay_optimal_buffering(self, suite90):
+        count, size = suite90.bakoglu.delay_optimal_buffering(mm(10))
+        assert count >= 2
+        # Delay-optimal sizes are notoriously enormous.
+        assert size > 20
+
+    def test_validation(self, suite90):
+        with pytest.raises(ValueError):
+            suite90.bakoglu.evaluate(0.0, 1, 8.0)
+        with pytest.raises(ValueError):
+            suite90.bakoglu.evaluate(mm(1), 0, 8.0)
+
+
+class TestPamunuwa:
+    def test_includes_coupling_in_delay(self, suite90):
+        bakoglu = suite90.bakoglu.evaluate(mm(10), 10, 32.0)
+        pamunuwa = suite90.pamunuwa.evaluate(mm(10), 10, 32.0)
+        assert pamunuwa.delay > bakoglu.delay
+
+    def test_includes_coupling_in_power(self, suite90):
+        bakoglu = suite90.bakoglu.evaluate(mm(5), 5, 16.0)
+        pamunuwa = suite90.pamunuwa.evaluate(mm(5), 5, 16.0)
+        assert pamunuwa.dynamic_power > bakoglu.dynamic_power
+
+    def test_still_optimistic_about_resistance(self, suite90):
+        # Bulk resistivity + no barrier: the Pamunuwa wire resistance
+        # is below the calibrated one.
+        assert suite90.pamunuwa.wire_resistance(mm(1)) < \
+            suite90.config.resistance_per_meter() * mm(1)
+
+    def test_slew_independent(self, suite90):
+        fast = suite90.pamunuwa.evaluate(mm(5), 5, 16.0, ps(10))
+        slow = suite90.pamunuwa.evaluate(mm(5), 5, 16.0, ps(500))
+        assert fast.delay == pytest.approx(slow.delay)
+
+    def test_validation(self, suite90):
+        with pytest.raises(ValueError):
+            suite90.pamunuwa.evaluate(0.0, 1, 8.0)
+        with pytest.raises(ValueError):
+            suite90.pamunuwa.evaluate(mm(1), 0, 8.0)
+
+
+class TestOrderingAcrossModels:
+    def test_delay_ordering_on_coupled_lines(self, suite90):
+        """Bakoglu < Pamunuwa < proposed on long SWSS lines."""
+        b = suite90.bakoglu.evaluate(mm(10), 10, 32.0, ps(300)).delay
+        p = suite90.pamunuwa.evaluate(mm(10), 10, 32.0, ps(300)).delay
+        proposed = suite90.proposed.evaluate(mm(10), 10, 32.0,
+                                             ps(300)).delay
+        assert b < p < proposed

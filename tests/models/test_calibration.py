@@ -1,0 +1,152 @@
+"""Calibration pipeline: functional forms, serialization, caching."""
+
+import pytest
+
+from repro.characterization import RepeaterKind, characterize_library
+from repro.models.calibration import (
+    CalibratedTechnology,
+    OutputSlewForm,
+    calibrate_from_library,
+    describe_coefficients,
+    load_calibration,
+)
+from repro.units import ps, um
+
+
+@pytest.fixture(scope="module")
+def small_calibration(tech90, small_grid):
+    library = characterize_library(tech90, RepeaterKind.INVERTER,
+                                   small_grid)
+    return calibrate_from_library(library)
+
+
+class TestFunctionalForms:
+    def test_intrinsic_quadratic_fits_well(self, calibration90):
+        # Fig. 1's claim: intrinsic delay is near-quadratic in slew.
+        assert calibration90.rise.intrinsic_r2 > 0.9
+        assert calibration90.fall.intrinsic_r2 > 0.9
+
+    def test_drive_resistance_inverse_in_size(self, calibration90):
+        assert calibration90.rise.drive_r2 > 0.95
+        assert calibration90.fall.drive_r2 > 0.95
+
+    def test_intrinsic_increases_with_slew(self, calibration90):
+        direction = calibration90.rise
+        values = [direction.intrinsic_delay(ps(s))
+                  for s in (20, 100, 300)]
+        assert values[0] < values[1] < values[2]
+
+    def test_drive_resistance_positive_and_decreasing_in_size(
+            self, calibration90):
+        direction = calibration90.fall
+        r_small = direction.drive_resistance(ps(100), um(2))
+        r_large = direction.drive_resistance(ps(100), um(8))
+        assert r_small > r_large > 0
+        assert r_small == pytest.approx(4 * r_large, rel=1e-9)
+
+    def test_drive_resistance_grows_with_slew(self, calibration90):
+        direction = calibration90.rise
+        assert direction.drive_resistance(ps(300), um(4)) > \
+            direction.drive_resistance(ps(50), um(4))
+
+    def test_delay_composition(self, calibration90):
+        direction = calibration90.rise
+        slew, wr, load = ps(100), um(4), 100e-15
+        expected = (direction.intrinsic_delay(slew)
+                    + direction.drive_resistance(slew, wr) * load)
+        assert direction.delay(slew, wr, load) == pytest.approx(expected)
+
+    def test_leakage_linear_in_width(self, calibration90):
+        assert calibration90.leakage_r2 > 0.99
+        e0n, e1n = calibration90.leakage_n
+        assert e1n > 0
+
+    def test_area_linear_in_width(self, calibration90):
+        assert calibration90.area_r2 > 0.99
+        f0, f1 = calibration90.area
+        assert f1 > 0
+
+    def test_gamma_positive(self, calibration90):
+        assert calibration90.input_cap_gamma > 0
+
+
+class TestSlewForms:
+    def test_size_scaled_fits_better(self, tech90, small_grid):
+        library = characterize_library(tech90, RepeaterKind.INVERTER,
+                                       small_grid)
+        paper = calibrate_from_library(library, OutputSlewForm.PAPER)
+        scaled = calibrate_from_library(library,
+                                        OutputSlewForm.SIZE_SCALED)
+        assert scaled.rise.slew_r2 > paper.rise.slew_r2
+
+    def test_output_slew_evaluation_differs_between_forms(
+            self, tech90, small_grid):
+        library = characterize_library(tech90, RepeaterKind.INVERTER,
+                                       small_grid)
+        paper = calibrate_from_library(library, OutputSlewForm.PAPER)
+        scaled = calibrate_from_library(library,
+                                        OutputSlewForm.SIZE_SCALED)
+        a = paper.rise.output_slew(100e-15, ps(100), um(4))
+        b = scaled.rise.output_slew(100e-15, ps(100), um(4))
+        assert a > 0 and b > 0
+        assert a != pytest.approx(b, rel=1e-6)
+
+
+class TestSerialization:
+    def test_roundtrip(self, small_calibration):
+        data = small_calibration.to_dict()
+        back = CalibratedTechnology.from_dict(data)
+        assert back == small_calibration
+
+    def test_dict_is_json_friendly(self, small_calibration):
+        import json
+        text = json.dumps(small_calibration.to_dict())
+        assert "90nm" in text
+
+
+class TestLoadCalibration:
+    def test_cached_fitted_data_used(self, tech90):
+        # The generated cache covers all built-in nodes; loading must
+        # not trigger a fresh characterization (instant).
+        import time
+        started = time.time()
+        calibration = load_calibration(tech90)
+        assert time.time() - started < 1.0
+        assert calibration.tech_name == "90nm"
+
+    def test_memoized(self, tech90):
+        a = load_calibration(tech90)
+        b = load_calibration(tech90)
+        assert a is b
+
+    def test_buffer_kind_available(self, tech90):
+        calibration = load_calibration(tech90, RepeaterKind.BUFFER)
+        assert calibration.kind is RepeaterKind.BUFFER
+
+
+class TestDescribe:
+    def test_describe_renders(self, calibration90):
+        text = describe_coefficients(calibration90)
+        assert "90nm" in text
+        assert "rise" in text and "fall" in text
+        assert "gamma" in text
+
+
+class TestCachedAgainstRegenerated:
+    def test_cached_coefficients_match_regeneration(self, tech90):
+        """The shipped _fitted_data must reproduce from the pipeline.
+
+        Full-grid regeneration is slow, so this compares the cached
+        90 nm inverter coefficients against a fresh calibration on the
+        same default grid — they must agree exactly (the pipeline is
+        deterministic).
+        """
+        from repro.models.calibration import calibrate_technology
+        cached = load_calibration(tech90)
+        fresh = calibrate_technology(tech90)
+        assert fresh.rise.intrinsic == pytest.approx(
+            cached.rise.intrinsic, rel=1e-6)
+        assert fresh.rise.drive == pytest.approx(cached.rise.drive,
+                                                 rel=1e-6)
+        assert fresh.leakage_n == pytest.approx(cached.leakage_n,
+                                                rel=1e-6)

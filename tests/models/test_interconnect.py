@@ -1,0 +1,132 @@
+"""End-to-end buffered-interconnect model."""
+
+import pytest
+
+from repro.units import mm, ps
+
+
+class TestEvaluate:
+    def test_estimate_fields_consistent(self, suite90):
+        estimate = suite90.proposed.evaluate(mm(5), 5, 16.0, ps(100))
+        assert estimate.num_repeaters == 5
+        assert len(estimate.stage_delays) == 5
+        assert estimate.delay == pytest.approx(
+            sum(estimate.stage_delays))
+        assert estimate.total_power == pytest.approx(
+            estimate.dynamic_power + estimate.leakage_power)
+        assert estimate.total_area == pytest.approx(
+            estimate.repeater_area + estimate.wire_area)
+
+    def test_slew_settles_along_uniform_line(self, suite90):
+        estimate = suite90.proposed.evaluate(mm(10), 10, 24.0, ps(300))
+        # Interior stages converge: late stage delays become periodic.
+        late = estimate.stage_delays[-4:-1]
+        assert max(late) - min(late) < 0.1 * max(late)
+
+    def test_first_stage_slowest_with_slow_input(self, suite90):
+        estimate = suite90.proposed.evaluate(mm(10), 10, 24.0, ps(400))
+        assert estimate.stage_delays[0] > estimate.stage_delays[2]
+
+    def test_delay_decreases_with_repeater_count_on_long_line(
+            self, suite90):
+        sparse = suite90.proposed.evaluate(mm(10), 2, 24.0, ps(100))
+        dense = suite90.proposed.evaluate(mm(10), 10, 24.0, ps(100))
+        assert dense.delay < sparse.delay
+
+    def test_power_grows_with_repeater_count(self, suite90):
+        few = suite90.proposed.evaluate(mm(10), 2, 24.0, ps(100))
+        many = suite90.proposed.evaluate(mm(10), 10, 24.0, ps(100))
+        assert many.leakage_power > few.leakage_power
+        assert many.dynamic_power > few.dynamic_power
+
+    def test_bus_width_scales_power_and_area(self, suite90):
+        single = suite90.proposed.evaluate(mm(5), 5, 16.0, ps(100),
+                                           bus_width=1)
+        bus = suite90.proposed.evaluate(mm(5), 5, 16.0, ps(100),
+                                        bus_width=32)
+        assert bus.dynamic_power == pytest.approx(
+            32 * single.dynamic_power)
+        assert bus.leakage_power == pytest.approx(
+            32 * single.leakage_power)
+        assert bus.repeater_area == pytest.approx(
+            32 * single.repeater_area)
+        assert bus.wire_area > single.wire_area
+        # Delay is per-bit and unchanged.
+        assert bus.delay == pytest.approx(single.delay)
+
+    def test_receiver_cap_override(self, suite90):
+        big_receiver = suite90.proposed.evaluate(
+            mm(2), 2, 16.0, ps(100), receiver_cap=500e-15)
+        small_receiver = suite90.proposed.evaluate(
+            mm(2), 2, 16.0, ps(100), receiver_cap=5e-15)
+        assert big_receiver.delay > small_receiver.delay
+
+    def test_validation(self, suite90):
+        with pytest.raises(ValueError):
+            suite90.proposed.evaluate(0.0, 1, 8.0, ps(100))
+        with pytest.raises(ValueError):
+            suite90.proposed.evaluate(mm(1), 0, 8.0, ps(100))
+
+
+class TestBufferKind:
+    def test_buffer_line_keeps_polarity(self, tech90, swss90):
+        """A buffer-based line is non-inverting: every stage sees the
+        same transition direction, so (unlike an inverter chain) all
+        interior stage delays converge to ONE value, not an
+        alternating pair."""
+        from repro.characterization import RepeaterKind
+        from repro.models.calibration import load_calibration
+        from repro.models.interconnect import BufferedInterconnectModel
+        calibration = load_calibration(tech90, RepeaterKind.BUFFER)
+        model = BufferedInterconnectModel(tech=tech90,
+                                          calibration=calibration,
+                                          config=swss90)
+        estimate = model.evaluate(mm(8), 8, 24.0, ps(100))
+        late = estimate.stage_delays[-4:]
+        # Converged: consecutive stages equal (no rise/fall alternation).
+        assert late[-1] == pytest.approx(late[-2], rel=1e-6)
+        assert estimate.delay > 0
+
+    def test_buffer_vs_inverter_models_differ(self, suite90, tech90,
+                                              swss90):
+        from repro.characterization import RepeaterKind
+        from repro.models.calibration import load_calibration
+        from repro.models.interconnect import BufferedInterconnectModel
+        buffer_model = BufferedInterconnectModel(
+            tech=tech90,
+            calibration=load_calibration(tech90, RepeaterKind.BUFFER),
+            config=swss90)
+        inv = suite90.proposed.evaluate(mm(5), 5, 16.0, ps(100))
+        buf = buffer_model.evaluate(mm(5), 5, 16.0, ps(100))
+        # Buffers carry two stages of intrinsic delay per repeater.
+        assert buf.delay > inv.delay
+
+
+class TestStaggered:
+    def test_staggered_faster_same_power(self, suite90):
+        normal = suite90.proposed.evaluate(mm(5), 5, 16.0, ps(100))
+        staggered_model = suite90.proposed.staggered()
+        staggered = staggered_model.evaluate(mm(5), 5, 16.0, ps(100))
+        assert staggered.delay < normal.delay
+        assert staggered.dynamic_power == pytest.approx(
+            normal.dynamic_power)
+        assert staggered.leakage_power == pytest.approx(
+            normal.leakage_power)
+
+
+class TestAccuracyEnvelope:
+    def test_tracks_golden_within_paper_bound(self, suite90):
+        """The headline claim: proposed model within ~12% of sign-off."""
+        from repro.signoff import (
+            evaluate_buffered_line,
+            extract_buffered_line,
+        )
+        length, count, size = mm(5), 6, 32.0
+        line = extract_buffered_line(suite90.tech, suite90.config,
+                                     length, count, size)
+        golden = evaluate_buffered_line(line, ps(300))
+        estimate = suite90.proposed.evaluate(length, count, size,
+                                             ps(300))
+        error = abs(estimate.delay - golden.total_delay) \
+            / golden.total_delay
+        assert error < 0.15

@@ -1,0 +1,58 @@
+"""Power models."""
+
+import pytest
+
+from repro.models.power import (
+    dynamic_power,
+    leakage_power_from_coefficients,
+    repeater_leakage_power,
+)
+from repro.units import fF, ghz, um
+
+
+class TestLeakage:
+    def test_average_of_states(self, calibration90):
+        e0n, e1n = calibration90.leakage_n
+        e0p, e1p = calibration90.leakage_p
+        wn, wp = um(2), um(4)
+        expected = 0.5 * ((e0n + e1n * wn) + (e0p + e1p * wp))
+        assert leakage_power_from_coefficients(
+            calibration90, wn, wp) == pytest.approx(expected)
+
+    def test_repeater_leakage_grows_with_size(self, suite90):
+        small = repeater_leakage_power(suite90.tech,
+                                       suite90.calibration, 4.0)
+        large = repeater_leakage_power(suite90.tech,
+                                       suite90.calibration, 32.0)
+        assert large > small > 0
+
+    def test_leakage_roughly_linear(self, suite90):
+        p8 = repeater_leakage_power(suite90.tech, suite90.calibration,
+                                    8.0)
+        p16 = repeater_leakage_power(suite90.tech, suite90.calibration,
+                                     16.0)
+        assert p16 == pytest.approx(2 * p8, rel=0.1)
+
+
+class TestDynamic:
+    def test_formula(self):
+        assert dynamic_power(fF(100), 1.0, ghz(1), 0.25) == \
+            pytest.approx(0.25 * 100e-15 * 1e9)
+
+    def test_quadratic_in_vdd(self):
+        low = dynamic_power(fF(100), 1.0, ghz(1))
+        high = dynamic_power(fF(100), 1.1, ghz(1))
+        assert high / low == pytest.approx(1.21)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dynamic_power(fF(1), 1.0, ghz(1), activity_factor=1.5)
+        with pytest.raises(ValueError):
+            dynamic_power(-fF(1), 1.0, ghz(1))
+        with pytest.raises(ValueError):
+            dynamic_power(fF(1), 0.0, ghz(1))
+        with pytest.raises(ValueError):
+            dynamic_power(fF(1), 1.0, 0.0)
+
+    def test_zero_activity_zero_power(self):
+        assert dynamic_power(fF(100), 1.0, ghz(1), 0.0) == 0.0

@@ -1,0 +1,138 @@
+"""Regression utilities: exact recovery and robustness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.regression import (
+    inverse_fit,
+    linear_fit,
+    multilinear_fit,
+    quadratic_fit,
+)
+
+finite = st.floats(min_value=-100.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestLinearFit:
+    def test_exact_recovery(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [2.0 + 3.0 * v for v in x]
+        fit = linear_fit(x, y)
+        assert fit[0] == pytest.approx(2.0)
+        assert fit[1] == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_zero_intercept_variant(self):
+        x = [1.0, 2.0, 4.0]
+        y = [5.0 * v for v in x]
+        fit = linear_fit(x, y, intercept=False)
+        assert fit[0] == 0.0
+        assert fit[1] == pytest.approx(5.0)
+
+    def test_noisy_data_r2_below_one(self):
+        rng = np.random.default_rng(7)
+        x = np.linspace(0, 10, 50)
+        y = 2 * x + rng.normal(0, 1.0, 50)
+        fit = linear_fit(x, y)
+        assert 0.9 < fit.r_squared < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [1.0])
+        with pytest.raises(ValueError):
+            linear_fit([1.0, 2.0], [1.0])
+
+    @given(st.tuples(finite, finite),
+           st.lists(st.floats(min_value=-50, max_value=50),
+                    min_size=3, max_size=10, unique=True))
+    def test_recovers_any_line(self, coefficients, xs):
+        from hypothesis import assume
+        # Near-coincident abscissae make the system ill-conditioned;
+        # require a minimal spread for a meaningful recovery check.
+        assume(max(xs) - min(xs) > 1.0)
+        c0, c1 = coefficients
+        ys = [c0 + c1 * x for x in xs]
+        fit = linear_fit(xs, ys)
+        assert fit[0] == pytest.approx(c0, abs=1e-4 + 1e-5 * abs(c0))
+        assert fit[1] == pytest.approx(c1, abs=1e-4 + 1e-5 * abs(c1))
+
+
+class TestQuadraticFit:
+    def test_exact_recovery(self):
+        x = [0.0, 1.0, 2.0, 3.0]
+        y = [1.0 - 2.0 * v + 0.5 * v * v for v in x]
+        fit = quadratic_fit(x, y)
+        assert fit[0] == pytest.approx(1.0)
+        assert fit[1] == pytest.approx(-2.0)
+        assert fit[2] == pytest.approx(0.5)
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            quadratic_fit([1.0, 2.0], [1.0, 2.0])
+
+    def test_degenerates_to_linear(self):
+        x = [0.0, 1.0, 2.0, 3.0]
+        y = [2.0 * v for v in x]
+        fit = quadratic_fit(x, y)
+        assert fit[2] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestInverseFit:
+    def test_exact_recovery(self):
+        x = [1.0, 2.0, 4.0, 8.0]
+        y = [10.0 / v for v in x]
+        fit = inverse_fit(x, y)
+        assert fit[0] == pytest.approx(10.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_zero_x_rejected(self):
+        with pytest.raises(ValueError):
+            inverse_fit([0.0, 1.0], [1.0, 1.0])
+
+    @given(st.floats(min_value=0.1, max_value=1e3))
+    def test_recovers_any_constant(self, a):
+        x = [0.5, 1.0, 2.0, 5.0]
+        y = [a / v for v in x]
+        fit = inverse_fit(x, y)
+        assert fit[0] == pytest.approx(a, rel=1e-9)
+
+
+class TestMultilinearFit:
+    def test_two_regressors(self):
+        rng = np.random.default_rng(3)
+        col1 = rng.uniform(0, 10, 30)
+        col2 = rng.uniform(0, 5, 30)
+        y = 1.5 + 2.0 * col1 - 3.0 * col2
+        fit = multilinear_fit([col1, col2], y)
+        assert fit[0] == pytest.approx(1.5, abs=1e-9)
+        assert fit[1] == pytest.approx(2.0, abs=1e-9)
+        assert fit[2] == pytest.approx(-3.0, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_without_intercept(self):
+        col = [1.0, 2.0, 3.0]
+        y = [4.0 * v for v in col]
+        fit = multilinear_fit([col], y, intercept=False)
+        assert fit.coefficients == pytest.approx((4.0,))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multilinear_fit([], [1.0])
+        with pytest.raises(ValueError):
+            multilinear_fit([[1.0, 2.0]], [1.0])
+        with pytest.raises(ValueError):
+            multilinear_fit([[1.0], [1.0]], [1.0])  # underdetermined
+
+
+class TestRegressionResult:
+    def test_iteration_and_indexing(self):
+        fit = linear_fit([1.0, 2.0], [3.0, 5.0])
+        coefficients = list(fit)
+        assert coefficients == [pytest.approx(1.0), pytest.approx(2.0)]
+        assert fit[1] == pytest.approx(2.0)
+
+    def test_constant_target_r2(self):
+        fit = linear_fit([1.0, 2.0, 3.0], [5.0, 5.0, 5.0])
+        assert fit.r_squared == pytest.approx(1.0)

@@ -1,0 +1,89 @@
+"""NLDM table-lookup interconnect model."""
+
+import pytest
+
+from repro.characterization import RepeaterKind, characterize_library
+from repro.models.table_model import TableInterconnectModel
+from repro.signoff import evaluate_buffered_line, extract_buffered_line
+from repro.units import fF, mm, ps
+
+
+@pytest.fixture(scope="module")
+def library(tech90):
+    from repro.characterization import CharacterizationGrid
+    grid = CharacterizationGrid(
+        sizes=(8.0, 16.0, 32.0, 64.0),
+        input_slews=(ps(30), ps(80), ps(160), ps(320)),
+        load_factors=(2.0, 4.0, 8.0, 16.0, 32.0),
+    )
+    return characterize_library(tech90, RepeaterKind.INVERTER, grid)
+
+
+@pytest.fixture(scope="module")
+def table_model(library, swss90):
+    return TableInterconnectModel(library=library, config=swss90)
+
+
+class TestSizeSnapping:
+    def test_exact_sizes_unchanged(self, table_model):
+        assert table_model.snap_size(16.0) == 16.0
+
+    def test_snaps_to_nearest(self, table_model):
+        assert table_model.snap_size(20.0) == 16.0
+        assert table_model.snap_size(27.0) == 32.0
+        assert table_model.snap_size(200.0) == 64.0
+
+
+class TestLookups:
+    def test_on_grid_lookup_is_exact(self, table_model, library):
+        cell = library.cell(16.0)
+        slew = cell.rise.delay.index_1[1]
+        load = cell.rise.delay.index_2[2]
+        expected = cell.rise.delay.values[1][2]
+        assert table_model.repeater_delay(16.0, slew, load, True) == \
+            pytest.approx(expected)
+
+    def test_interpolated_lookup_monotone(self, table_model):
+        d1 = table_model.repeater_delay(16.0, ps(100), fF(50), True)
+        d2 = table_model.repeater_delay(16.0, ps(100), fF(150), True)
+        assert d2 > d1
+
+
+class TestEvaluation:
+    def test_estimate_shape(self, table_model):
+        estimate = table_model.evaluate(mm(4), 4, 32.0, ps(100))
+        assert estimate.num_repeaters == 4
+        assert estimate.delay == pytest.approx(
+            sum(estimate.stage_delays))
+        assert estimate.total_power > 0
+
+    def test_validation(self, table_model):
+        with pytest.raises(ValueError):
+            table_model.evaluate(0.0, 1, 8.0, ps(100))
+        with pytest.raises(ValueError):
+            table_model.evaluate(mm(1), 0, 8.0, ps(100))
+
+    def test_tracks_golden_at_least_as_well_as_closed_form(
+            self, table_model, suite90):
+        """The tables are the accuracy ceiling: on a characterized
+        size, the table model's delay error vs golden must be within
+        the closed-form band (and typically tighter)."""
+        length, count, size = mm(5), 5, 32.0
+        line = extract_buffered_line(suite90.tech, suite90.config,
+                                     length, count, size)
+        golden = evaluate_buffered_line(line, ps(300)).total_delay
+        table_error = abs(table_model.evaluate(
+            length, count, size, ps(300)).delay - golden) / golden
+        closed_error = abs(suite90.proposed.evaluate(
+            length, count, size, ps(300)).delay - golden) / golden
+        assert table_error < 0.15
+        assert table_error <= closed_error + 0.02
+
+    def test_optimizer_compatible(self, table_model):
+        from repro.buffering import optimize_buffering
+        solution = optimize_buffering(table_model, mm(5),
+                                      delay_weight=0.5)
+        assert solution.delay > 0
+        # The reported size snaps to the characterized grid.
+        assert solution.estimate.repeater_size in (8.0, 16.0, 32.0,
+                                                   64.0)

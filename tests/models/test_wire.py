@@ -1,0 +1,78 @@
+"""Wire-delay model."""
+
+import dataclasses
+
+import pytest
+
+from repro.models.wire import (
+    effective_load_capacitance,
+    switched_wire_capacitance,
+    wire_delay,
+    wire_delay_components,
+)
+from repro.units import fF, mm
+
+
+class TestWireDelay:
+    def test_components_sum(self, swss90):
+        components = wire_delay_components(swss90, mm(2), fF(20))
+        assert components.total == pytest.approx(
+            components.ground_term + components.coupling_term
+            + components.load_term)
+        assert wire_delay(swss90, mm(2), fF(20)) == pytest.approx(
+            components.total)
+
+    def test_quadratic_in_length(self, swss90):
+        # Both R and C grow with length, so the wire-cap terms grow
+        # quadratically.
+        d1 = wire_delay(swss90, mm(1), 0.0)
+        d2 = wire_delay(swss90, mm(2), 0.0)
+        assert d2 == pytest.approx(4 * d1, rel=1e-6)
+
+    def test_miller_factor_scales_coupling_only(self, swss90):
+        quiet = wire_delay_components(swss90, mm(2), fF(20),
+                                      miller_factor=0.0)
+        worst = wire_delay_components(swss90, mm(2), fF(20),
+                                      miller_factor=2.0)
+        assert quiet.coupling_term == 0.0
+        assert worst.coupling_term > 0
+        assert worst.ground_term == pytest.approx(quiet.ground_term)
+        assert worst.load_term == pytest.approx(quiet.load_term)
+
+    def test_default_miller_from_configuration(self, swss90):
+        explicit = wire_delay(swss90, mm(1), fF(10),
+                              miller_factor=swss90.delay_miller)
+        default = wire_delay(swss90, mm(1), fF(10))
+        assert default == pytest.approx(explicit)
+
+    def test_zero_length(self, swss90):
+        assert wire_delay(swss90, 0.0, fF(10)) == 0.0
+
+    def test_negative_length_rejected(self, swss90):
+        with pytest.raises(ValueError):
+            wire_delay(swss90, -mm(1), fF(10))
+
+    def test_resistivity_corrections_increase_delay(self, swss90):
+        optimistic = dataclasses.replace(
+            swss90, include_scattering=False, include_barrier=False)
+        assert wire_delay(swss90, mm(5), fF(20)) > \
+            wire_delay(optimistic, mm(5), fF(20))
+
+
+class TestLoadCapacitance:
+    def test_effective_load_composition(self, swss90):
+        length = mm(1)
+        load = effective_load_capacitance(swss90, length, fF(15))
+        expected = (swss90.ground_capacitance_per_meter() * length
+                    + swss90.delay_miller
+                    * swss90.coupling_capacitance_per_meter() * length
+                    + fF(15))
+        assert load == pytest.approx(expected)
+
+    def test_switched_capacitance_uses_power_miller(self, swss90):
+        switched = switched_wire_capacitance(swss90, mm(1))
+        expected = swss90.switched_capacitance_per_meter() * mm(1)
+        assert switched == pytest.approx(expected)
+        # Staggering must not change switched (power) capacitance.
+        assert switched_wire_capacitance(swss90.staggered(), mm(1)) == \
+            pytest.approx(switched)

@@ -1,0 +1,87 @@
+"""Channel-dependency deadlock analysis."""
+
+import pytest
+
+from repro.noc.deadlock import (
+    analyze_deadlock,
+    assert_deadlock_free,
+    channel_dependency_graph,
+)
+from repro.noc.mesh import build_mesh
+from repro.noc.spec import CommunicationSpec
+from repro.noc.synthesis import synthesize
+from repro.noc.testcases import dual_vopd, vproc
+from repro.noc.topology import NocTopology, core_node, router_node
+from repro.units import mm
+
+
+def ring_topology():
+    """A hand-built topology whose routes form a dependency cycle."""
+    spec = CommunicationSpec(name="ring", data_width=8)
+    positions = [(0, 0), (2, 0), (2, 2), (0, 2)]
+    for index, (x, y) in enumerate(positions):
+        spec.add_core(f"c{index}", mm(x), mm(y))
+    # Each flow goes two hops clockwise around the ring.
+    for index in range(4):
+        spec.add_flow(f"c{index}", f"c{(index + 2) % 4}", 1e8)
+
+    topology = NocTopology(spec=spec)
+    for index, (x, y) in enumerate(positions):
+        topology.add_core_node(f"c{index}")
+        topology.add_router(f"r{index}", mm(x), mm(y))
+        topology.add_link(core_node(f"c{index}"),
+                          router_node(f"r{index}"), mm(0.2))
+        topology.add_link(router_node(f"r{index}"),
+                          core_node(f"c{index}"), mm(0.2))
+    for index in range(4):
+        topology.add_link(router_node(f"r{index}"),
+                          router_node(f"r{(index + 1) % 4}"), mm(2))
+    for index in range(4):
+        path = [core_node(f"c{index}"),
+                router_node(f"r{index}"),
+                router_node(f"r{(index + 1) % 4}"),
+                router_node(f"r{(index + 2) % 4}"),
+                core_node(f"c{(index + 2) % 4}")]
+        topology.route_flow(index, path)
+    return topology
+
+
+class TestCdgConstruction:
+    def test_channels_are_nodes(self, suite90):
+        spec = dual_vopd(suite90.tech)
+        topology = synthesize(spec, suite90.proposed, suite90.tech)
+        cdg = channel_dependency_graph(topology)
+        assert cdg.number_of_nodes() == \
+            topology.graph.number_of_edges()
+
+    def test_dependencies_follow_routes(self):
+        topology = ring_topology()
+        cdg = channel_dependency_graph(topology)
+        held = (router_node("r0"), router_node("r1"))
+        wanted = (router_node("r1"), router_node("r2"))
+        assert cdg.has_edge(held, wanted)
+
+
+class TestCycleDetection:
+    def test_ring_routes_deadlock(self):
+        report = analyze_deadlock(ring_topology())
+        assert not report.deadlock_free
+        assert len(report.cycles) >= 1
+        assert "cycle" in report.summary()
+
+    def test_assert_raises_on_ring(self):
+        with pytest.raises(RuntimeError, match="dependency cycle"):
+            assert_deadlock_free(ring_topology())
+
+    def test_xy_mesh_is_deadlock_free(self, suite90):
+        spec = vproc(suite90.tech)
+        mesh = build_mesh(spec)
+        report = analyze_deadlock(mesh)
+        assert report.deadlock_free, report.summary()
+
+    def test_synthesized_testcases_are_deadlock_free(self, suite90):
+        for factory in (dual_vopd, vproc):
+            spec = factory(suite90.tech)
+            topology = synthesize(spec, suite90.proposed, suite90.tech)
+            report = analyze_deadlock(topology)
+            assert report.deadlock_free, (spec.name, report.summary())

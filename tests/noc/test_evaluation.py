@@ -1,0 +1,83 @@
+"""Topology evaluation and cross-evaluation."""
+
+import pytest
+
+from repro.noc.evaluation import NocReport, evaluate_topology
+from repro.noc.synthesis import synthesize
+from repro.noc.testcases import dual_vopd
+
+
+@pytest.fixture(scope="module")
+def dvopd_proposed(suite90):
+    spec = dual_vopd(suite90.tech)
+    return synthesize(spec, suite90.proposed, suite90.tech)
+
+
+@pytest.fixture(scope="module")
+def dvopd_report(dvopd_proposed, suite90):
+    return evaluate_topology(dvopd_proposed, suite90.proposed,
+                             suite90.tech)
+
+
+class TestReportBasics:
+    def test_totals_positive(self, dvopd_report):
+        assert dvopd_report.dynamic_power > 0
+        assert dvopd_report.leakage_power > 0
+        assert dvopd_report.router_dynamic_power > 0
+        assert dvopd_report.total_area > 0
+
+    def test_total_power_composition(self, dvopd_report):
+        assert dvopd_report.total_power == pytest.approx(
+            dvopd_report.dynamic_power + dvopd_report.leakage_power
+            + dvopd_report.router_dynamic_power)
+
+    def test_no_infeasible_links_under_own_model(self, dvopd_report):
+        assert dvopd_report.infeasible_links == 0
+
+    def test_hops_at_least_two(self, dvopd_report):
+        # Every flow traverses at least ingress and egress routers.
+        assert dvopd_report.avg_hops >= 2.0
+        assert dvopd_report.max_hops >= 2
+
+    def test_max_link_delay_within_clock(self, dvopd_report, suite90):
+        assert dvopd_report.max_link_delay <= \
+            suite90.tech.clock_period() * (1 + 1e-6)
+
+    def test_row_and_header_render(self, dvopd_report):
+        assert len(NocReport.header()) > 0
+        assert dvopd_report.name in dvopd_report.row()
+
+
+class TestCrossEvaluation:
+    def test_original_power_underestimated(self, suite90):
+        """The Table III headline: the original model underestimates
+        dynamic power by up to ~3x."""
+        spec = dual_vopd(suite90.tech)
+        topology = synthesize(spec, suite90.bakoglu, suite90.tech)
+        self_view = evaluate_topology(topology, suite90.bakoglu,
+                                      suite90.tech)
+        accurate = evaluate_topology(topology, suite90.proposed,
+                                     suite90.tech)
+        ratio = accurate.dynamic_power / self_view.dynamic_power
+        assert ratio > 1.5
+
+    def test_same_topology_same_router_costs(self, suite90):
+        # Router power/area depend only on the topology, not on the
+        # interconnect model.
+        spec = dual_vopd(suite90.tech)
+        topology = synthesize(spec, suite90.bakoglu, suite90.tech)
+        a = evaluate_topology(topology, suite90.bakoglu, suite90.tech)
+        b = evaluate_topology(topology, suite90.proposed, suite90.tech)
+        assert a.router_dynamic_power == pytest.approx(
+            b.router_dynamic_power)
+        assert a.router_area == pytest.approx(b.router_area)
+        assert a.avg_hops == b.avg_hops
+
+    def test_area_estimates_differ_strongly(self, suite90):
+        spec = dual_vopd(suite90.tech)
+        topology = synthesize(spec, suite90.bakoglu, suite90.tech)
+        original = evaluate_topology(topology, suite90.bakoglu,
+                                     suite90.tech)
+        accurate = evaluate_topology(topology, suite90.proposed,
+                                     suite90.tech)
+        assert accurate.repeater_area > 1.5 * original.repeater_area

@@ -1,0 +1,97 @@
+"""Rip-up-and-re-route improvement."""
+
+import pytest
+
+from repro.noc.evaluation import evaluate_topology
+from repro.noc.improvement import improve_topology, \
+    _rebuild_without_flow
+from repro.noc.spec import CommunicationSpec
+from repro.noc.synthesis import synthesize
+from repro.noc.testcases import dual_vopd, vproc
+from repro.units import mm
+
+
+@pytest.fixture(scope="module")
+def vproc_result(suite90):
+    spec = vproc(suite90.tech)
+    topology = synthesize(spec, suite90.proposed, suite90.tech)
+    return topology, improve_topology(topology, suite90.proposed,
+                                      suite90.tech)
+
+
+class TestRebuildWithoutFlow:
+    def test_removes_route_and_load(self, suite90):
+        spec = dual_vopd(suite90.tech)
+        topology = synthesize(spec, suite90.proposed, suite90.tech)
+        index = next(iter(topology.routes))
+        flow = spec.flows[index]
+        stripped = _rebuild_without_flow(topology, index)
+        assert index not in stripped.routes
+        assert len(stripped.routes) == len(topology.routes) - 1
+        # Loads on the remaining network never exceed the original.
+        for a, b, data in stripped.links():
+            assert data["load"] <= topology.edge_load(a, b) + 1e-9
+
+    def test_remaining_routes_intact(self, suite90):
+        spec = dual_vopd(suite90.tech)
+        topology = synthesize(spec, suite90.proposed, suite90.tech)
+        index = next(iter(topology.routes))
+        stripped = _rebuild_without_flow(topology, index)
+        for other, path in stripped.routes.items():
+            assert path == topology.routes[other]
+
+
+class TestImprovement:
+    def test_never_worse(self, vproc_result, suite90):
+        _, result = vproc_result
+        assert result.final_power <= result.initial_power * (1 + 1e-9)
+        assert result.improvement >= 0.0
+
+    def test_all_flows_still_routed(self, vproc_result, suite90):
+        _, result = vproc_result
+        spec = result.topology.spec
+        assert len(result.topology.routes) == len(spec.flows)
+        capacity = 128 * suite90.tech.clock_frequency * 0.75
+        assert result.topology.validate(capacity, max_ports=8) == []
+
+    def test_reported_power_matches_evaluation(self, vproc_result,
+                                               suite90):
+        _, result = vproc_result
+        report = evaluate_topology(result.topology, suite90.proposed,
+                                   suite90.tech)
+        assert report.total_power == pytest.approx(result.final_power,
+                                                   rel=1e-9)
+
+    def test_terminates_quickly_on_stable_topology(self, vproc_result,
+                                                   suite90):
+        # A second improvement run on an already-improved topology
+        # makes no further changes.
+        _, result = vproc_result
+        again = improve_topology(result.topology, suite90.proposed,
+                                 suite90.tech)
+        assert again.reroutes == 0
+        assert again.final_power == pytest.approx(result.final_power,
+                                                  rel=1e-12)
+
+    def test_improves_adversarial_ordering(self, suite90):
+        """A spec engineered so greedy bandwidth-order routing commits
+        a detour the improvement pass can undo: many small flows first
+        install a shared trunk, then re-routing lets the big flow's
+        early dedicated path be folded onto it."""
+        spec = CommunicationSpec(name="adv", data_width=64)
+        spec.add_core("a", 0.0, 0.0)
+        spec.add_core("h1", mm(3), mm(0.4))
+        spec.add_core("h2", mm(6), mm(0.4))
+        spec.add_core("b", mm(9), 0.0)
+        # Big flow routed first (greedy order): direct a->b link.
+        spec.add_flow("a", "b", 4e9)
+        # Smaller flows then build a parallel shared path a->h1->h2->b.
+        spec.add_flow("a", "h1", 2e9)
+        spec.add_flow("h1", "h2", 2e9)
+        spec.add_flow("h2", "b", 2e9)
+        spec.add_flow("a", "h2", 1.5e9)
+        spec.add_flow("h1", "b", 1.5e9)
+        topology = synthesize(spec, suite90.proposed, suite90.tech)
+        result = improve_topology(topology, suite90.proposed,
+                                  suite90.tech)
+        assert result.final_power <= result.initial_power * (1 + 1e-9)

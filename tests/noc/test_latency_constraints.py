@@ -1,0 +1,94 @@
+"""Hop (latency) constraints in synthesis."""
+
+import pytest
+
+from repro.noc.spec import CommunicationSpec, Flow
+from repro.noc.synthesis import SynthesisConfig, SynthesisError, \
+    synthesize
+from repro.units import mm
+
+
+@pytest.fixture
+def long_spec(suite90):
+    # a ... far apart ... b, with stepping-stone cores between: without
+    # constraints the accurate model routes through intermediates.
+    spec = CommunicationSpec(name="long", data_width=128)
+    spec.add_core("a", 0.0, 0.0)
+    spec.add_core("m1", mm(7), 0.0)
+    spec.add_core("m2", mm(14), 0.0)
+    spec.add_core("b", mm(21), 0.0)
+    return spec
+
+
+class TestFlowValidation:
+    def test_max_hops_minimum(self):
+        with pytest.raises(ValueError, match="max_hops"):
+            Flow("a", "b", 1e9, max_hops=1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="max_flow_hops"):
+            SynthesisConfig(max_flow_hops=1)
+
+
+class TestHopBudget:
+    def test_unconstrained_uses_intermediate_routers(self, long_spec,
+                                                     suite90):
+        long_spec.add_flow("a", "b", 1e9)
+        topology = synthesize(long_spec, suite90.proposed, suite90.tech)
+        # 21 mm exceeds the 90 nm feasible link; multi-hop required.
+        assert topology.hop_count(0) > 2
+
+    def test_tight_budget_makes_flow_unroutable(self, long_spec,
+                                                suite90):
+        long_spec.add_flow("a", "b", 1e9, max_hops=2)
+        with pytest.raises(SynthesisError, match="within 2 hops"):
+            synthesize(long_spec, suite90.proposed, suite90.tech)
+
+    def test_budget_respected_when_feasible(self, long_spec, suite90):
+        long_spec.add_flow("a", "b", 1e9, max_hops=4)
+        topology = synthesize(long_spec, suite90.proposed, suite90.tech)
+        assert topology.hop_count(0) <= 4
+
+    def test_global_budget_applies_to_all_flows(self, long_spec,
+                                                suite90):
+        long_spec.add_flow("a", "m2", 1e9)
+        long_spec.add_flow("a", "b", 1e9)
+        config = SynthesisConfig(max_flow_hops=4)
+        topology = synthesize(long_spec, suite90.proposed, suite90.tech,
+                              config=config)
+        for index in topology.routes:
+            assert topology.hop_count(index) <= 4
+
+    def test_flow_limit_tightens_global(self, long_spec, suite90):
+        long_spec.add_flow("a", "b", 1e9, max_hops=2)
+        config = SynthesisConfig(max_flow_hops=6)
+        with pytest.raises(SynthesisError):
+            synthesize(long_spec, suite90.proposed, suite90.tech,
+                       config=config)
+
+    def test_scaled_spec_preserves_max_hops(self, long_spec):
+        long_spec.add_flow("a", "b", 1e9, max_hops=3)
+        scaled = long_spec.scaled(0.5)
+        assert scaled.flows[0].max_hops == 3
+
+
+class TestBudgetVsOptimum:
+    def test_budget_may_cost_power(self, suite90):
+        """Forcing fewer hops forces longer (costlier) links when the
+        unconstrained optimum prefers relaying."""
+        spec = CommunicationSpec(name="tri", data_width=128)
+        spec.add_core("a", 0.0, 0.0)
+        spec.add_core("relay", mm(5), 0.0)
+        spec.add_core("b", mm(10), 0.0)
+        spec.add_flow("a", "b", 1e9)
+        free = synthesize(spec, suite90.proposed, suite90.tech)
+
+        spec_tight = CommunicationSpec(name="tri2", data_width=128)
+        spec_tight.add_core("a", 0.0, 0.0)
+        spec_tight.add_core("relay", mm(5), 0.0)
+        spec_tight.add_core("b", mm(10), 0.0)
+        spec_tight.add_flow("a", "b", 1e9, max_hops=2)
+        tight = synthesize(spec_tight, suite90.proposed, suite90.tech)
+
+        assert tight.hop_count(0) == 2
+        assert tight.max_link_length() >= free.max_link_length()

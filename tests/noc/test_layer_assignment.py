@@ -1,0 +1,90 @@
+"""Layer-aware link design."""
+
+import pytest
+
+from repro.models.interconnect import BufferedInterconnectModel
+from repro.noc.link import LayerAwareLinkDesigner, LinkDesigner
+from repro.tech.design_styles import DesignStyle, WireConfiguration
+from repro.units import mm
+
+
+@pytest.fixture(scope="module")
+def layer_models(suite90):
+    intermediate_config = WireConfiguration.for_style(
+        suite90.tech.wire_layers["intermediate"], DesignStyle.SWSS)
+    intermediate_model = BufferedInterconnectModel(
+        tech=suite90.tech,
+        calibration=suite90.calibration,
+        config=intermediate_config,
+        activity_factor=suite90.proposed.activity_factor,
+    )
+    return {"global": suite90.proposed,
+            "intermediate": intermediate_model}
+
+
+@pytest.fixture(scope="module")
+def designer(layer_models, suite90):
+    return LayerAwareLinkDesigner(layer_models, suite90.tech,
+                                  bus_width=128)
+
+
+class TestConstruction:
+    def test_needs_layers(self, suite90):
+        with pytest.raises(ValueError):
+            LayerAwareLinkDesigner({}, suite90.tech, 128)
+
+    def test_capacity_matches_plain_designer(self, designer,
+                                             layer_models, suite90):
+        plain = LinkDesigner(layer_models["global"], suite90.tech, 128)
+        assert designer.capacity() == plain.capacity()
+
+
+class TestFeasibility:
+    def test_max_length_is_best_layer(self, designer, layer_models,
+                                      suite90):
+        per_layer = [
+            LinkDesigner(model, suite90.tech, 128).max_length()
+            for model in layer_models.values()
+        ]
+        assert designer.max_length() == pytest.approx(max(per_layer))
+
+    def test_global_layer_reaches_farther(self, layer_models, suite90):
+        global_reach = LinkDesigner(layer_models["global"],
+                                    suite90.tech, 128).max_length()
+        intermediate_reach = LinkDesigner(layer_models["intermediate"],
+                                          suite90.tech,
+                                          128).max_length()
+        assert global_reach > intermediate_reach
+
+
+class TestLayerChoice:
+    def test_long_links_use_global(self, designer):
+        # Beyond the intermediate layer's reach, only global works.
+        long_length = mm(12)
+        assert designer.layer_choice(long_length) == "global"
+
+    def test_choice_matches_design(self, designer, layer_models,
+                                   suite90):
+        length = mm(2)
+        chosen = designer.layer_choice(length)
+        assert chosen in layer_models
+        design = designer.design(length)
+        reference = LinkDesigner(layer_models[chosen], suite90.tech,
+                                 128).design(length)
+        assert design.leakage_power == pytest.approx(
+            reference.leakage_power)
+
+    def test_infeasible_returns_none(self, designer):
+        too_long = designer.max_length() * 2.0
+        assert designer.design(too_long) is None
+        assert designer.layer_choice(too_long) is None
+
+    def test_design_never_worse_than_single_layer(self, designer,
+                                                  layer_models,
+                                                  suite90):
+        plain = LinkDesigner(layer_models["global"], suite90.tech, 128)
+        for length_mm in (1.0, 3.0, 6.0):
+            combined = designer.design(mm(length_mm))
+            single = plain.design(mm(length_mm))
+            ref_cost = designer._reference_cost
+            assert ref_cost(combined) <= ref_cost(single) * (1 + 1e-9)

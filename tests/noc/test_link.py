@@ -1,0 +1,79 @@
+"""Link design and feasibility."""
+
+import pytest
+
+from repro.noc.link import LinkDesigner
+from repro.units import mm
+
+
+@pytest.fixture(scope="module")
+def designer(suite90):
+    return LinkDesigner(suite90.proposed, suite90.tech, bus_width=128)
+
+
+class TestCapacityAndFeasibility:
+    def test_capacity(self, designer, suite90):
+        expected = 128 * suite90.tech.clock_frequency * 0.75
+        assert designer.capacity() == pytest.approx(expected)
+
+    def test_max_length_cached(self, designer):
+        first = designer.max_length()
+        second = designer.max_length()
+        assert first == second > mm(2)
+
+    def test_feasibility(self, designer):
+        assert designer.is_feasible(mm(2))
+        assert not designer.is_feasible(designer.max_length() * 1.5)
+
+    def test_utilization_validation(self, suite90):
+        with pytest.raises(ValueError):
+            LinkDesigner(suite90.proposed, suite90.tech, 128,
+                         utilization=0.0)
+
+
+class TestDesign:
+    def test_design_meets_clock_period(self, designer, suite90):
+        design = designer.design(mm(4))
+        assert design is not None
+        assert design.delay <= suite90.tech.clock_period() * (1 + 1e-6)
+
+    def test_design_infeasible_length_returns_none(self, designer):
+        too_long = designer.max_length() * 1.5
+        assert designer.design(too_long) is None
+
+    def test_design_cache_by_quantum(self, designer):
+        a = designer.design(mm(2.0))
+        b = designer.design(mm(2.0) + 1e-6)  # same 0.05 mm bucket
+        assert a is b
+
+    def test_length_validation(self, designer):
+        with pytest.raises(ValueError):
+            designer.design(0.0)
+
+    def test_dynamic_power_scales_with_load(self, designer, suite90):
+        design = designer.design(mm(3))
+        vdd = suite90.tech.vdd
+        f = suite90.tech.clock_frequency
+        low = design.dynamic_power(1e9, vdd, f)
+        high = design.dynamic_power(4e9, vdd, f)
+        assert high == pytest.approx(4 * low)
+        assert design.dynamic_power(0.0, vdd, f) == 0.0
+        with pytest.raises(ValueError):
+            design.dynamic_power(-1.0, vdd, f)
+
+    def test_longer_links_cost_more(self, designer, suite90):
+        short = designer.design(mm(1))
+        long_ = designer.design(mm(5))
+        vdd, f = suite90.tech.vdd, suite90.tech.clock_frequency
+        assert long_.leakage_power > short.leakage_power
+        assert long_.dynamic_power(1e9, vdd, f) > \
+            short.dynamic_power(1e9, vdd, f)
+        assert long_.total_area > short.total_area
+
+    def test_bus_width_reflected_in_design(self, suite90):
+        narrow = LinkDesigner(suite90.proposed, suite90.tech, 32)
+        wide = LinkDesigner(suite90.proposed, suite90.tech, 128)
+        d_narrow = narrow.design(mm(3))
+        d_wide = wide.design(mm(3))
+        assert d_wide.leakage_power == pytest.approx(
+            4 * d_narrow.leakage_power, rel=0.01)

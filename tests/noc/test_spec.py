@@ -1,0 +1,84 @@
+"""Communication specification."""
+
+import pytest
+
+from repro.noc.spec import CommunicationSpec, Core, Flow, \
+    flows_by_bandwidth
+from repro.units import mm
+
+
+def make_spec():
+    spec = CommunicationSpec(name="demo", data_width=64)
+    spec.add_core("a", 0.0, 0.0)
+    spec.add_core("b", mm(2), 0.0)
+    spec.add_core("c", mm(2), mm(3))
+    spec.add_flow("a", "b", 1e9)
+    spec.add_flow("b", "c", 2e9)
+    return spec
+
+
+class TestCore:
+    def test_manhattan_distance(self):
+        a = Core("a", 0.0, 0.0)
+        b = Core("b", mm(3), mm(4))
+        assert a.distance_to(b) == pytest.approx(mm(7))
+
+
+class TestFlow:
+    def test_self_flow_rejected(self):
+        with pytest.raises(ValueError):
+            Flow("x", "x", 1e9)
+
+    def test_bandwidth_positive(self):
+        with pytest.raises(ValueError):
+            Flow("a", "b", 0.0)
+
+
+class TestSpec:
+    def test_duplicate_core_rejected(self):
+        spec = make_spec()
+        with pytest.raises(ValueError, match="already"):
+            spec.add_core("a", 0.0, 0.0)
+
+    def test_flow_endpoints_must_exist(self):
+        spec = make_spec()
+        with pytest.raises(KeyError):
+            spec.add_flow("a", "zz", 1e9)
+
+    def test_validate_ok(self):
+        make_spec().validate()
+
+    def test_validate_empty(self):
+        with pytest.raises(ValueError):
+            CommunicationSpec(name="empty").validate()
+
+    def test_total_bandwidth(self):
+        assert make_spec().total_bandwidth() == pytest.approx(3e9)
+
+    def test_bounding_box(self):
+        width, height = make_spec().bounding_box()
+        assert width == pytest.approx(mm(2))
+        assert height == pytest.approx(mm(3))
+
+    def test_flow_distance(self):
+        spec = make_spec()
+        assert spec.flow_distance(spec.flows[1]) == pytest.approx(mm(3))
+
+    def test_scaled(self):
+        spec = make_spec().scaled(0.5, name_suffix="@45")
+        assert spec.name == "demo@45"
+        assert spec.bounding_box()[0] == pytest.approx(mm(1))
+        assert len(spec.flows) == 2
+        with pytest.raises(ValueError):
+            make_spec().scaled(0.0)
+
+
+class TestOrdering:
+    def test_flows_by_bandwidth_descending_deterministic(self):
+        spec = make_spec()
+        spec.add_flow("a", "c", 2e9)  # tie with b->c
+        ordered = flows_by_bandwidth(spec.flows)
+        assert ordered[0].bandwidth == 2e9
+        # Tie broken by names: (a, c) before (b, c).
+        assert (ordered[0].source, ordered[0].dest) == ("a", "c")
+        assert ordered[-1].bandwidth == 1e9

@@ -1,0 +1,135 @@
+"""NoC synthesis end-to-end."""
+
+import pytest
+
+from repro.noc.spec import CommunicationSpec
+from repro.noc.synthesis import SynthesisConfig, SynthesisError, \
+    synthesize
+from repro.noc.testcases import dual_vopd
+from repro.units import mm
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    spec = CommunicationSpec(name="small", data_width=64)
+    spec.add_core("a", 0.0, 0.0)
+    spec.add_core("b", mm(3), 0.0)
+    spec.add_core("c", mm(3), mm(3))
+    spec.add_core("d", 0.0, mm(3))
+    spec.add_flow("a", "b", 4e9)
+    spec.add_flow("b", "c", 2e9)
+    spec.add_flow("a", "c", 1e9)
+    spec.add_flow("d", "a", 0.5e9)
+    return spec
+
+
+@pytest.fixture(scope="module")
+def small_noc(small_spec, suite90):
+    return synthesize(small_spec, suite90.proposed, suite90.tech)
+
+
+class TestSynthesizeSmall:
+    def test_all_flows_routed(self, small_noc, small_spec):
+        assert len(small_noc.routes) == len(small_spec.flows)
+
+    def test_constraints_hold(self, small_noc, suite90):
+        capacity = 64 * suite90.tech.clock_frequency * 0.75
+        assert small_noc.validate(capacity, max_ports=8) == []
+
+    def test_paths_start_and_end_at_cores(self, small_noc, small_spec):
+        for index, path in small_noc.routes.items():
+            flow = small_spec.flows[index]
+            assert path[0] == ("core", flow.source)
+            assert path[-1] == ("core", flow.dest)
+            # Interior nodes are routers.
+            assert all(node[0] == "router" for node in path[1:-1])
+
+    def test_no_infeasible_link_installed(self, small_noc, suite90):
+        from repro.noc.link import LinkDesigner
+        designer = LinkDesigner(suite90.proposed, suite90.tech, 64)
+        for _, _, data in small_noc.links():
+            assert data["length"] <= designer.max_length() * (1 + 1e-6)
+
+
+class TestSynthesizeDvopd:
+    def test_dvopd_synthesis_completes(self, suite90):
+        spec = dual_vopd(suite90.tech)
+        topology = synthesize(spec, suite90.proposed, suite90.tech)
+        assert len(topology.routes) == len(spec.flows)
+        capacity = 128 * suite90.tech.clock_frequency * 0.75
+        assert topology.validate(capacity, max_ports=8) == []
+
+    def test_two_instances_stay_disjoint(self, suite90):
+        spec = dual_vopd(suite90.tech)
+        topology = synthesize(spec, suite90.proposed, suite90.tech)
+        # Flows never leave their instance, and the min-power routing
+        # has no reason to cross: check routers used per flow.
+        for index, path in topology.routes.items():
+            flow = spec.flows[index]
+            instance = flow.source.split("_")[0]
+            for node in path:
+                assert node[1].startswith(instance)
+
+
+class TestConstraintsAndErrors:
+    def test_unroutable_flow_raises(self, suite90):
+        spec = CommunicationSpec(name="far", data_width=128)
+        spec.add_core("a", 0.0, 0.0)
+        # Farther than any feasible chain of candidate links: the only
+        # sites are the two endpoint routers, 60 mm apart.
+        spec.add_core("b", mm(60), 0.0)
+        spec.add_flow("a", "b", 1e9)
+        with pytest.raises(SynthesisError):
+            synthesize(spec, suite90.proposed, suite90.tech)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(access_length=0.0)
+        with pytest.raises(ValueError):
+            SynthesisConfig(utilization=2.0)
+
+    def test_flows_share_links_and_loads_aggregate(self, suite90):
+        spec = CommunicationSpec(name="share", data_width=16)
+        spec.add_core("a", 0.0, 0.0)
+        spec.add_core("b", mm(2), 0.0)
+        capacity = 16 * suite90.tech.clock_frequency * 0.75
+        spec.add_flow("a", "b", 0.3 * capacity)
+        spec.add_flow("a", "b", 0.3 * capacity)
+        topology = synthesize(spec, suite90.proposed, suite90.tech)
+        assert topology.validate(capacity, max_ports=8) == []
+        # Both flows share the single direct link; loads aggregate.
+        from repro.noc.topology import router_node
+        load = topology.edge_load(router_node("a"), router_node("b"))
+        assert load == pytest.approx(0.6 * capacity)
+
+    def test_capacity_saturation_is_detected(self, suite90):
+        # Total demand from one core exceeding a link's payload
+        # capacity cannot be routed: the access link itself saturates.
+        spec = CommunicationSpec(name="hot", data_width=4)
+        spec.add_core("a", 0.0, 0.0)
+        spec.add_core("b", mm(2), 0.0)
+        capacity = 4 * suite90.tech.clock_frequency * 0.75
+        spec.add_flow("a", "b", 0.9 * capacity)
+        spec.add_flow("a", "b", 0.2 * capacity)
+        with pytest.raises(SynthesisError):
+            synthesize(spec, suite90.proposed, suite90.tech)
+
+
+class TestModelDependence:
+    def test_optimistic_model_admits_longer_links(self):
+        # At 45 nm / 3 GHz the feasible-length gap between the models
+        # is wide: a long direct link is fine under the optimistic
+        # model but must be split under the accurate one.
+        from repro.experiments.suite import ModelSuite
+        suite = ModelSuite.for_node("45nm")
+        spec = CommunicationSpec(name="span", data_width=128)
+        spec.add_core("a", 0.0, 0.0)
+        spec.add_core("mid", mm(4), 0.0)
+        spec.add_core("b", mm(8), 0.0)
+        spec.add_flow("a", "b", 1e9)
+        original = synthesize(spec, suite.bakoglu, suite.tech)
+        accurate = synthesize(spec, suite.proposed, suite.tech)
+        assert original.max_link_length() > accurate.max_link_length()
+        avg_orig, _ = original.hop_statistics()
+        avg_accu, _ = accurate.hop_statistics()
+        assert avg_accu >= avg_orig

@@ -1,0 +1,66 @@
+"""VPROC and dual-VOPD test cases."""
+
+import pytest
+
+from repro.noc.testcases import dual_vopd, vproc
+from repro.tech import get_technology
+from repro.units import mm
+
+
+class TestDualVopd:
+    def test_core_count_matches_paper(self):
+        assert dual_vopd().num_cores == 26
+
+    def test_data_width(self):
+        assert dual_vopd().data_width == 128
+
+    def test_two_independent_instances(self):
+        spec = dual_vopd()
+        # No flow crosses instances.
+        for flow in spec.flows:
+            assert flow.source.split("_")[0] == flow.dest.split("_")[0]
+
+    def test_validates(self):
+        dual_vopd().validate()
+
+    def test_highest_bandwidth_flow_is_the_decode_stream(self):
+        spec = dual_vopd()
+        top = max(spec.flows, key=lambda f: f.bandwidth)
+        assert top.bandwidth == pytest.approx(362 * 8e6)
+
+    def test_floorplan_scales_with_node(self):
+        base = dual_vopd()
+        scaled = dual_vopd(get_technology("45nm"))
+        ratio = scaled.bounding_box()[0] / base.bounding_box()[0]
+        assert ratio == pytest.approx(45.0 / 90.0)
+
+
+class TestVproc:
+    def test_core_count_matches_paper(self):
+        assert vproc().num_cores == 42
+
+    def test_data_width(self):
+        assert vproc().data_width == 128
+
+    def test_validates(self):
+        vproc().validate()
+
+    def test_pipelines_connected(self):
+        spec = vproc()
+        flow_pairs = {(f.source, f.dest) for f in spec.flows}
+        for k in range(4):
+            assert ("demux", f"pe{k}_s0") in flow_pairs
+            assert (f"pe{k}_s4", "mux") in flow_pairs
+
+    def test_die_size_supports_global_wires(self):
+        # The floorplan must exercise multi-millimeter routes, the
+        # regime the paper's models target.
+        width, height = vproc().bounding_box()
+        assert width > mm(8)
+        assert height > mm(6)
+
+    def test_flow_distances_span_short_and_long(self):
+        spec = vproc()
+        distances = [spec.flow_distance(flow) for flow in spec.flows]
+        assert min(distances) < mm(2)
+        assert max(distances) > mm(6)

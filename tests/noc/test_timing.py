@@ -1,0 +1,73 @@
+"""Flow-level timing analysis."""
+
+import pytest
+
+from repro.noc.router import RouterParameters
+from repro.noc.synthesis import synthesize
+from repro.noc.testcases import dual_vopd
+from repro.noc.timing import analyze_timing, check_latency_requirements
+from repro.noc.topology import NocTopology
+from repro.units import ns
+
+
+@pytest.fixture(scope="module")
+def report(suite90):
+    spec = dual_vopd(suite90.tech)
+    topology = synthesize(spec, suite90.proposed, suite90.tech)
+    return analyze_timing(topology, suite90.tech)
+
+
+class TestAnalyzeTiming:
+    def test_every_flow_covered(self, report, suite90):
+        spec = dual_vopd(suite90.tech)
+        assert len(report.flows) == len(spec.flows)
+
+    def test_cycle_accounting(self, report, suite90):
+        params = RouterParameters.for_technology(suite90.tech, 128)
+        for timing in report.flows:
+            assert timing.router_cycles == \
+                timing.hops * params.pipeline_cycles
+            # Path structure: core->r, (hops-1) router links, r->core.
+            assert timing.link_cycles == timing.hops + 1
+            expected = (timing.total_cycles
+                        * suite90.tech.clock_period())
+            assert timing.latency_seconds == pytest.approx(expected)
+
+    def test_minimum_latency_is_two_hop_path(self, report):
+        fastest = min(report.flows, key=lambda f: f.total_cycles)
+        # core->r->r->core: 3 links + 2 routers x 3 cycles = 9 cycles.
+        assert fastest.total_cycles == 9
+
+    def test_worst_and_average(self, report):
+        worst = report.worst()
+        assert worst.total_cycles >= report.average_cycles()
+
+    def test_format(self, report):
+        text = report.format(limit=5)
+        assert "worst latency" in text
+        assert "cycles" in text
+
+    def test_empty_topology_rejected(self, suite90):
+        spec = dual_vopd(suite90.tech)
+        empty = NocTopology(spec=spec)
+        with pytest.raises(ValueError):
+            analyze_timing(empty, suite90.tech)
+
+
+class TestRequirements:
+    def test_met_requirements_are_silent(self, report):
+        worst = report.worst()
+        requirements = {(worst.source, worst.dest):
+                        worst.latency_seconds * 1.01}
+        assert check_latency_requirements(report, requirements) == []
+
+    def test_violation_reported(self, report):
+        worst = report.worst()
+        requirements = {(worst.source, worst.dest):
+                        worst.latency_seconds * 0.5}
+        violations = check_latency_requirements(report, requirements)
+        assert len(violations) == 1
+        assert "exceeds" in violations[0]
+
+    def test_unconstrained_flows_ignored(self, report):
+        assert check_latency_requirements(report, {}) == []

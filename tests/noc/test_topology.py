@@ -1,0 +1,146 @@
+"""NoC topology graph."""
+
+import pytest
+
+from repro.noc.spec import CommunicationSpec
+from repro.noc.topology import NocTopology, core_node, router_node
+from repro.units import mm
+
+
+@pytest.fixture
+def spec():
+    spec = CommunicationSpec(name="t", data_width=32)
+    spec.add_core("a", 0.0, 0.0)
+    spec.add_core("b", mm(2), 0.0)
+    spec.add_core("c", mm(4), 0.0)
+    spec.add_flow("a", "c", 1e9)
+    spec.add_flow("b", "c", 2e9)
+    return spec
+
+
+@pytest.fixture
+def topology(spec):
+    topo = NocTopology(spec=spec)
+    for name in ("a", "b", "c"):
+        topo.add_core_node(name)
+        core = spec.cores[name]
+        topo.add_router(f"r_{name}", core.x, core.y)
+        topo.add_link(core_node(name), router_node(f"r_{name}"),
+                      mm(0.2))
+        topo.add_link(router_node(f"r_{name}"), core_node(name),
+                      mm(0.2))
+    topo.add_link(router_node("r_a"), router_node("r_b"), mm(2))
+    topo.add_link(router_node("r_b"), router_node("r_c"), mm(2))
+    return topo
+
+
+class TestConstruction:
+    def test_add_link_requires_nodes(self, spec):
+        topo = NocTopology(spec=spec)
+        with pytest.raises(KeyError):
+            topo.add_link(core_node("a"), router_node("r"), mm(1))
+
+    def test_add_link_idempotent(self, topology):
+        before = topology.graph.number_of_edges()
+        topology.add_link(router_node("r_a"), router_node("r_b"), mm(2))
+        assert topology.graph.number_of_edges() == before
+
+
+class TestRouting:
+    def test_route_flow_accumulates_load(self, topology):
+        path = [core_node("a"), router_node("r_a"), router_node("r_b"),
+                router_node("r_c"), core_node("c")]
+        topology.route_flow(0, path)
+        assert topology.edge_load(router_node("r_a"),
+                                  router_node("r_b")) == 1e9
+        path_b = [core_node("b"), router_node("r_b"),
+                  router_node("r_c"), core_node("c")]
+        topology.route_flow(1, path_b)
+        assert topology.edge_load(router_node("r_b"),
+                                  router_node("r_c")) == pytest.approx(
+            3e9)
+
+    def test_route_must_match_endpoints(self, topology):
+        with pytest.raises(ValueError):
+            topology.route_flow(0, [core_node("b"),
+                                    router_node("r_b"),
+                                    core_node("c")])
+
+    def test_route_requires_installed_links(self, topology):
+        with pytest.raises(KeyError):
+            topology.route_flow(0, [core_node("a"),
+                                    router_node("r_c"),
+                                    core_node("c")])
+
+    def test_double_route_rejected(self, topology):
+        path = [core_node("a"), router_node("r_a"), router_node("r_b"),
+                router_node("r_c"), core_node("c")]
+        topology.route_flow(0, path)
+        with pytest.raises(ValueError):
+            topology.route_flow(0, path)
+
+    def test_hop_count(self, topology):
+        path = [core_node("a"), router_node("r_a"), router_node("r_b"),
+                router_node("r_c"), core_node("c")]
+        topology.route_flow(0, path)
+        assert topology.hop_count(0) == 3
+
+    def test_hop_statistics(self, topology):
+        topology.route_flow(0, [core_node("a"), router_node("r_a"),
+                                router_node("r_b"), router_node("r_c"),
+                                core_node("c")])
+        topology.route_flow(1, [core_node("b"), router_node("r_b"),
+                                router_node("r_c"), core_node("c")])
+        avg, worst = topology.hop_statistics()
+        assert avg == pytest.approx(2.5)
+        assert worst == 3
+
+
+class TestQueries:
+    def test_router_degree_counts_distinct_neighbours(self, topology):
+        # r_b touches: core b (both directions), r_a, r_c.
+        assert topology.router_degree(router_node("r_b")) == 3
+
+    def test_max_link_length(self, topology):
+        assert topology.max_link_length() == pytest.approx(mm(2))
+
+    def test_router_link_count(self, topology):
+        assert topology.router_link_count() == 2
+
+    def test_summary(self, topology):
+        assert "3 routers" in topology.summary()
+
+
+class TestValidation:
+    def full_routes(self, topology):
+        topology.route_flow(0, [core_node("a"), router_node("r_a"),
+                                router_node("r_b"), router_node("r_c"),
+                                core_node("c")])
+        topology.route_flow(1, [core_node("b"), router_node("r_b"),
+                                router_node("r_c"), core_node("c")])
+
+    def test_clean_topology_validates(self, topology):
+        self.full_routes(topology)
+        assert topology.validate(capacity=1e12) == []
+
+    def test_unrouted_flow_detected(self, topology):
+        problems = topology.validate(capacity=1e12)
+        assert any("unrouted" in p for p in problems)
+
+    def test_overload_detected(self, topology):
+        self.full_routes(topology)
+        problems = topology.validate(capacity=2.5e9)
+        assert any("overloaded" in p for p in problems)
+
+    def test_port_limit_detected(self, topology):
+        self.full_routes(topology)
+        problems = topology.validate(capacity=1e12, max_ports=2)
+        assert any("ports" in p for p in problems)
+
+    def test_load_consistency_detected(self, topology):
+        self.full_routes(topology)
+        # Corrupt a load behind the API's back.
+        topology.graph.edges[router_node("r_b"),
+                             router_node("r_c")]["load"] *= 2
+        problems = topology.validate(capacity=1e12)
+        assert any("does not match" in p for p in problems)

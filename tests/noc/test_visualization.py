@@ -1,0 +1,61 @@
+"""Topology/floorplan text rendering."""
+
+import pytest
+
+from repro.noc.spec import CommunicationSpec
+from repro.noc.synthesis import synthesize
+from repro.noc.testcases import dual_vopd
+from repro.noc.visualization import (
+    render_floorplan,
+    render_report,
+    render_topology,
+    router_utilization,
+)
+from repro.units import mm
+
+
+@pytest.fixture(scope="module")
+def dvopd_topology(suite90):
+    spec = dual_vopd(suite90.tech)
+    return spec, synthesize(spec, suite90.proposed, suite90.tech)
+
+
+class TestFloorplan:
+    def test_contains_all_core_markers(self, dvopd_topology):
+        spec, _ = dvopd_topology
+        sketch = render_floorplan(spec)
+        assert spec.name in sketch
+        # At least the first characters of several core names appear.
+        assert "d0_vld" in sketch or "d0_vld"[:6] in sketch
+
+    def test_reports_die_size(self, dvopd_topology):
+        spec, _ = dvopd_topology
+        assert "mm" in render_floorplan(spec)
+
+    def test_single_row_floorplan(self):
+        spec = CommunicationSpec(name="line", data_width=8)
+        spec.add_core("a", 0.0, 0.0)
+        spec.add_core("b", mm(5), 0.0)
+        spec.add_flow("a", "b", 1e9)
+        sketch = render_floorplan(spec)
+        assert "a" in sketch and "b" in sketch
+
+
+class TestTopologyRendering:
+    def test_link_table_sorted_by_load(self, dvopd_topology):
+        _, topology = dvopd_topology
+        text = render_topology(topology)
+        assert "Gb/s" in text
+        assert "per-flow routes" in text
+
+    def test_report_combines_both(self, dvopd_topology):
+        spec, topology = dvopd_topology
+        text = render_report(topology, spec)
+        assert spec.name in text
+        assert "router-router links" in text
+
+    def test_router_utilization(self, dvopd_topology):
+        _, topology = dvopd_topology
+        utilization = router_utilization(topology)
+        assert len(utilization) == len(topology.routers())
+        assert all(ports >= 1 for ports in utilization.values())

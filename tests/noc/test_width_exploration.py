@@ -1,0 +1,79 @@
+"""Flit-width exploration."""
+
+import pytest
+
+from repro.noc.testcases import dual_vopd
+from repro.noc.width_exploration import (
+    explore_widths,
+    respecify_width,
+    serialization_overhead,
+)
+
+
+class TestSerializationModel:
+    def test_overhead_above_one(self):
+        for width in (16, 32, 64, 128, 256):
+            assert serialization_overhead(width) > 1.0
+
+    def test_sweet_spot_exists(self):
+        # Narrow flits repeat control bits, wide flits pay padding:
+        # 64 bits is the minimum for the default packet shape.
+        assert serialization_overhead(16) > serialization_overhead(64)
+        assert serialization_overhead(256) > serialization_overhead(64)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            serialization_overhead(2)
+
+
+class TestRespecify:
+    def test_bandwidths_inflated(self, suite90):
+        spec = dual_vopd(suite90.tech)
+        narrow = respecify_width(spec, 32)
+        assert narrow.data_width == 32
+        overhead = serialization_overhead(32)
+        for original, adjusted in zip(spec.flows, narrow.flows):
+            assert adjusted.bandwidth == pytest.approx(
+                original.bandwidth * overhead)
+
+    def test_cores_preserved(self, suite90):
+        spec = dual_vopd(suite90.tech)
+        narrow = respecify_width(spec, 64)
+        assert set(narrow.cores) == set(spec.cores)
+
+
+class TestExploration:
+    @pytest.fixture(scope="class")
+    def exploration(self, suite90):
+        spec = dual_vopd(suite90.tech)
+        return explore_widths(spec, suite90.proposed, suite90.tech,
+                              widths=(32, 64, 128))
+
+    def test_all_widths_evaluated(self, exploration):
+        assert [p.width for p in exploration.points] == [32, 64, 128]
+
+    def test_feasible_points_have_reports(self, exploration):
+        for point in exploration.points:
+            if point.feasible:
+                assert point.report is not None
+                assert point.report.total_power > 0
+
+    def test_best_is_minimum_power(self, exploration):
+        best = exploration.best()
+        assert best.total_power == min(p.total_power
+                                       for p in exploration.points
+                                       if p.feasible)
+
+    def test_narrower_links_cost_less_wire_power(self, exploration):
+        by_width = {p.width: p for p in exploration.points
+                    if p.feasible}
+        if 32 in by_width and 128 in by_width:
+            narrow = by_width[32].report
+            wide = by_width[128].report
+            # Link switching power scales with bus width (same routes);
+            # serialization overhead only partially offsets it.
+            assert narrow.dynamic_power < wide.dynamic_power
+
+    def test_format(self, exploration):
+        text = exploration.format()
+        assert "best width" in text

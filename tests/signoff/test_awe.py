@@ -1,0 +1,123 @@
+"""RC-tree moments and two-pole AWE delay."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.signoff.awe import (
+    RCTree,
+    elmore_delay,
+    rc_tree_moments,
+    tree_delay,
+    two_pole_delay,
+)
+from repro.spice import Circuit, simulate_transient, step
+
+
+class TestRCTreeConstruction:
+    def test_chain_builder(self):
+        tree = RCTree.chain([100.0, 200.0], [1e-15, 2e-15])
+        assert tree.size == 3
+        assert tree.parents == [-1, 0, 1]
+
+    def test_add_node_validation(self):
+        tree = RCTree()
+        with pytest.raises(ValueError):
+            tree.add_node(5, 100.0, 1e-15)
+        with pytest.raises(ValueError):
+            tree.add_node(0, -1.0, 1e-15)
+        with pytest.raises(ValueError):
+            tree.add_node(0, 1.0, -1e-15)
+
+    def test_add_cap(self):
+        tree = RCTree.chain([100.0], [1e-15])
+        tree.add_cap(1, 2e-15)
+        assert tree.capacitances[1] == pytest.approx(3e-15)
+
+    def test_chain_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RCTree.chain([1.0, 2.0], [1e-15])
+
+
+class TestMoments:
+    def test_single_lump_elmore(self):
+        # One R into one C: m1 = RC.
+        tree = RCTree.chain([1000.0], [100e-15])
+        assert elmore_delay(tree, 1) == pytest.approx(1000.0 * 100e-15)
+
+    def test_driver_resistance_adds(self):
+        tree = RCTree.chain([1000.0], [100e-15])
+        with_driver = elmore_delay(tree, 1, driver_resistance=500.0)
+        assert with_driver == pytest.approx(1500.0 * 100e-15)
+
+    def test_chain_elmore_formula(self):
+        # Two lumps: m1(2) = R1*(C1+C2) + R2*C2.
+        r1, r2 = 100.0, 200.0
+        c1, c2 = 10e-15, 20e-15
+        tree = RCTree.chain([r1, r2], [c1, c2])
+        expected = r1 * (c1 + c2) + r2 * c2
+        assert elmore_delay(tree, 2) == pytest.approx(expected)
+
+    def test_branching_tree_shared_resistance(self):
+        # Root -> trunk -> two branches: the off-path branch cap only
+        # sees the shared trunk resistance.
+        tree = RCTree()
+        trunk = tree.add_node(0, 100.0, 0.0)
+        left = tree.add_node(trunk, 50.0, 10e-15)
+        right = tree.add_node(trunk, 75.0, 20e-15)
+        m1, _ = rc_tree_moments(tree)
+        expected_left = 100.0 * (10e-15 + 20e-15) + 50.0 * 10e-15
+        assert m1[left] == pytest.approx(expected_left)
+        expected_right = 100.0 * (10e-15 + 20e-15) + 75.0 * 20e-15
+        assert m1[right] == pytest.approx(expected_right)
+
+    def test_second_moment_positive(self):
+        tree = RCTree.chain([100.0] * 5, [10e-15] * 5)
+        m1, m2 = rc_tree_moments(tree)
+        assert all(v > 0 for v in m1[1:])
+        assert all(v > 0 for v in m2[1:])
+
+
+class TestTwoPoleDelay:
+    def test_single_pole_limit(self):
+        # For a single-pole system m2 = m1^2 and delay = ln(2) m1.
+        m1 = 1e-10
+        assert two_pole_delay(m1, m1 * m1) == pytest.approx(
+            math.log(2.0) * m1, rel=1e-6)
+
+    def test_zero_moment(self):
+        assert two_pole_delay(0.0, 0.0) == 0.0
+
+    def test_distributed_line_delay_near_0p38_elmore(self):
+        # A long RC chain's 50% delay is ~0.76 of its Elmore value
+        # (0.38 RC vs 0.5 RC).
+        n = 40
+        tree = RCTree.chain([10.0] * n, [1e-15] * n)
+        m1, m2 = rc_tree_moments(tree)
+        delay = two_pole_delay(float(m1[n]), float(m2[n]))
+        assert delay == pytest.approx(0.76 * m1[n], rel=0.1)
+
+
+class TestAgainstSimulator:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=8),
+           st.floats(min_value=100.0, max_value=2000.0),
+           st.floats(min_value=5e-15, max_value=100e-15))
+    def test_two_pole_matches_transient(self, segments, r_total, c_total):
+        # Mirror the simulator's pi-ladder exactly: C/n at internal
+        # nodes, C/2n at the far end (the source-side C/2n is driven).
+        caps = [c_total / segments] * (segments - 1) \
+            + [c_total / (2 * segments)]
+        tree = RCTree.chain([r_total / segments] * segments, caps)
+        predicted = tree_delay(tree, segments)
+
+        circuit = Circuit()
+        t0 = 0.05 * r_total * c_total + 1e-12
+        circuit.add_voltage_source("in", step(1.0, at=t0))
+        circuit.add_rc_ladder("in", "out", r_total, c_total,
+                              segments=segments)
+        sim = simulate_transient(circuit, t0 + 6 * r_total * c_total,
+                                 record=["out"])
+        measured = sim.waveform("out").crossing_time(0.5) - t0
+        assert predicted == pytest.approx(measured, rel=0.12)

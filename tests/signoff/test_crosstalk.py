@@ -1,0 +1,97 @@
+"""Explicit coupled-aggressor simulation vs the Miller abstraction."""
+
+import pytest
+
+from repro.signoff.crosstalk import (
+    AggressorActivity,
+    crosstalk_delay_bracket,
+    effective_miller_factor,
+    simulate_coupled_stage,
+)
+from repro.signoff.golden import simulate_stage
+from repro.units import fF, mm, ps
+
+
+@pytest.fixture(scope="module")
+def stage_params(tech90, swss90):
+    length = mm(1.5)
+    return dict(
+        tech=tech90,
+        driver_size=24.0,
+        wire_resistance=swss90.resistance_per_meter() * length,
+        ground_cap=swss90.ground_capacitance_per_meter() * length,
+        coupling_cap=swss90.coupling_capacitance_per_meter() * length,
+        load_cap=fF(20),
+        input_slew=ps(100),
+    )
+
+
+@pytest.fixture(scope="module")
+def bracket(stage_params):
+    return crosstalk_delay_bracket(**stage_params)
+
+
+class TestActivityOrdering:
+    def test_worst_exceeds_quiet_exceeds_best(self, bracket):
+        best, quiet, worst = bracket
+        assert best.delay < quiet.delay < worst.delay
+
+    def test_opposite_slows_substantially(self, bracket):
+        best, _quiet, worst = bracket
+        # Coupling dominates this geometry: worst vs best should differ
+        # by far more than measurement noise.
+        assert worst.delay > 1.3 * best.delay
+
+
+class TestMillerAbstraction:
+    def test_miller_grounded_matches_explicit_worst_case(
+            self, stage_params, bracket):
+        _best, _quiet, worst = bracket
+        approx = simulate_stage(
+            stage_params["tech"], stage_params["driver_size"],
+            stage_params["wire_resistance"],
+            stage_params["ground_cap"]
+            + 1.9 * stage_params["coupling_cap"],
+            stage_params["load_cap"], stage_params["input_slew"],
+            rising_input=True)
+        assert approx.delay == pytest.approx(worst.delay, rel=0.12)
+
+    def test_miller_grounded_matches_explicit_quiet(self, stage_params,
+                                                    bracket):
+        _best, quiet, _worst = bracket
+        approx = simulate_stage(
+            stage_params["tech"], stage_params["driver_size"],
+            stage_params["wire_resistance"],
+            stage_params["ground_cap"] + stage_params["coupling_cap"],
+            stage_params["load_cap"], stage_params["input_slew"],
+            rising_input=True)
+        assert approx.delay == pytest.approx(quiet.delay, rel=0.12)
+
+    def test_effective_miller_factors_physically_placed(self, bracket):
+        best, quiet, worst = bracket
+        assert effective_miller_factor(
+            quiet.delay, quiet.delay, worst.delay) == pytest.approx(1.0)
+        worst_factor = effective_miller_factor(
+            quiet.delay, worst.delay, worst.delay)
+        assert worst_factor == pytest.approx(2.0)
+        best_factor = effective_miller_factor(
+            quiet.delay, best.delay, worst.delay)
+        # Same-direction switching cancels most of the coupling term.
+        assert best_factor < 0.5
+
+    def test_effective_miller_validation(self):
+        with pytest.raises(ValueError):
+            effective_miller_factor(1.0, 1.0, 0.5)
+
+
+class TestFallingTransitions:
+    def test_falling_victim_also_bracketed(self, stage_params):
+        params = dict(stage_params)
+        params["input_slew"] = ps(60)
+        worst = simulate_coupled_stage(
+            **params, rising_input=False,
+            activity=AggressorActivity.OPPOSITE)
+        quiet = simulate_coupled_stage(
+            **params, rising_input=False,
+            activity=AggressorActivity.QUIET)
+        assert worst.delay > quiet.delay

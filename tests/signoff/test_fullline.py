@@ -1,0 +1,44 @@
+"""Monolithic full-line simulation vs the stage-based decomposition."""
+
+import pytest
+
+from repro.signoff.extraction import extract_buffered_line
+from repro.signoff.fullline import evaluate_full_line
+from repro.signoff.golden import evaluate_buffered_line
+from repro.units import mm, ps
+
+
+class TestFullLine:
+    @pytest.mark.parametrize("length_mm,count", [(2, 2), (4, 4)])
+    def test_stage_decomposition_matches_monolithic(
+            self, tech90, swss90, length_mm, count):
+        """The core validation: breaking the line at repeater inputs
+        and re-launching ideal ramps (what every static timer does)
+        agrees with simulating everything at once."""
+        line = extract_buffered_line(tech90, swss90, mm(length_mm),
+                                     count, 24.0)
+        staged = evaluate_buffered_line(line, ps(150))
+        monolithic = evaluate_full_line(line, ps(150))
+        assert staged.total_delay == pytest.approx(
+            monolithic.total_delay, rel=0.06)
+
+    def test_output_slew_agreement(self, tech90, swss90):
+        line = extract_buffered_line(tech90, swss90, mm(3), 3, 24.0)
+        staged = evaluate_buffered_line(line, ps(150))
+        monolithic = evaluate_full_line(line, ps(150))
+        # The staged flow measures slew at the driver-side convention;
+        # agreement within ~20% validates the abstraction for slews.
+        assert staged.output_slew == pytest.approx(
+            monolithic.output_slew, rel=0.2)
+
+    def test_miller_factor_consistency(self, tech90, swss90):
+        line = extract_buffered_line(tech90, swss90, mm(2), 2, 24.0)
+        quiet = evaluate_full_line(line, ps(100), miller_factor=0.0)
+        worst = evaluate_full_line(line, ps(100), miller_factor=1.9)
+        assert worst.total_delay > 1.2 * quiet.total_delay
+
+    def test_node_count_reported(self, tech90, swss90):
+        line = extract_buffered_line(tech90, swss90, mm(2), 2, 24.0)
+        result = evaluate_full_line(line, ps(100))
+        # 2 stages x (driver + 4 RC sections) plus input/output/rails.
+        assert result.node_count > 8

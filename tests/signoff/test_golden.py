@@ -1,0 +1,88 @@
+"""Golden buffered-line evaluation."""
+
+import pytest
+
+from repro.signoff.extraction import extract_buffered_line
+from repro.signoff.golden import evaluate_buffered_line, simulate_stage
+from repro.units import mm, ps
+
+
+class TestSimulateStage:
+    def test_stage_timing_positive(self, tech90):
+        timing = simulate_stage(tech90, 16.0, 200.0, 80e-15, 20e-15,
+                                ps(100), rising_input=True)
+        assert timing.delay > 0
+        assert timing.output_slew > 0
+        assert timing.input_slew == ps(100)
+
+    def test_falling_input_also_works(self, tech90):
+        timing = simulate_stage(tech90, 16.0, 200.0, 80e-15, 20e-15,
+                                ps(100), rising_input=False)
+        assert timing.delay > 0
+
+    def test_delay_grows_with_wire_length(self, tech90, swss90):
+        r = swss90.resistance_per_meter()
+        c = swss90.ground_capacitance_per_meter()
+
+        def stage_delay(length):
+            return simulate_stage(
+                tech90, 16.0, r * length, c * length, 20e-15,
+                ps(100), True).delay
+
+        assert stage_delay(mm(0.5)) < stage_delay(mm(1.5)) \
+            < stage_delay(mm(3.0))
+
+
+class TestEvaluateLine:
+    def test_total_is_sum_of_stages(self, tech90, swss90):
+        line = extract_buffered_line(tech90, swss90, mm(2), 2, 24.0)
+        result = evaluate_buffered_line(line, ps(300))
+        assert result.num_stages == 2
+        assert result.total_delay == pytest.approx(
+            sum(t.delay for t in result.stage_timings))
+
+    def test_slew_propagates_between_stages(self, tech90, swss90):
+        line = extract_buffered_line(tech90, swss90, mm(3), 3, 24.0)
+        result = evaluate_buffered_line(line, ps(300))
+        timings = result.stage_timings
+        assert timings[0].input_slew == ps(300)
+        assert timings[1].input_slew == pytest.approx(
+            timings[0].output_slew)
+        assert timings[2].input_slew == pytest.approx(
+            timings[1].output_slew)
+
+    def test_polarity_alternates(self, tech90, swss90):
+        line = extract_buffered_line(tech90, swss90, mm(3), 3, 24.0)
+        result = evaluate_buffered_line(line, ps(200))
+        directions = [t.rising_input for t in result.stage_timings]
+        assert directions == [True, False, True]
+
+    def test_periodicity_shortcut_matches_full_evaluation(
+            self, tech90, swss90):
+        line = extract_buffered_line(tech90, swss90, mm(6), 8, 24.0)
+        fast = evaluate_buffered_line(line, ps(300),
+                                      use_periodicity=True)
+        slow = evaluate_buffered_line(line, ps(300),
+                                      use_periodicity=False)
+        assert fast.total_delay == pytest.approx(slow.total_delay,
+                                                 rel=0.02)
+
+    def test_miller_factor_increases_delay(self, tech90, swss90):
+        line = extract_buffered_line(tech90, swss90, mm(3), 3, 24.0)
+        quiet = evaluate_buffered_line(line, ps(200), miller_factor=0.0)
+        worst = evaluate_buffered_line(line, ps(200), miller_factor=1.9)
+        assert worst.total_delay > quiet.total_delay * 1.3
+
+    def test_more_repeaters_less_delay_on_long_wire(self, tech90,
+                                                    swss90):
+        sparse = extract_buffered_line(tech90, swss90, mm(8), 2, 24.0)
+        dense = extract_buffered_line(tech90, swss90, mm(8), 8, 24.0)
+        delay_sparse = evaluate_buffered_line(sparse, ps(100)).total_delay
+        delay_dense = evaluate_buffered_line(dense, ps(100)).total_delay
+        # 4 mm unbuffered segments are deep in the quadratic regime.
+        assert delay_dense < delay_sparse
+
+    def test_runtime_recorded(self, tech90, swss90):
+        line = extract_buffered_line(tech90, swss90, mm(1), 1, 8.0)
+        result = evaluate_buffered_line(line, ps(100))
+        assert result.runtime_seconds > 0

@@ -1,0 +1,110 @@
+"""SPEF-like parasitic exchange format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.signoff.extraction import extract_buffered_line
+from repro.signoff.spef import (
+    SpefFile,
+    SpefNet,
+    SpefParseError,
+    dumps_spef,
+    line_to_spef,
+    loads_spef,
+)
+from repro.units import mm
+
+
+def make_simple_spef():
+    net = SpefNet(name="n1", total_cap=30e-15)
+    net.ground_caps["n1:1"] = 10e-15
+    net.ground_caps["n1:2"] = 12e-15
+    net.coupling_caps[("n1:1", "n2:1")] = 8e-15
+    net.resistors.append(("n1:in", "n1:1", 25.0))
+    net.resistors.append(("n1:1", "n1:2", 35.0))
+    return SpefFile(design="demo", nets=[net])
+
+
+class TestRoundtrip:
+    def test_basic_roundtrip(self):
+        spef = make_simple_spef()
+        back = loads_spef(dumps_spef(spef))
+        assert back.design == "demo"
+        net = back.net("n1")
+        assert net.total_cap == pytest.approx(30e-15, rel=1e-5)
+        assert net.ground_caps["n1:1"] == pytest.approx(10e-15, rel=1e-5)
+        assert net.coupling_caps[("n1:1", "n2:1")] == \
+            pytest.approx(8e-15, rel=1e-5)
+        assert net.resistors[1] == ("n1:1", "n1:2", 35.0)
+
+    @given(st.lists(st.floats(min_value=1e-18, max_value=1e-12),
+                    min_size=1, max_size=8))
+    def test_roundtrip_many_caps(self, caps):
+        net = SpefNet(name="x", total_cap=sum(caps))
+        for index, cap in enumerate(caps):
+            net.ground_caps[f"x:{index}"] = cap
+        spef = SpefFile(design="p", nets=[net])
+        back = loads_spef(dumps_spef(spef)).net("x")
+        for index, cap in enumerate(caps):
+            assert back.ground_caps[f"x:{index}"] == \
+                pytest.approx(cap, rel=1e-5)
+
+
+class TestErrors:
+    def test_missing_net_lookup(self):
+        spef = make_simple_spef()
+        with pytest.raises(KeyError):
+            spef.net("nope")
+
+    def test_unterminated_net(self):
+        text = '*SPEF "IEEE 1481"\n*DESIGN d\n*D_NET n 1.0\n*CAP\n'
+        with pytest.raises(SpefParseError, match="unterminated"):
+            loads_spef(text)
+
+    def test_end_without_net(self):
+        with pytest.raises(SpefParseError):
+            loads_spef("*END\n")
+
+    def test_malformed_cap_line(self):
+        text = ('*DESIGN d\n*D_NET n 1.0\n*CAP\n1 too many tokens here x\n'
+                "*END\n")
+        with pytest.raises(SpefParseError, match="cap"):
+            loads_spef(text)
+
+    def test_malformed_res_line(self):
+        text = "*DESIGN d\n*D_NET n 1.0\n*RES\n1 a b\n*END\n"
+        with pytest.raises(SpefParseError, match="res"):
+            loads_spef(text)
+
+    def test_unexpected_line(self):
+        with pytest.raises(SpefParseError, match="unexpected"):
+            loads_spef("GARBAGE\n")
+
+
+class TestLineExport:
+    def test_extracted_line_to_spef(self, tech90, swss90):
+        line = extract_buffered_line(tech90, swss90, mm(2), 2, 8.0)
+        spef = line_to_spef(line, segments_per_wire=4)
+        assert len(spef.nets) == 2
+        net = spef.net("seg0")
+        assert len(net.resistors) == 4
+        total_r = sum(r for _, _, r in net.resistors)
+        assert total_r == pytest.approx(
+            line.stages[0].wire.resistance, rel=1e-6)
+        total_ground = sum(net.ground_caps.values())
+        assert total_ground == pytest.approx(
+            line.stages[0].wire.ground_cap, rel=1e-6)
+        total_coupling = sum(net.coupling_caps.values())
+        assert total_coupling == pytest.approx(
+            line.stages[0].wire.coupling_cap, rel=1e-6)
+
+    def test_export_roundtrips_through_text(self, tech90, swss90):
+        line = extract_buffered_line(tech90, swss90, mm(1), 1, 8.0)
+        spef = line_to_spef(line)
+        back = loads_spef(dumps_spef(spef))
+        assert back.design == spef.design
+        original = spef.net("seg0")
+        parsed = back.net("seg0")
+        assert len(parsed.resistors) == len(original.resistors)
+        assert sum(parsed.ground_caps.values()) == pytest.approx(
+            sum(original.ground_caps.values()), rel=1e-4)

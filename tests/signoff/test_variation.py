@@ -1,0 +1,94 @@
+"""Monte-Carlo within-die variation."""
+
+import numpy as np
+import pytest
+
+from repro.signoff.extraction import extract_buffered_line
+from repro.signoff.variation import (
+    VariationModel,
+    monte_carlo_line_delay,
+    sample_line_delay,
+)
+from repro.units import mm, ps
+
+
+@pytest.fixture(scope="module")
+def short_line(tech90, swss90):
+    return extract_buffered_line(tech90, swss90, mm(2), 2, 24.0)
+
+
+class TestVariationModel:
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError):
+            VariationModel(drive_sigma=-0.1)
+
+    def test_zero_sigma_is_identity(self, tech90):
+        rng = np.random.default_rng(1)
+        model = VariationModel(0.0, 0.0)
+        perturbed = model.perturb_technology(tech90, rng)
+        assert perturbed.nmos.k_sat == tech90.nmos.k_sat
+        assert perturbed.pmos.vth == tech90.pmos.vth
+
+    def test_perturbation_changes_devices(self, tech90):
+        rng = np.random.default_rng(1)
+        model = VariationModel(0.1, 0.05)
+        perturbed = model.perturb_technology(tech90, rng)
+        assert perturbed.nmos.k_sat != tech90.nmos.k_sat
+
+    def test_deterministic_given_seed(self, tech90):
+        model = VariationModel()
+        a = model.perturb_technology(tech90,
+                                     np.random.default_rng(7))
+        b = model.perturb_technology(tech90,
+                                     np.random.default_rng(7))
+        assert a.nmos.k_sat == b.nmos.k_sat
+
+
+class TestMonteCarlo:
+    @pytest.fixture(scope="class")
+    def result(self, short_line):
+        return monte_carlo_line_delay(short_line, ps(100), samples=12,
+                                      seed=42)
+
+    def test_sigma_positive_and_small(self, result):
+        assert result.sigma > 0
+        # Per-stage 5% drive sigma averages down over the chain.
+        assert result.sigma_over_mean < 0.10
+
+    def test_mean_near_nominal(self, result):
+        assert result.mean == pytest.approx(result.nominal_delay,
+                                            rel=0.1)
+
+    def test_reproducible(self, short_line):
+        a = monte_carlo_line_delay(short_line, ps(100), samples=5,
+                                   seed=3)
+        b = monte_carlo_line_delay(short_line, ps(100), samples=5,
+                                   seed=3)
+        assert a.samples == b.samples
+
+    def test_three_sigma_exceeds_mean(self, result):
+        assert result.three_sigma_delay() > result.mean
+
+    def test_sample_count_validation(self, short_line):
+        with pytest.raises(ValueError):
+            monte_carlo_line_delay(short_line, ps(100), samples=1)
+
+    def test_format(self, result):
+        assert "sigma" in result.format()
+
+
+class TestAveragingEffect:
+    def test_longer_chains_have_smaller_relative_sigma(self, tech90,
+                                                       swss90):
+        """Independent per-stage variation averages out over the chain:
+        the relative sigma of a 4-stage line sits clearly below a
+        single stage's (ideal iid scaling would be 1/2; wire delay is
+        variation-free and the sigma estimator is noisy at this sample
+        count, so assert a conservative gap)."""
+        short = extract_buffered_line(tech90, swss90, mm(1), 1, 24.0)
+        long_ = extract_buffered_line(tech90, swss90, mm(4), 4, 24.0)
+        sigma_short = monte_carlo_line_delay(
+            short, ps(100), samples=20, seed=11).sigma_over_mean
+        sigma_long = monte_carlo_line_delay(
+            long_, ps(100), samples=20, seed=11).sigma_over_mean
+        assert sigma_long < 0.9 * sigma_short

@@ -1,0 +1,83 @@
+"""Linear elements and source waveforms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spice.elements import (
+    Capacitor,
+    Resistor,
+    constant,
+    ramp,
+    step,
+)
+
+
+class TestResistor:
+    def test_conductance(self):
+        assert Resistor(0, 1, 500.0).conductance == pytest.approx(0.002)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Resistor(0, 1, 0.0)
+        with pytest.raises(ValueError):
+            Resistor(0, 1, -5.0)
+
+
+class TestCapacitor:
+    def test_accepts_zero(self):
+        assert Capacitor(0, 1, 0.0).capacitance == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Capacitor(0, 1, -1e-15)
+
+
+class TestStep:
+    def test_before_and_after(self):
+        waveform = step(1.0, at=1e-9, initial=0.2)
+        assert waveform(0.0) == 0.2
+        assert waveform(1e-9) == 1.0
+        assert waveform(2e-9) == 1.0
+
+
+class TestRamp:
+    def test_endpoints(self):
+        waveform = ramp(0.0, 1.0, t_start=1e-10, transition=2e-10)
+        assert waveform(0.0) == 0.0
+        assert waveform(1e-10) == 0.0
+        assert waveform(3e-10) == 1.0
+        assert waveform(1e-9) == 1.0
+
+    def test_midpoint(self):
+        waveform = ramp(0.0, 1.0, t_start=0.0, transition=2e-10)
+        assert waveform(1e-10) == pytest.approx(0.5)
+
+    def test_falling_ramp(self):
+        waveform = ramp(1.0, 0.0, t_start=0.0, transition=1e-10)
+        assert waveform(0.5e-10) == pytest.approx(0.5)
+        assert waveform(1e-10) == 0.0
+
+    def test_zero_transition_is_step(self):
+        waveform = ramp(0.0, 1.0, t_start=1e-10, transition=0.0)
+        assert waveform(0.99e-10) == 0.0
+        assert waveform(1.01e-10) == 1.0
+
+    def test_negative_transition_rejected(self):
+        with pytest.raises(ValueError):
+            ramp(0.0, 1.0, 0.0, -1e-12)
+
+    @given(st.floats(min_value=0.0, max_value=1e-8),
+           st.floats(min_value=1e-12, max_value=1e-9))
+    def test_monotonic(self, t_start, transition):
+        waveform = ramp(0.0, 1.0, t_start, transition)
+        times = [t_start + fraction * transition * 1.5
+                 for fraction in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        values = [waveform(t) for t in times]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+
+def test_constant():
+    waveform = constant(1.1)
+    assert waveform(0.0) == 1.1
+    assert waveform(1e-6) == 1.1

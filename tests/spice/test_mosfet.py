@@ -1,0 +1,139 @@
+"""Alpha-power MOSFET model: physics and Newton-readiness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice.mosfet import Mosfet, subthreshold_smoothing
+from repro.tech import get_technology
+
+
+@pytest.fixture(scope="module")
+def nmos(tech=None):
+    tech = get_technology("90nm")
+    return Mosfet(drain=0, gate=1, source=-1, parameters=tech.nmos,
+                  width=1e-6, reference_vdd=tech.vdd)
+
+
+@pytest.fixture(scope="module")
+def pmos():
+    tech = get_technology("90nm")
+    return Mosfet(drain=0, gate=1, source=2, parameters=tech.pmos,
+                  width=2e-6, reference_vdd=tech.vdd)
+
+
+class TestNmosPhysics:
+    def test_off_current_matches_spec(self, nmos):
+        # The smoothing parameter is solved so that the off current at
+        # (vgs=0, vds=vdd) equals the specified subthreshold leakage.
+        point = nmos.evaluate(0.0, 1.0)
+        specified = nmos.parameters.i_leak * nmos.width
+        assert point.ids == pytest.approx(specified, rel=0.05)
+
+    def test_on_current_close_to_idsat_target(self, nmos):
+        point = nmos.evaluate(1.0, 1.0)
+        overdrive = 1.0 - nmos.parameters.vth
+        target = (nmos.parameters.k_sat * nmos.width
+                  * overdrive**nmos.parameters.alpha)
+        # CLM adds a little; softplus smoothing perturbs slightly.
+        assert point.ids == pytest.approx(target, rel=0.15)
+        assert point.ids > 0
+
+    def test_zero_vds_zero_current(self, nmos):
+        point = nmos.evaluate(1.0, 0.0)
+        assert point.ids == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetric_conduction(self, nmos):
+        forward = nmos.evaluate(1.0, 0.4)
+        # Same physical bias seen from the other terminal: the gate sits
+        # 0.6 V above the (new) source and the channel drop reverses.
+        reverse = nmos.evaluate(0.6, -0.4)
+        assert reverse.ids == pytest.approx(-forward.ids, rel=1e-9)
+
+    def test_monotonic_in_vgs(self, nmos):
+        currents = [nmos.evaluate(v, 1.0).ids
+                    for v in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_monotonic_in_vds(self, nmos):
+        currents = [nmos.evaluate(1.0, v).ids
+                    for v in (0.0, 0.1, 0.2, 0.4, 0.8, 1.0)]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_gm_positive_above_threshold(self, nmos):
+        assert nmos.evaluate(0.8, 1.0).gm > 0
+
+    def test_gds_positive(self, nmos):
+        assert nmos.evaluate(1.0, 1.0).gds > 0
+        assert nmos.evaluate(1.0, 0.1).gds > 0
+
+
+class TestDerivativeConsistency:
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=-0.2, max_value=1.2),
+           st.floats(min_value=-1.2, max_value=1.2))
+    def test_gm_matches_finite_difference(self, vgs, vds):
+        tech = get_technology("90nm")
+        device = Mosfet(0, 1, -1, tech.nmos, 1e-6, tech.vdd)
+        h = 1e-6
+        base = device.evaluate(vgs, vds)
+        bumped = device.evaluate(vgs + h, vds)
+        numeric = (bumped.ids - base.ids) / h
+        scale = max(abs(base.gm), abs(numeric), 1e-9)
+        assert abs(base.gm - numeric) / scale < 0.05
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=-0.2, max_value=1.2),
+           st.floats(min_value=-1.2, max_value=1.2))
+    def test_gds_matches_finite_difference(self, vgs, vds):
+        tech = get_technology("90nm")
+        device = Mosfet(0, 1, -1, tech.nmos, 1e-6, tech.vdd)
+        h = 1e-6
+        base = device.evaluate(vgs, vds)
+        bumped = device.evaluate(vgs, vds + h)
+        numeric = (bumped.ids - base.ids) / h
+        scale = max(abs(base.gds), abs(numeric), 1e-9)
+        assert abs(base.gds - numeric) / scale < 0.05
+
+
+class TestPmos:
+    def test_conducts_with_negative_bias(self, pmos):
+        # pMOS in an inverter: source at vdd, gate low, drain below vdd.
+        point = pmos.evaluate(-1.0, -1.0)  # vgs = -vdd, vds = -vdd
+        assert point.ids < 0  # current flows source -> drain
+
+    def test_off_at_zero_vgs(self, pmos):
+        on = abs(pmos.evaluate(-1.0, -1.0).ids)
+        off = abs(pmos.evaluate(0.0, -1.0).ids)
+        assert off < on / 100
+
+
+class TestSmoothing:
+    def test_cached_and_in_range(self):
+        tech = get_technology("65nm")
+        s1 = subthreshold_smoothing(tech.nmos, tech.vdd)
+        s2 = subthreshold_smoothing(tech.nmos, tech.vdd)
+        assert s1 == s2
+        assert 0.005 <= s1 <= 0.5
+
+
+class TestCapacitancesAndLeakage:
+    def test_capacitances_scale_with_width(self):
+        tech = get_technology("90nm")
+        small = Mosfet(0, 1, -1, tech.nmos, 1e-6, tech.vdd)
+        large = Mosfet(0, 1, -1, tech.nmos, 3e-6, tech.vdd)
+        assert large.gate_capacitance == pytest.approx(
+            3 * small.gate_capacitance)
+        assert large.drain_capacitance == pytest.approx(
+            3 * small.drain_capacitance)
+
+    def test_leakage_current_includes_gate_tunneling(self):
+        tech = get_technology("90nm")
+        device = Mosfet(0, 1, -1, tech.nmos, 1e-6, tech.vdd)
+        leak = device.leakage_current(tech.vdd)
+        channel_only = abs(device.evaluate(0.0, tech.vdd).ids)
+        assert leak > channel_only
+
+    def test_width_validation(self):
+        tech = get_technology("90nm")
+        with pytest.raises(ValueError):
+            Mosfet(0, 1, -1, tech.nmos, 0.0, tech.vdd)

@@ -1,0 +1,107 @@
+"""Circuit container."""
+
+import pytest
+
+from repro.spice import Circuit
+from repro.spice.elements import GROUND, constant
+
+
+class TestNodes:
+    def test_ground_aliases(self):
+        circuit = Circuit()
+        for name in ("0", "gnd", "GND", "vss", "VSS"):
+            assert circuit.node(name) == GROUND
+        assert circuit.node_count == 0
+
+    def test_indices_are_dense_and_stable(self):
+        circuit = Circuit()
+        a = circuit.node("a")
+        b = circuit.node("b")
+        assert (a, b) == (0, 1)
+        assert circuit.node("a") == a
+        assert circuit.node_count == 2
+        assert circuit.node_names() == ["a", "b"]
+
+    def test_node_name_roundtrip(self):
+        circuit = Circuit()
+        index = circuit.node("out")
+        assert circuit.node_name(index) == "out"
+        assert circuit.node_name(GROUND) == "0"
+
+    def test_has_node(self):
+        circuit = Circuit()
+        circuit.node("x")
+        assert circuit.has_node("x")
+        assert circuit.has_node("gnd")
+        assert not circuit.has_node("y")
+
+
+class TestElements:
+    def test_add_elements(self, tech90):
+        circuit = Circuit("demo")
+        circuit.add_resistor("a", "b", 100.0)
+        circuit.add_capacitor("b", "0", 1e-15)
+        circuit.add_supply("vdd", 1.0)
+        circuit.add_current_source("a", constant(1e-6))
+        circuit.add_mosfet("b", "a", "0", tech90.nmos, 1e-6)
+        assert len(circuit.resistors) == 1
+        assert len(circuit.capacitors) == 1
+        assert len(circuit.voltage_sources) == 1
+        assert len(circuit.current_sources) == 1
+        assert len(circuit.mosfets) == 1
+        summary = circuit.summary()
+        assert "demo" in summary
+        assert "1R 1C 1M 1V 1I" in summary
+
+    def test_cannot_drive_ground(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError, match="ground"):
+            circuit.add_supply("gnd", 1.0)
+
+    def test_cannot_double_drive_a_node(self):
+        circuit = Circuit()
+        circuit.add_supply("vdd", 1.0)
+        with pytest.raises(ValueError, match="already"):
+            circuit.add_supply("vdd", 1.2)
+
+    def test_driven_nodes_mapping(self):
+        circuit = Circuit()
+        circuit.add_supply("vdd", 1.0)
+        driven = circuit.driven_nodes()
+        assert list(driven) == [circuit.node("vdd")]
+        assert driven[circuit.node("vdd")](0.0) == 1.0
+
+
+class TestComposites:
+    def test_inverter_adds_two_devices(self, tech90):
+        circuit = Circuit()
+        circuit.add_supply("vdd", tech90.vdd)
+        n_dev, p_dev = circuit.add_inverter(
+            "in", "out", "vdd", tech90.nmos, tech90.pmos,
+            1e-6, 2e-6, tech90.vdd)
+        assert n_dev.parameters.is_nmos
+        assert not p_dev.parameters.is_nmos
+        assert n_dev.source == GROUND
+        assert p_dev.source == circuit.node("vdd")
+        assert n_dev.drain == p_dev.drain == circuit.node("out")
+
+    def test_rc_ladder_structure(self):
+        circuit = Circuit()
+        circuit.add_rc_ladder("in", "out", 1000.0, 100e-15, segments=5)
+        assert len(circuit.resistors) == 5
+        assert len(circuit.capacitors) == 10
+        total_r = sum(r.resistance for r in circuit.resistors)
+        total_c = sum(c.capacitance for c in circuit.capacitors)
+        assert total_r == pytest.approx(1000.0)
+        assert total_c == pytest.approx(100e-15)
+
+    def test_rc_ladder_single_segment(self):
+        circuit = Circuit()
+        circuit.add_rc_ladder("in", "out", 500.0, 50e-15, segments=1)
+        assert len(circuit.resistors) == 1
+        assert circuit.has_node("out")
+
+    def test_rc_ladder_rejects_zero_segments(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            circuit.add_rc_ladder("in", "out", 1.0, 1e-15, segments=0)

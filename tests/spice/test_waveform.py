@@ -1,0 +1,104 @@
+"""Waveform measurements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spice.waveform import Waveform, measure_delay, measure_slew
+
+
+def make_ramp(t_start=1e-10, transition=2e-10, v0=0.0, v1=1.0,
+              samples=500, t_end=1e-9):
+    times = np.linspace(0.0, t_end, samples)
+    values = np.clip((times - t_start) / transition, 0.0, 1.0)
+    return Waveform(times, v0 + values * (v1 - v0))
+
+
+class TestConstruction:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 1.0]), np.array([0.0]))
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0]), np.array([0.0]))
+
+
+class TestCrossings:
+    def test_rising_crossing_interpolates(self):
+        wave = make_ramp()
+        t50 = wave.crossing_time(0.5)
+        assert t50 == pytest.approx(2e-10, rel=0.01)
+
+    def test_falling_crossing(self):
+        wave = make_ramp(v0=1.0, v1=0.0)
+        t50 = wave.crossing_time(0.5)
+        assert t50 == pytest.approx(2e-10, rel=0.01)
+        assert not wave.rising
+
+    def test_never_crossed_raises(self):
+        wave = make_ramp()
+        with pytest.raises(ValueError, match="never crosses"):
+            wave.crossing_time(2.0)
+
+    def test_direction_override(self):
+        # A pulse: rises then falls; ask for the falling crossing.
+        times = np.linspace(0, 4e-10, 400)
+        values = np.where(times < 2e-10, times / 2e-10,
+                          2.0 - times / 2e-10)
+        wave = Waveform(times, values)
+        t_fall = wave.crossing_time(0.5, rising=False)
+        assert t_fall == pytest.approx(3e-10, rel=0.02)
+
+
+class TestSlew:
+    def test_ideal_ramp_slew_equals_transition(self):
+        # The 20-80 window scaled by 1/0.6 recovers the full ramp time.
+        wave = make_ramp(transition=3e-10)
+        assert wave.slew(0.0, 1.0) == pytest.approx(3e-10, rel=0.02)
+
+    def test_falling_slew(self):
+        wave = make_ramp(v0=1.0, v1=0.0, transition=2e-10)
+        assert wave.slew(0.0, 1.0) == pytest.approx(2e-10, rel=0.02)
+
+    @given(st.floats(min_value=5e-11, max_value=5e-10))
+    def test_slew_scales_with_ramp(self, transition):
+        wave = make_ramp(transition=transition, t_end=2e-9,
+                         samples=2000)
+        assert wave.slew(0.0, 1.0) == pytest.approx(transition,
+                                                    rel=0.05)
+
+
+class TestDelay:
+    def test_delay_between_shifted_ramps(self):
+        wave_in = make_ramp(t_start=0.0)
+        wave_out = make_ramp(t_start=1.5e-10)
+        delay = measure_delay(wave_in, wave_out, 0.0, 1.0)
+        assert delay == pytest.approx(1.5e-10, rel=0.02)
+
+    def test_inverting_delay(self):
+        wave_in = make_ramp(t_start=0.0, transition=1e-10)
+        wave_out = make_ramp(t_start=2e-10, transition=1e-10,
+                             v0=1.0, v1=0.0)
+        delay = measure_delay(wave_in, wave_out, 0.0, 1.0)
+        assert delay == pytest.approx(2e-10, rel=0.02)
+
+    def test_measure_slew_helper(self):
+        wave = make_ramp(transition=2.4e-10)
+        assert measure_slew(wave, 0.0, 1.0) == pytest.approx(2.4e-10,
+                                                             rel=0.05)
+
+
+class TestUtility:
+    def test_settled(self):
+        wave = make_ramp()
+        assert wave.settled(1.0, 0.01)
+        assert not wave.settled(0.5, 0.01)
+
+    def test_value_at_interpolates(self):
+        wave = make_ramp(t_start=0.0, transition=2e-10)
+        assert wave.value_at(1e-10) == pytest.approx(0.5, abs=0.01)
+
+    def test_swing(self):
+        wave = make_ramp(v0=0.2, v1=0.9)
+        assert wave.swing() == pytest.approx(0.7, abs=0.01)

@@ -1,0 +1,96 @@
+"""Process/voltage corner derating."""
+
+import pytest
+
+from repro.tech.corners import (
+    ProcessCorner,
+    STANDARD_CORNERS,
+    apply_corner,
+    corner_sweep,
+    guard_band,
+)
+
+
+class TestApplyCorner:
+    def test_typical_is_identity_except_name(self, tech90):
+        typical = apply_corner(tech90, ProcessCorner.TYPICAL)
+        assert typical.vdd == tech90.vdd
+        assert typical.nmos.k_sat == tech90.nmos.k_sat
+        assert typical.name == "90nm-tt"
+
+    def test_slow_corner_weaker_and_lower_voltage(self, tech90):
+        slow = apply_corner(tech90, ProcessCorner.SLOW)
+        assert slow.vdd < tech90.vdd
+        assert slow.nmos.k_sat < tech90.nmos.k_sat
+        assert slow.nmos.vth > tech90.nmos.vth
+        assert slow.nmos.i_leak < tech90.nmos.i_leak
+
+    def test_fast_corner_stronger_and_leakier(self, tech90):
+        fast = apply_corner(tech90, ProcessCorner.FAST)
+        assert fast.vdd > tech90.vdd
+        assert fast.nmos.k_sat > tech90.nmos.k_sat
+        assert fast.nmos.vth < tech90.nmos.vth
+        assert fast.nmos.i_leak > tech90.nmos.i_leak
+
+    def test_metal_thickness_moves_with_process(self, tech90):
+        slow = apply_corner(tech90, ProcessCorner.SLOW)
+        fast = apply_corner(tech90, ProcessCorner.FAST)
+        assert slow.global_layer.thickness < \
+            tech90.global_layer.thickness < \
+            fast.global_layer.thickness
+
+    def test_wire_resistance_ordering(self, tech90):
+        from repro.tech.design_styles import DesignStyle, \
+            WireConfiguration
+
+        def resistance(tech):
+            config = WireConfiguration.for_style(tech.global_layer,
+                                                 DesignStyle.SWSS)
+            return config.resistance_per_meter()
+
+        slow = apply_corner(tech90, ProcessCorner.SLOW)
+        fast = apply_corner(tech90, ProcessCorner.FAST)
+        assert resistance(slow) > resistance(tech90) > resistance(fast)
+
+    def test_both_flavours_derated(self, tech90):
+        slow = apply_corner(tech90, ProcessCorner.SLOW)
+        assert slow.pmos.k_sat < tech90.pmos.k_sat
+
+
+class TestSweepAndGuardBand:
+    def test_sweep_covers_three_corners(self, tech90):
+        sweep = corner_sweep(tech90)
+        assert set(sweep) == set(ProcessCorner)
+
+    def test_guard_band(self):
+        assert guard_band(1.15, 1.0) == pytest.approx(0.15)
+        with pytest.raises(ValueError):
+            guard_band(1.0, 0.0)
+
+    def test_standard_corner_table_consistency(self):
+        typical = STANDARD_CORNERS[ProcessCorner.TYPICAL]
+        assert typical.drive_shift == 0.0
+        slow = STANDARD_CORNERS[ProcessCorner.SLOW]
+        fast = STANDARD_CORNERS[ProcessCorner.FAST]
+        assert slow.drive_shift < 0 < fast.drive_shift
+        assert slow.vdd_shift < 0 < fast.vdd_shift
+
+
+class TestCornerDelays:
+    def test_inverter_delay_ordering_across_corners(self, tech90):
+        """Gate delay must order fast < typical < slow in simulation."""
+        from repro.characterization.cells import RepeaterCell, \
+            RepeaterKind
+        from repro.characterization.harness import _measure_point
+        from repro.units import fF, ps
+
+        delays = {}
+        for corner in ProcessCorner:
+            cornered = apply_corner(tech90, corner)
+            cell = RepeaterCell(tech=cornered,
+                                kind=RepeaterKind.INVERTER, size=8.0)
+            delays[corner], _ = _measure_point(cell, ps(80), fF(40),
+                                               rising_output=True)
+        assert delays[ProcessCorner.FAST] < \
+            delays[ProcessCorner.TYPICAL] < \
+            delays[ProcessCorner.SLOW]

@@ -1,0 +1,93 @@
+"""Mini-LEF reader/writer."""
+
+import pytest
+
+from repro.tech import lef
+from repro.tech.lef import LefParseError
+from repro.units import um
+
+
+def test_from_technology_exports_all_layers(tech90):
+    library = lef.from_technology(tech90)
+    assert set(library.layers) == set(tech90.wire_layers)
+    assert "core" in library.sites
+
+
+def test_roundtrip_preserves_geometry(tech90):
+    library = lef.from_technology(tech90)
+    back = lef.roundtrip(library)
+    for name, layer in library.layers.items():
+        parsed = back.layers[name]
+        assert parsed.width == pytest.approx(layer.width, rel=1e-5)
+        assert parsed.spacing == pytest.approx(layer.spacing, rel=1e-5)
+        assert parsed.thickness == pytest.approx(layer.thickness,
+                                                 rel=1e-5)
+        assert parsed.ild_thickness == pytest.approx(
+            layer.ild_thickness, rel=1e-5)
+        assert parsed.dielectric_constant == pytest.approx(
+            layer.dielectric_constant, rel=1e-5)
+        assert parsed.barrier_thickness == pytest.approx(
+            layer.barrier_thickness, rel=1e-4, abs=1e-12)
+
+
+def test_site_dimensions(tech90):
+    library = lef.roundtrip(lef.from_technology(tech90))
+    pitch, height = lef.site_dimensions(library)
+    assert pitch == pytest.approx(tech90.contact_pitch, rel=1e-5)
+    assert height == pytest.approx(tech90.row_height, rel=1e-5)
+
+
+def test_site_dimensions_missing_site(tech90):
+    library = lef.from_technology(tech90)
+    with pytest.raises(KeyError):
+        lef.site_dimensions(library, "nonexistent")
+
+
+def test_routing_layer_lookup(tech90):
+    library = lef.from_technology(tech90)
+    assert library.routing_layer("global").name == "global"
+    with pytest.raises(KeyError, match="known layers"):
+        library.routing_layer("metal9")
+
+
+def test_parse_rejects_non_routing_layer():
+    text = """VERSION 5.7 ;
+LAYER poly
+  TYPE MASTERSLICE ;
+END poly
+END LIBRARY
+"""
+    with pytest.raises(LefParseError, match="ROUTING"):
+        lef.loads(text)
+
+
+def test_parse_rejects_incomplete_layer():
+    text = """VERSION 5.7 ;
+LAYER m1
+  TYPE ROUTING ;
+  WIDTH 0.4 ;
+END m1
+END LIBRARY
+"""
+    with pytest.raises(LefParseError, match="missing"):
+        lef.loads(text)
+
+
+def test_parse_rejects_unknown_statement():
+    with pytest.raises(LefParseError, match="unsupported"):
+        lef.loads("GARBAGE 42 ;\n")
+
+
+def test_site_requires_size():
+    text = """SITE core
+END core
+END LIBRARY
+"""
+    with pytest.raises(LefParseError, match="SIZE"):
+        lef.loads(text)
+
+
+def test_dumps_units_are_microns(tech90):
+    text = lef.dumps(lef.from_technology(tech90))
+    # 90 nm global wires are 0.4 um wide.
+    assert "WIDTH 0.4 ;" in text

@@ -1,0 +1,103 @@
+"""Built-in technology nodes: presence, scaling trends, sanity."""
+
+import pytest
+
+from repro.tech import (
+    available_nodes,
+    get_technology,
+    TECHNOLOGY_NODES,
+    WireConfiguration,
+    DesignStyle,
+)
+from repro.tech.parameters import validate_monotonic_scaling
+from repro.units import nm
+
+
+EXPECTED_NODES = ["90nm", "65nm", "45nm", "32nm", "22nm", "16nm"]
+
+
+def test_six_nodes_available():
+    assert available_nodes() == EXPECTED_NODES
+
+
+def test_get_technology_unknown_name():
+    with pytest.raises(KeyError, match="known nodes"):
+        get_technology("7nm")
+
+
+def test_feature_sizes_match_names():
+    for name in EXPECTED_NODES:
+        tech = get_technology(name)
+        expected = nm(float(name.replace("nm", "")))
+        assert tech.feature_size == pytest.approx(expected)
+
+
+def test_feature_size_strictly_decreasing():
+    nodes = [get_technology(n) for n in available_nodes()]
+    assert validate_monotonic_scaling(nodes, "feature_size") is None
+
+
+def test_supply_voltage_step_from_65_to_45():
+    # The paper explicitly calls out the 1.0 V -> 1.1 V supply increase
+    # between the 65 nm and 45 nm library files.
+    assert get_technology("65nm").vdd == pytest.approx(1.0)
+    assert get_technology("45nm").vdd == pytest.approx(1.1)
+
+
+def test_clock_frequencies_match_paper():
+    # Table III uses 1.5 / 2.25 / 3.0 GHz for 90 / 65 / 45 nm.
+    assert get_technology("90nm").clock_frequency == pytest.approx(1.5e9)
+    assert get_technology("65nm").clock_frequency == pytest.approx(2.25e9)
+    assert get_technology("45nm").clock_frequency == pytest.approx(3.0e9)
+
+
+def test_wire_resistance_grows_as_nodes_shrink():
+    resistances = []
+    for name in EXPECTED_NODES:
+        tech = get_technology(name)
+        config = WireConfiguration.for_style(tech.global_layer,
+                                             DesignStyle.SWSS)
+        resistances.append(config.resistance_per_meter())
+    assert all(b > a for a, b in zip(resistances, resistances[1:]))
+
+
+def test_device_leakage_grows_as_nodes_shrink():
+    leakages = [get_technology(n).nmos.i_leak for n in EXPECTED_NODES]
+    assert all(b > a for a, b in zip(leakages, leakages[1:]))
+
+
+def test_every_node_has_both_layers():
+    for tech in TECHNOLOGY_NODES.values():
+        assert "global" in tech.wire_layers
+        assert "intermediate" in tech.wire_layers
+        globl = tech.wire_layers["global"]
+        inter = tech.wire_layers["intermediate"]
+        assert inter.width < globl.width
+        assert inter.thickness < globl.thickness
+
+
+def test_capacitance_per_meter_is_physically_plausible():
+    # Total wire capacitance should sit in the canonical
+    # 0.1-0.4 fF/um band for every node.
+    for name in EXPECTED_NODES:
+        tech = get_technology(name)
+        config = WireConfiguration.for_style(tech.global_layer,
+                                             DesignStyle.SWSS)
+        total = (config.ground_capacitance_per_meter()
+                 + config.coupling_capacitance_per_meter())
+        assert 0.1e-9 < total < 0.4e-9, name
+
+
+def test_predictive_area_inputs_present():
+    for tech in TECHNOLOGY_NODES.values():
+        assert tech.row_height > 4 * tech.contact_pitch
+        assert tech.min_nmos_width > 0
+
+
+def test_drive_current_definition_consistency():
+    # k_sat was derived from a target Idsat: reconstruct it.
+    tech = get_technology("90nm")
+    overdrive = tech.vdd - tech.nmos.vth
+    idsat = tech.nmos.k_sat * overdrive**tech.nmos.alpha
+    # 600 uA/um = 0.6 A/m of width.
+    assert idsat == pytest.approx(600e-6 / 1e-6, rel=1e-6)

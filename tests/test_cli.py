@@ -1,0 +1,94 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestNodes:
+    def test_lists_all_nodes(self, capsys):
+        assert main(["nodes"]) == 0
+        output = capsys.readouterr().out
+        for node in ("90nm", "65nm", "45nm", "32nm", "22nm", "16nm"):
+            assert node in output
+
+
+class TestCalibrate:
+    def test_prints_coefficients(self, capsys):
+        assert main(["calibrate", "65nm"]) == 0
+        output = capsys.readouterr().out
+        assert "65nm" in output
+        assert "rise" in output and "fall" in output
+
+    def test_buffer_kind(self, capsys):
+        assert main(["calibrate", "90nm", "--kind", "buffer"]) == 0
+        assert "buffer" in capsys.readouterr().out
+
+
+class TestLink:
+    def test_optimizes_and_reports(self, capsys):
+        assert main(["link", "90nm", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "repeaters" in output
+        assert "delay" in output and "power" in output
+
+    def test_staggered_flag(self, capsys):
+        assert main(["link", "90nm", "5", "--staggered"]) == 0
+        assert "staggered" in capsys.readouterr().out
+
+    def test_delay_weight_changes_result(self, capsys):
+        main(["link", "90nm", "5", "--weight", "1.0"])
+        fast = capsys.readouterr().out
+        main(["link", "90nm", "5", "--weight", "0.2"])
+        lean = capsys.readouterr().out
+        assert fast != lean
+
+
+class TestAccuracy:
+    def test_mini_table2(self, capsys):
+        assert main(["accuracy", "90nm", "--lengths", "1", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "Prop %" in output
+        assert "90nm" in output
+
+
+class TestSynth:
+    def test_dvopd_case(self, capsys):
+        assert main(["synth", "dvopd", "90nm"]) == 0
+        output = capsys.readouterr().out
+        assert "original/self" in output
+        assert "underestimated" in output
+
+
+class TestExperimentPassthroughs:
+    def test_staggering(self, capsys):
+        assert main(["staggering"]) == 0
+        assert "power saving" in capsys.readouterr().out
+
+    def test_leakage_area(self, capsys):
+        assert main(["leakage-area", "90nm"]) == 0
+        assert "paper" in capsys.readouterr().out
+
+    def test_corners(self, capsys):
+        assert main(["corners", "90nm", "--length-mm", "3"]) == 0
+        assert "guard band" in capsys.readouterr().out
+
+    def test_mesh(self, capsys):
+        assert main(["mesh", "dvopd", "90nm"]) == 0
+        output = capsys.readouterr().out
+        assert "custom" in output and "mesh" in output
+
+    def test_widths(self, capsys):
+        assert main(["widths", "dvopd", "90nm",
+                     "--widths", "64", "128"]) == 0
+        assert "best width" in capsys.readouterr().out

@@ -1,0 +1,64 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_time_conversions_roundtrip():
+    assert units.to_ps(units.ps(300.0)) == 300.0
+    assert units.to_ns(units.ns(1.5)) == 1.5
+    assert units.ps(1000.0) == units.ns(1.0)
+
+
+def test_length_conversions():
+    assert units.um(1.0) == 1e-6
+    assert units.nm(90.0) == pytest.approx(90e-9, rel=1e-12)
+    assert units.mm(15.0) == 0.015
+    assert units.to_um(units.um(0.4)) == 0.4
+    assert units.to_mm(units.mm(5.0)) == 5.0
+
+
+def test_capacitance_conversions():
+    assert units.fF(1000.0) == units.pF(1.0)
+    assert units.to_fF(units.fF(12.5)) == 12.5
+
+
+def test_frequency_and_power():
+    assert units.ghz(1.5) == 1.5e9
+    assert units.mhz(1500.0) == units.ghz(1.5)
+    assert units.mw(1.0) == 1e-3
+    assert units.to_mw(units.mw(2.5)) == 2.5
+    assert units.to_uw(units.uw(7.0)) == 7.0
+    assert units.nw(1e6) == units.mw(1.0)
+
+
+def test_resistance():
+    assert units.kohm(2.0) == 2000.0
+
+
+def test_physical_constants():
+    # Thermal voltage at room temperature is about 25.9 mV.
+    assert 0.0250 < units.THERMAL_VOLTAGE_300K < 0.0265
+    # Copper bulk resistivity is about 1.7-2.2 uohm-cm.
+    assert 1.6e-8 < units.COPPER_BULK_RESISTIVITY < 2.3e-8
+    assert units.COPPER_MEAN_FREE_PATH > 10e-9
+
+
+@given(st.floats(min_value=1e-6, max_value=1e6,
+                 allow_nan=False, allow_infinity=False))
+def test_roundtrips_are_inverse(value):
+    assert math.isclose(units.to_ps(units.ps(value)), value,
+                        rel_tol=1e-12)
+    assert math.isclose(units.to_fF(units.fF(value)), value,
+                        rel_tol=1e-12)
+    assert math.isclose(units.to_um(units.um(value)), value,
+                        rel_tol=1e-12)
+    assert math.isclose(units.to_mw(units.mw(value)), value,
+                        rel_tol=1e-12)
+    assert math.isclose(units.to_ghz(units.ghz(value)), value,
+                        rel_tol=1e-12)
