@@ -11,6 +11,13 @@ Installed as the ``repro`` console script::
     repro staggering | runtime | leakage-area
 
 Every subcommand prints the same artifacts the benchmark suite saves.
+
+Every subcommand also accepts the shared runtime flags:
+
+    --workers N     run parallel sweeps on N worker processes
+                    (results are bit-identical to --workers 1)
+    --no-cache      bypass the persistent disk cache entirely
+    --stats         print a wall-time / cache-hit footer afterwards
 """
 
 from __future__ import annotations
@@ -177,6 +184,25 @@ def _cmd_widths(args: argparse.Namespace) -> int:
     return 0
 
 
+def _runtime_options() -> argparse.ArgumentParser:
+    """The shared ``--workers/--no-cache/--stats`` option group.
+
+    Declared as a parent parser so every subcommand accepts the flags
+    in the natural position (``repro table2 --workers 2 --stats``).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("runtime")
+    group.add_argument("--workers", type=int, default=None,
+                       metavar="N",
+                       help="worker processes for parallel sweeps "
+                            "(default: REPRO_WORKERS or serial)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent disk cache")
+    group.add_argument("--stats", action="store_true",
+                       help="print runtime statistics afterwards")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -184,13 +210,17 @@ def build_parser() -> argparse.ArgumentParser:
                      "NoC synthesis (Carloni et al., TVLSI 2010 "
                      "reproduction)"),
     )
+    runtime_options = [_runtime_options()]
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("nodes", help="list technology nodes") \
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        return sub.add_parser(name, parents=runtime_options, **kwargs)
+
+    add_parser("nodes", help="list technology nodes") \
         .set_defaults(func=_cmd_nodes)
 
-    calibrate = sub.add_parser("calibrate",
-                               help="show Table I coefficients")
+    calibrate = add_parser("calibrate",
+                           help="show Table I coefficients")
     calibrate.add_argument("node")
     calibrate.add_argument("--kind", default="inverter",
                            choices=["inverter", "buffer"])
@@ -198,7 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=["paper", "size-scaled"])
     calibrate.set_defaults(func=_cmd_calibrate)
 
-    link = sub.add_parser("link", help="optimize one link's buffering")
+    link = add_parser("link", help="optimize one link's buffering")
     link.add_argument("node")
     link.add_argument("length_mm", type=float)
     link.add_argument("--weight", type=float, default=0.5,
@@ -207,7 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also report the staggered-insertion trade")
     link.set_defaults(func=_cmd_link)
 
-    accuracy = sub.add_parser("accuracy",
+    accuracy = add_parser("accuracy",
                               help="model accuracy vs sign-off")
     accuracy.add_argument("node")
     accuracy.add_argument("--lengths", type=float, nargs="+",
@@ -217,7 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "double-spacing"])
     accuracy.set_defaults(func=_cmd_accuracy)
 
-    synth = sub.add_parser("synth", help="synthesize a NoC test case")
+    synth = add_parser("synth", help="synthesize a NoC test case")
     synth.add_argument("design", choices=["vproc", "dvopd"])
     synth.add_argument("node")
     synth.set_defaults(func=_cmd_synth)
@@ -228,31 +258,31 @@ def build_parser() -> argparse.ArgumentParser:
             ("table3", _cmd_table3, "full Table III (slow)"),
             ("staggering", _cmd_staggering, "staggering experiment"),
             ("runtime", _cmd_runtime, "runtime comparison")):
-        sub.add_parser(name, help=help_text).set_defaults(func=func)
+        add_parser(name, help=help_text).set_defaults(func=func)
 
-    leak = sub.add_parser("leakage-area",
+    leak = add_parser("leakage-area",
                           help="leakage/area model accuracy")
     leak.add_argument("node", nargs="?", default="90nm")
     leak.set_defaults(func=_cmd_leakage_area)
 
-    scaling_cmd = sub.add_parser("scaling",
+    scaling_cmd = add_parser("scaling",
                                  help="six-node scaling study")
     scaling_cmd.add_argument("--length-mm", type=float, default=5.0)
     scaling_cmd.set_defaults(func=_cmd_scaling)
 
-    corners_cmd = sub.add_parser("corners",
+    corners_cmd = add_parser("corners",
                                  help="corner guard-band experiment")
     corners_cmd.add_argument("node", nargs="?", default="90nm")
     corners_cmd.add_argument("--length-mm", type=float, default=5.0)
     corners_cmd.set_defaults(func=_cmd_corners)
 
-    mesh_cmd = sub.add_parser("mesh",
+    mesh_cmd = add_parser("mesh",
                               help="custom vs 2D-mesh comparison")
     mesh_cmd.add_argument("design", choices=["vproc", "dvopd"])
     mesh_cmd.add_argument("node", nargs="?", default="90nm")
     mesh_cmd.set_defaults(func=_cmd_mesh)
 
-    widths_cmd = sub.add_parser("widths",
+    widths_cmd = add_parser("widths",
                                 help="flit-width exploration")
     widths_cmd.add_argument("design", choices=["vproc", "dvopd"])
     widths_cmd.add_argument("node", nargs="?", default="90nm")
@@ -264,9 +294,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro import runtime as rt
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    # Each invocation starts from a clean runtime configuration so a
+    # prior in-process call's flags cannot leak into this one.
+    rt.reset_configuration()
+    rt.configure(
+        workers=args.workers,
+        cache_enabled=False if args.no_cache else None,
+    )
+    try:
+        with rt.STATS.timer("command"):
+            status = args.func(args)
+    finally:
+        if args.stats:
+            footer = rt.STATS.format_footer()
+            workers = rt.resolve_workers()
+            print(f"{footer}\n  {'workers':<24} {workers:9d}")
+    return status
 
 
 if __name__ == "__main__":

@@ -18,13 +18,14 @@ Expected shapes (the scaling story the paper's introduction tells):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.buffering.optimizer import (
     max_feasible_length,
     optimize_buffering,
 )
 from repro.experiments.suite import ModelSuite
+from repro.runtime import parallel_map
 from repro.units import mm, to_mm, to_ps
 
 DEFAULT_NODES = ("90nm", "65nm", "45nm", "32nm", "22nm", "16nm")
@@ -74,32 +75,40 @@ class ScalingResult:
         return [row.delay_per_mm for row in self.rows]
 
 
+def _node_row(task: "Tuple[str, float]") -> ScalingRow:
+    """One node's scaling row (pool-safe: the suite is built here, so
+    only the node name and length cross the process boundary)."""
+    node, length = task
+    suite = ModelSuite.for_node(node)
+    # Deep-nanometer nodes want repeaters every ~100 um; widen the
+    # count search accordingly.
+    solution = optimize_buffering(suite.proposed, length,
+                                  delay_weight=0.8,
+                                  max_repeaters=int(length / 0.1e-3))
+    estimate = solution.estimate
+    # Energy per bit: one transition's worth of switched charge.
+    switched_energy = (estimate.dynamic_power
+                       / (suite.proposed.activity_factor
+                          * suite.tech.clock_frequency))
+    feasible = max_feasible_length(suite.proposed,
+                                   suite.tech.clock_period())
+    return ScalingRow(
+        node=node,
+        clock_ghz=suite.tech.clock_frequency / 1e9,
+        wire_resistance_per_mm=(suite.config.resistance_per_meter()
+                                * 1e-3),
+        delay_per_mm=estimate.delay / to_mm(length),
+        repeaters_per_mm=estimate.num_repeaters / to_mm(length),
+        energy_per_bit_per_mm=switched_energy / to_mm(length),
+        feasible_length=feasible,
+    )
+
+
 def run(nodes: Sequence[str] = DEFAULT_NODES,
-        length: float = mm(5)) -> ScalingResult:
-    """Evaluate the scaling table for the given nodes."""
-    rows: List[ScalingRow] = []
-    for node in nodes:
-        suite = ModelSuite.for_node(node)
-        # Deep-nanometer nodes want repeaters every ~100 um; widen the
-        # count search accordingly.
-        solution = optimize_buffering(suite.proposed, length,
-                                      delay_weight=0.8,
-                                      max_repeaters=int(length / 0.1e-3))
-        estimate = solution.estimate
-        # Energy per bit: one transition's worth of switched charge.
-        switched_energy = (estimate.dynamic_power
-                           / (suite.proposed.activity_factor
-                              * suite.tech.clock_frequency))
-        feasible = max_feasible_length(suite.proposed,
-                                       suite.tech.clock_period())
-        rows.append(ScalingRow(
-            node=node,
-            clock_ghz=suite.tech.clock_frequency / 1e9,
-            wire_resistance_per_mm=(suite.config.resistance_per_meter()
-                                    * 1e-3),
-            delay_per_mm=estimate.delay / to_mm(length),
-            repeaters_per_mm=estimate.num_repeaters / to_mm(length),
-            energy_per_bit_per_mm=switched_energy / to_mm(length),
-            feasible_length=feasible,
-        ))
+        length: float = mm(5),
+        workers: Optional[int] = None) -> ScalingResult:
+    """Evaluate the scaling table for the given nodes (one per task)."""
+    rows: List[ScalingRow] = parallel_map(
+        _node_row, [(node, length) for node in nodes],
+        workers=workers, chunk=1)
     return ScalingResult(length=length, rows=tuple(rows))

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.buffering.optimizer import optimize_buffering
 from repro.experiments.suite import ModelSuite
+from repro.runtime import parallel_map
 from repro.signoff.extraction import extract_buffered_line
 from repro.signoff.golden import evaluate_buffered_line
 from repro.tech.design_styles import DesignStyle
@@ -143,18 +144,29 @@ def _evaluate_one(suite: ModelSuite, style: DesignStyle,
     )
 
 
+def _evaluate_task(task: "Tuple[str, str, float]") -> Table2Row:
+    """One (node, style, length) cell (pool-safe: the suite is rebuilt
+    from its node name, which is cheap thanks to the calibration
+    caches, so workers receive only primitives)."""
+    node, style_value, length = task
+    style = DesignStyle(style_value)
+    suite = ModelSuite.for_node(node, style=style)
+    return _evaluate_one(suite, style, length)
+
+
 def run(
     nodes: Sequence[str] = DEFAULT_NODES,
     lengths: Sequence[float] = DEFAULT_LENGTHS,
     styles: Sequence[DesignStyle] = DEFAULT_STYLES,
+    workers: Optional[int] = None,
 ) -> Table2Result:
     """Full Table II sweep (nodes x styles x lengths)."""
-    rows: List[Table2Row] = []
-    for node in nodes:
-        for style in styles:
-            suite = ModelSuite.for_node(node, style=style)
-            for length in lengths:
-                rows.append(_evaluate_one(suite, style, length))
+    tasks = [(node, style.value, length)
+             for node in nodes
+             for style in styles
+             for length in lengths]
+    rows: List[Table2Row] = parallel_map(_evaluate_task, tasks,
+                                         workers=workers)
     return Table2Result(rows=tuple(rows))
 
 

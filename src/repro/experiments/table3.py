@@ -29,6 +29,7 @@ from repro.noc.evaluation import NocReport, evaluate_topology
 from repro.noc.spec import CommunicationSpec
 from repro.noc.synthesis import SynthesisConfig, synthesize
 from repro.noc.testcases import dual_vopd, vproc
+from repro.runtime import parallel_map
 
 DEFAULT_NODES = ("90nm", "65nm", "45nm")
 
@@ -113,16 +114,26 @@ def run_case(design_name: str, spec_factory: SpecFactory, node: str,
     )
 
 
+def _case_task(task: "Tuple[str, SpecFactory, str, "
+               "Optional[SynthesisConfig]]") -> Table3Case:
+    """One (design, node) cell (pool-safe: the spec factories are
+    module-level functions, so they pickle by reference)."""
+    design_name, factory, node, config = task
+    return run_case(design_name, factory, node, config)
+
+
 def run(
     nodes: Sequence[str] = DEFAULT_NODES,
     designs: Sequence[Tuple[str, SpecFactory]] = DEFAULT_DESIGNS,
     config: Optional[SynthesisConfig] = None,
+    workers: Optional[int] = None,
 ) -> Table3Result:
-    """Full Table III sweep (designs x nodes)."""
-    cases: List[Table3Case] = []
-    for design_name, factory in designs:
-        for node in nodes:
-            cases.append(run_case(design_name, factory, node, config))
+    """Full Table III sweep (designs x nodes), one cell per task."""
+    tasks = [(design_name, factory, node, config)
+             for design_name, factory in designs
+             for node in nodes]
+    cases: List[Table3Case] = parallel_map(_case_task, tasks,
+                                           workers=workers, chunk=1)
     return Table3Result(cases=tuple(cases))
 
 

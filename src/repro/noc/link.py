@@ -25,6 +25,8 @@ from repro.buffering.optimizer import (
     max_feasible_length,
     minimize_power_under_delay,
 )
+from repro.models.interconnect import InterconnectEstimate
+from repro.runtime import DiskCache, fingerprint
 from repro.tech.parameters import TechnologyParameters
 from repro.units import ps
 
@@ -73,13 +75,75 @@ class LinkDesign:
     def total_area(self) -> float:
         return self.repeater_area + self.wire_area
 
+    # -- persistent-cache serialization -----------------------------------
+
+    def to_payload(self) -> Dict:
+        """JSON-serializable rendering for the persistent cache."""
+        estimate = self.solution.estimate
+        return {
+            "length": self.length,
+            "bus_width": self.bus_width,
+            "solution": {
+                "num_repeaters": self.solution.num_repeaters,
+                "repeater_size": self.solution.repeater_size,
+                "objective": self.solution.objective,
+                "estimate": {
+                    "delay": estimate.delay,
+                    "output_slew": estimate.output_slew,
+                    "stage_delays": list(estimate.stage_delays),
+                    "dynamic_power": estimate.dynamic_power,
+                    "leakage_power": estimate.leakage_power,
+                    "repeater_area": estimate.repeater_area,
+                    "wire_area": estimate.wire_area,
+                    "num_repeaters": estimate.num_repeaters,
+                    "repeater_size": estimate.repeater_size,
+                    "length": estimate.length,
+                    "bus_width": estimate.bus_width,
+                },
+            },
+            "leakage_power": self.leakage_power,
+            "switched_capacitance": self.switched_capacitance,
+            "repeater_area": self.repeater_area,
+            "wire_area": self.wire_area,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "LinkDesign":
+        entry = payload["solution"]
+        estimate_entry = dict(entry["estimate"])
+        estimate_entry["stage_delays"] = tuple(
+            estimate_entry["stage_delays"])
+        estimate = InterconnectEstimate(**estimate_entry)
+        solution = BufferingSolution(
+            num_repeaters=entry["num_repeaters"],
+            repeater_size=entry["repeater_size"],
+            estimate=estimate,
+            objective=entry["objective"],
+        )
+        return cls(
+            length=payload["length"],
+            bus_width=payload["bus_width"],
+            solution=solution,
+            leakage_power=payload["leakage_power"],
+            switched_capacitance=payload["switched_capacitance"],
+            repeater_area=payload["repeater_area"],
+            wire_area=payload["wire_area"],
+        )
+
 
 class LinkDesigner:
-    """Designs and caches links for one (model, clock) context."""
+    """Designs and caches links for one (model, clock) context.
+
+    Two cache levels: a per-instance dict keyed on the length quantum,
+    and (when the runtime cache is enabled) the persistent
+    :class:`repro.runtime.DiskCache`, so repeated CLI invocations and
+    pool workers warm-start each other's link designs.
+    """
 
     def __init__(self, model, tech: TechnologyParameters,
                  bus_width: int,
-                 utilization: float = DEFAULT_UTILIZATION):
+                 utilization: float = DEFAULT_UTILIZATION,
+                 use_disk_cache: bool = True):
         if not 0.0 < utilization <= 1.0:
             raise ValueError("utilization must lie in (0, 1]")
         self.model = model
@@ -88,6 +152,24 @@ class LinkDesigner:
         self.utilization = utilization
         self._cache: Dict[int, Optional[LinkDesign]] = {}
         self._max_length: Optional[float] = None
+        self._disk: Optional[DiskCache] = None
+        self._context_hash: Optional[str] = None
+        if use_disk_cache:
+            try:
+                # One hash covers everything a design depends on: the
+                # full technology, the model (class plus every fitted
+                # coefficient), clocking and the bus geometry.
+                self._context_hash = fingerprint({
+                    "model": model,
+                    "tech": tech,
+                    "bus_width": bus_width,
+                    "utilization": utilization,
+                })
+                self._disk = DiskCache("links")
+            except TypeError:
+                # Models that are not canonicalizable (ad-hoc fakes)
+                # simply skip the persistent level.
+                self._context_hash = None
 
     # -- capacity ---------------------------------------------------------
 
@@ -101,9 +183,15 @@ class LinkDesigner:
     def max_length(self) -> float:
         """Longest feasible link at one clock period, meters (cached)."""
         if self._max_length is None:
-            self._max_length = max_feasible_length(
-                self.model, self.tech.clock_period(),
-                input_slew=LINK_INPUT_SLEW)
+            payload = self._disk_get({"kind": "max_length"})
+            if payload is not None:
+                self._max_length = float(payload["max_length"])
+            else:
+                self._max_length = max_feasible_length(
+                    self.model, self.tech.clock_period(),
+                    input_slew=LINK_INPUT_SLEW)
+                self._disk_put({"kind": "max_length"},
+                               {"max_length": self._max_length})
         return self._max_length
 
     def is_feasible(self, length: float) -> bool:
@@ -115,15 +203,52 @@ class LinkDesigner:
         """Cheapest feasible link of ``length`` meters, or ``None``.
 
         Designs are cached on a length quantum since synthesis evaluates
-        many candidate edges of nearly identical lengths.
+        many candidate edges of nearly identical lengths.  Feasibility
+        is decided on the *requested* length, consistently with
+        :meth:`is_feasible`: when rounding to the quantum grid would
+        push a feasible length past the feasibility edge, the design
+        falls back to the quantum at or below the request instead of
+        spuriously reporting the link undesignable.
         """
         if length <= 0:
             raise ValueError("length must be positive")
+        if not self.is_feasible(length):
+            return None
         key = max(1, round(length / _LENGTH_QUANTUM))
+        if key * _LENGTH_QUANTUM > self.max_length():
+            key = max(1, int(length / _LENGTH_QUANTUM))
         if key in self._cache:
             return self._cache[key]
-        design = self._design_uncached(key * _LENGTH_QUANTUM)
+        design = self._design_cached_on_disk(key)
         self._cache[key] = design
+        return design
+
+    def _disk_get(self, key_tail: Dict) -> Optional[Dict]:
+        if self._disk is None or self._context_hash is None:
+            return None
+        return self._disk.get({"context": self._context_hash,
+                               **key_tail})
+
+    def _disk_put(self, key_tail: Dict, payload: Dict) -> None:
+        if self._disk is None or self._context_hash is None:
+            return
+        self._disk.put({"context": self._context_hash, **key_tail},
+                       payload)
+
+    def _design_cached_on_disk(self, key: int) -> Optional[LinkDesign]:
+        key_tail = {"kind": "design", "quantum_index": key,
+                    "quantum": _LENGTH_QUANTUM}
+        payload = self._disk_get(key_tail)
+        if payload is not None:
+            if not payload.get("feasible", False):
+                return None
+            return LinkDesign.from_payload(payload["design"])
+        design = self._design_uncached(key * _LENGTH_QUANTUM)
+        if design is None:
+            self._disk_put(key_tail, {"feasible": False})
+        else:
+            self._disk_put(key_tail, {"feasible": True,
+                                      "design": design.to_payload()})
         return design
 
     def _design_uncached(self, length: float) -> Optional[LinkDesign]:

@@ -22,6 +22,7 @@ from repro.noc.evaluation import NocReport, evaluate_topology
 from repro.noc.spec import CommunicationSpec
 from repro.noc.synthesis import SynthesisConfig, SynthesisError, \
     synthesize
+from repro.runtime import parallel_map
 from repro.tech.parameters import TechnologyParameters
 
 #: Packet header (routing/addressing) bits, paid once per packet.
@@ -120,28 +121,40 @@ def respecify_width(spec: CommunicationSpec,
     return adjusted
 
 
+def _explore_one(task: "Tuple[CommunicationSpec, object, "
+                 "TechnologyParameters, int, Optional[SynthesisConfig]]"
+                 ) -> WidthDesignPoint:
+    """Synthesize and cost one candidate width (pool-safe)."""
+    spec, model, tech, width, config = task
+    overhead = serialization_overhead(width)
+    adjusted = respecify_width(spec, width)
+    try:
+        topology = synthesize(adjusted, model, tech, config=config)
+    except SynthesisError:
+        return WidthDesignPoint(
+            width=width, report=None, feasible=False,
+            serialization_overhead=overhead)
+    report = evaluate_topology(topology, model, tech,
+                               label=f"w{width}")
+    return WidthDesignPoint(
+        width=width, report=report, feasible=True,
+        serialization_overhead=overhead)
+
+
 def explore_widths(
     spec: CommunicationSpec,
     model,
     tech: TechnologyParameters,
     widths: Sequence[int] = (32, 64, 128, 256),
     config: Optional[SynthesisConfig] = None,
+    workers: Optional[int] = None,
 ) -> WidthExploration:
-    """Synthesize and cost the specification at each candidate width."""
-    points: List[WidthDesignPoint] = []
-    for width in widths:
-        overhead = serialization_overhead(width)
-        adjusted = respecify_width(spec, width)
-        try:
-            topology = synthesize(adjusted, model, tech, config=config)
-        except SynthesisError:
-            points.append(WidthDesignPoint(
-                width=width, report=None, feasible=False,
-                serialization_overhead=overhead))
-            continue
-        report = evaluate_topology(topology, model, tech,
-                                   label=f"w{width}")
-        points.append(WidthDesignPoint(
-            width=width, report=report, feasible=True,
-            serialization_overhead=overhead))
+    """Synthesize and cost the specification at each candidate width.
+
+    Each width is an independent synthesis problem, so the sweep
+    parallelizes per width without changing any design point.
+    """
+    tasks = [(spec, model, tech, width, config) for width in widths]
+    points: List[WidthDesignPoint] = parallel_map(
+        _explore_one, tasks, workers=workers, chunk=1)
     return WidthExploration(points=tuple(points))

@@ -1,0 +1,95 @@
+"""Execution runtime: parallelism, persistent caching, instrumentation.
+
+Every heavy workload in the reproduction — Monte-Carlo within-die
+variation, flit-width exploration, the six-node scaling study and the
+Table II/III sweeps — is an embarrassingly parallel loop.  This package
+provides the shared machinery that makes those loops scale with cores
+while provably preserving their serial results:
+
+* :func:`repro.runtime.parallel.parallel_map` — a deterministic
+  process-pool map with a serial fallback;
+* :func:`repro.runtime.parallel.spawn_seed_sequences` — per-task RNG
+  streams via :class:`numpy.random.SeedSequence` so a parallel
+  Monte-Carlo run reproduces the serial stream bit-for-bit;
+* :class:`repro.runtime.cache.DiskCache` — a versioned on-disk cache
+  (under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) that warm-starts
+  link designs and calibration coefficients across processes;
+* :data:`repro.runtime.stats.STATS` — wall-time / cache-hit counters
+  surfaced by the ``--stats`` CLI flag.
+
+Configuration resolves in this order: explicit function arguments,
+:func:`configure` (what the CLI flags set), environment variables
+(``REPRO_WORKERS``, ``REPRO_CACHE_DIR``, ``REPRO_NO_CACHE``), then the
+defaults (serial execution, cache enabled).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.runtime.cache import (
+    CACHE_VERSION,
+    DiskCache,
+    cache_dir,
+    fingerprint,
+)
+from repro.runtime.parallel import (
+    parallel_map,
+    resolve_workers,
+    spawn_generators,
+    spawn_seed_sequences,
+)
+from repro.runtime.stats import STATS, RuntimeStats
+
+__all__ = [
+    "CACHE_VERSION",
+    "DiskCache",
+    "RuntimeStats",
+    "STATS",
+    "cache_dir",
+    "cache_enabled",
+    "configure",
+    "configured_workers",
+    "fingerprint",
+    "parallel_map",
+    "reset_configuration",
+    "resolve_workers",
+    "spawn_generators",
+    "spawn_seed_sequences",
+]
+
+#: Process-wide overrides set by :func:`configure` (the CLI flags).
+_WORKERS_OVERRIDE: Optional[int] = None
+_CACHE_OVERRIDE: Optional[bool] = None
+
+
+def configure(workers: Optional[int] = None,
+              cache_enabled: Optional[bool] = None) -> None:
+    """Set process-wide runtime defaults (``None`` leaves one as-is)."""
+    global _WORKERS_OVERRIDE, _CACHE_OVERRIDE
+    if workers is not None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        _WORKERS_OVERRIDE = workers
+    if cache_enabled is not None:
+        _CACHE_OVERRIDE = cache_enabled
+
+
+def reset_configuration() -> None:
+    """Drop all :func:`configure` overrides (mainly for tests)."""
+    global _WORKERS_OVERRIDE, _CACHE_OVERRIDE
+    _WORKERS_OVERRIDE = None
+    _CACHE_OVERRIDE = None
+
+
+def configured_workers() -> Optional[int]:
+    """The worker count set via :func:`configure`, if any."""
+    return _WORKERS_OVERRIDE
+
+
+def cache_enabled() -> bool:
+    """Whether the persistent disk cache should be consulted."""
+    if _CACHE_OVERRIDE is not None:
+        return _CACHE_OVERRIDE
+    return os.environ.get("REPRO_NO_CACHE", "") in ("", "0")

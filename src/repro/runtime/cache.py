@@ -1,0 +1,158 @@
+"""Versioned persistent cache for expensive derived artifacts.
+
+Link designs and calibration coefficients are pure functions of
+(technology, model, configuration) — ideal cache material, but until
+now they were memoized per-process only, so every CLI invocation and
+every pool worker rebuilt them from scratch.  :class:`DiskCache` stores
+them as small JSON files:
+
+    <cache root>/<namespace>/<key hash>.json
+
+* **Root** — ``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``.
+* **Key** — a SHA-256 :func:`fingerprint` of a canonical JSON rendering
+  of the key object; dataclasses (class name + fields), enums and
+  containers are canonicalized recursively, so *any* change to the
+  technology, model coefficients or wire configuration changes the key.
+* **Versioned envelope** — every file records the cache schema version
+  and the full key; a version mismatch, key-hash collision or corrupt
+  file is treated as a miss and silently rewritten, never an error.
+* **Atomic writes** — payloads land via ``os.replace`` of a temp file,
+  so concurrent workers can share one cache directory.
+
+Lookups honour the global kill switches (``--no-cache`` via
+:func:`repro.runtime.configure`, or ``REPRO_NO_CACHE=1``): when the
+cache is disabled neither reads nor writes touch the filesystem.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.runtime.stats import STATS
+
+#: Bump when the on-disk payload schema changes; older files are then
+#: ignored and transparently rewritten.
+CACHE_VERSION = 1
+
+
+def cache_dir() -> Path:
+    """The cache root (not created until something is written)."""
+    override = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def _canonical(value: Any) -> Any:
+    """A JSON-stable rendering of key material.
+
+    Restricted to the types key objects are actually built from;
+    anything exotic is rejected loudly rather than hashed ambiguously.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {field.name: _canonical(getattr(value, field.name))
+                  for field in dataclasses.fields(value)}
+        return {"__dataclass__": type(value).__name__, **fields}
+    if isinstance(value, enum.Enum):
+        return {"__enum__": type(value).__name__,
+                "value": _canonical(value.value)}
+    if isinstance(value, dict):
+        return {str(key): _canonical(entry)
+                for key, entry in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(entry) for entry in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"cannot fingerprint a {type(value).__name__} cache key")
+
+
+def fingerprint(value: Any) -> str:
+    """Stable SHA-256 hex digest of any canonicalizable key object."""
+    rendering = json.dumps(_canonical(value), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(rendering.encode("utf-8")).hexdigest()
+
+
+class DiskCache:
+    """One namespace of the persistent cache.
+
+    ``get``/``put`` exchange JSON-serializable payloads; the caller owns
+    the payload schema (and should bump ``version`` when changing it).
+    """
+
+    def __init__(self, namespace: str, version: int = CACHE_VERSION,
+                 directory: Optional[Path] = None):
+        if not namespace or "/" in namespace:
+            raise ValueError("namespace must be a plain name")
+        self.namespace = namespace
+        self.version = version
+        self._directory = directory
+
+    @property
+    def directory(self) -> Path:
+        if self._directory is not None:
+            return self._directory / self.namespace
+        return cache_dir() / self.namespace
+
+    def _enabled(self) -> bool:
+        from repro import runtime
+        return runtime.cache_enabled()
+
+    def path_for(self, key: Any) -> Path:
+        return self.directory / f"{fingerprint(key)}.json"
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, key: Any) -> Optional[Any]:
+        """The cached payload for ``key``, or ``None`` on any miss.
+
+        Unreadable, corrupt, version-mismatched or colliding entries
+        are all reported as misses; the next ``put`` rewrites them.
+        """
+        if not self._enabled():
+            return None
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+            if (envelope.get("version") != self.version
+                    or envelope.get("key") != _canonical(key)):
+                raise ValueError("stale or colliding cache entry")
+            payload = envelope["payload"]
+        except (OSError, ValueError, KeyError, TypeError):
+            STATS.count("cache.miss")
+            return None
+        STATS.count("cache.hit")
+        return payload
+
+    def put(self, key: Any, payload: Any) -> None:
+        """Persist ``payload`` under ``key`` (atomic, best-effort)."""
+        if not self._enabled():
+            return
+        envelope = {
+            "version": self.version,
+            "key": _canonical(key),
+            "payload": payload,
+        }
+        directory = self.directory
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w", encoding="utf-8", dir=directory,
+                suffix=".tmp", delete=False)
+            with handle:
+                json.dump(envelope, handle)
+            os.replace(handle.name, self.path_for(key))
+            STATS.count("cache.write")
+        except OSError:
+            # A read-only or full cache directory must never fail the
+            # computation that produced the payload.
+            STATS.count("cache.write_failed")

@@ -1,0 +1,132 @@
+"""Deterministic process-pool execution with a serial fallback.
+
+:func:`parallel_map` is the one parallel primitive every workload uses.
+Its contract:
+
+* **Order-preserving** — results come back in input order, always.
+* **Deterministic chunking** — items are split into contiguous chunks
+  whose boundaries depend only on ``len(items)``, ``workers`` and
+  ``chunk``, never on scheduling.
+* **Serial fallback** — ``workers=1`` (or ``REPRO_WORKERS=1``, or a
+  single item) runs the plain list comprehension in-process, and any
+  environment where a process pool cannot start degrades to the same
+  path rather than crashing.
+
+Because callables and items cross a process boundary, ``fn`` must be a
+module-level function and the items picklable — every workload in this
+repository passes plain frozen dataclasses.
+
+Randomness: workloads never share one generator across tasks.  Instead
+:func:`spawn_seed_sequences` derives one independent
+:class:`numpy.random.SeedSequence` child per task, so each task's
+stream is identical whether it runs serially, or on any worker of any
+pool — the determinism contract the equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.stats import STATS
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count for a workload.
+
+    Resolution order: the explicit argument, the :func:`configure`
+    override (CLI ``--workers``), the ``REPRO_WORKERS`` environment
+    variable, then 1 (serial).  ``workers=0`` or a negative request is
+    an error; the special value ``None`` means "use the defaults".
+    """
+    if workers is not None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        return workers
+    from repro import runtime
+    configured = runtime.configured_workers()
+    if configured is not None:
+        return configured
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError as exc:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {env!r}") from exc
+        if value < 1:
+            raise ValueError("REPRO_WORKERS must be >= 1")
+        return value
+    return 1
+
+
+def _run_chunk(payload: "Tuple[Callable[[Any], Any], List[Any]]"
+               ) -> List[Any]:
+    """Worker-side body: apply ``fn`` to one contiguous chunk."""
+    fn, chunk = payload
+    return [fn(item) for item in chunk]
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    workers: Optional[int] = None,
+    chunk: Optional[int] = None,
+) -> List[Any]:
+    """``[fn(x) for x in items]``, possibly across worker processes.
+
+    ``chunk`` is the number of items handed to a worker at once; by
+    default the items are split evenly, one chunk per worker.  The
+    chunking (and therefore any chunk-indexed seeding done by the
+    caller) is a pure function of the inputs.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    if chunk is not None and chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    STATS.count("parallel.tasks", len(items))
+    if workers <= 1 or len(items) <= 1:
+        with STATS.timer("parallel.serial"):
+            return [fn(item) for item in items]
+
+    if chunk is None:
+        chunk = max(1, math.ceil(len(items) / workers))
+    chunks = [items[start:start + chunk]
+              for start in range(0, len(items), chunk)]
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
+    except (OSError, PermissionError, NotImplementedError):
+        # Restricted environments (no /dev/shm, no fork) fall back to
+        # the serial path instead of failing the workload.
+        STATS.count("parallel.pool_unavailable")
+        with STATS.timer("parallel.serial"):
+            return [fn(item) for item in items]
+    with STATS.timer("parallel.pool"), pool:
+        nested = list(pool.map(_run_chunk,
+                               [(fn, part) for part in chunks]))
+    return [result for part in nested for result in part]
+
+
+def spawn_seed_sequences(seed: int, count: int
+                         ) -> List[np.random.SeedSequence]:
+    """``count`` independent child sequences of a root seed.
+
+    Child ``i`` is the same object no matter how the tasks are later
+    chunked or scheduled, which is what makes parallel Monte-Carlo
+    reproduce the serial stream exactly.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return list(np.random.SeedSequence(seed).spawn(count))
+
+
+def spawn_generators(seed: int, count: int
+                     ) -> List[np.random.Generator]:
+    """One independent :class:`numpy.random.Generator` per task."""
+    return [np.random.default_rng(seq)
+            for seq in spawn_seed_sequences(seed, count)]

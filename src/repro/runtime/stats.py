@@ -1,0 +1,76 @@
+"""Lightweight timing and counter instrumentation.
+
+A single process-wide :data:`STATS` registry collects named counters
+(cache hits/misses, tasks executed) and named wall-time accumulators.
+Recording is cheap enough to stay always-on; the CLI's ``--stats`` flag
+merely decides whether the footer is printed.
+
+Worker processes collect into their *own* registry — the parent only
+sees what happened in-process plus whatever the disk cache persisted.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class RuntimeStats:
+    """Named counters and wall-time accumulators."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, float] = {}
+
+    # -- recording --------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def add_time(self, name: str, seconds: float) -> None:
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - started)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+    # -- derived ----------------------------------------------------------
+
+    def cache_hit_rate(self) -> Optional[float]:
+        """Disk-cache hit fraction, or ``None`` before any lookup."""
+        hits = self.counters.get("cache.hit", 0)
+        misses = self.counters.get("cache.miss", 0)
+        total = hits + misses
+        if total == 0:
+            return None
+        return hits / total
+
+    def format_footer(self) -> str:
+        """The ``--stats`` footer: wall time, cache traffic, workers."""
+        lines = ["-- runtime stats --"]
+        for name in sorted(self.timers):
+            lines.append(f"  {name:<24} {self.timers[name]:9.3f} s")
+        hit_rate = self.cache_hit_rate()
+        if hit_rate is not None:
+            lines.append(
+                f"  {'cache hit rate':<24} {hit_rate * 100:8.1f} % "
+                f"({self.counters.get('cache.hit', 0)} hit / "
+                f"{self.counters.get('cache.miss', 0)} miss)")
+        for name in sorted(self.counters):
+            if name in ("cache.hit", "cache.miss"):
+                continue
+            lines.append(f"  {name:<24} {self.counters[name]:9d}")
+        return "\n".join(lines)
+
+
+#: The process-wide registry.
+STATS = RuntimeStats()

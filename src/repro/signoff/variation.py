@@ -13,6 +13,11 @@ Sampling model: each repeater instance draws its own multiplicative
 perturbations of ``k_sat`` (drive strength) and ``vth`` from normal
 distributions with configurable sigmas, using a seeded generator so
 experiments are reproducible.
+
+Determinism contract: every Monte-Carlo draw owns an independent RNG
+stream spawned from the root seed (``SeedSequence(seed).spawn``), so
+the sample vector is bit-identical for any ``workers`` count — the
+serial loop and a process pool walk the very same streams.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.runtime import parallel_map, spawn_seed_sequences
 from repro.signoff.extraction import ExtractedLine
 from repro.signoff.golden import simulate_stage
 from repro.tech.parameters import DeviceParameters, \
@@ -132,29 +138,40 @@ def sample_line_delay(
     return total
 
 
+def _sample_task(task: "Tuple[ExtractedLine, float, VariationModel, "
+                 "np.random.SeedSequence]") -> float:
+    """One Monte-Carlo draw on its own spawned stream (pool-safe)."""
+    line, input_slew, variation, seed_sequence = task
+    return sample_line_delay(line, input_slew, variation,
+                             np.random.default_rng(seed_sequence))
+
+
 def monte_carlo_line_delay(
     line: ExtractedLine,
     input_slew: float,
     samples: int = 30,
     variation: Optional[VariationModel] = None,
     seed: int = 2010,
+    workers: Optional[int] = None,
 ) -> VariationResult:
     """Monte-Carlo delay distribution of a buffered line.
 
-    Deterministic for a given ``seed``.  The nominal delay is computed
-    with variation disabled (sigma 0), sharing the same flow.
+    Deterministic for a given ``seed`` regardless of ``workers``:
+    stream 0 of the spawned root sequence computes the nominal delay
+    (variation disabled, sigma 0, sharing the same flow) and stream
+    ``i`` computes draw ``i``, whether it runs here or in a pool.
     """
     if samples < 2:
         raise ValueError("need at least two samples")
     if variation is None:
         variation = VariationModel()
-    rng = np.random.default_rng(seed)
+    streams = spawn_seed_sequences(seed, samples + 1)
 
-    nominal = sample_line_delay(line, input_slew,
-                                VariationModel(0.0, 0.0), rng)
-    draws: List[float] = []
-    for _ in range(samples):
-        draws.append(sample_line_delay(line, input_slew, variation,
-                                       rng))
+    nominal = _sample_task((line, input_slew, VariationModel(0.0, 0.0),
+                            streams[0]))
+    tasks = [(line, input_slew, variation, stream)
+             for stream in streams[1:]]
+    draws: List[float] = parallel_map(_sample_task, tasks,
+                                      workers=workers)
     return VariationResult(samples=tuple(draws),
                            nominal_delay=nominal)

@@ -20,6 +20,25 @@ from repro.tech import DesignStyle, WireConfiguration, get_technology
 from repro.units import ps
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_disk_cache(tmp_path_factory):
+    """Point the persistent runtime cache at a per-session directory.
+
+    Tests must neither read stale entries from ``~/.cache/repro`` (a
+    code change could otherwise be masked by a pre-change cached
+    design) nor litter the user's real cache.
+    """
+    import os
+    directory = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(directory)
+    yield directory
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 @pytest.fixture(scope="session")
 def tech90():
     """The 90 nm technology node."""

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.noc.link import LinkDesigner
+from repro.noc.link import _LENGTH_QUANTUM, LinkDesign, LinkDesigner
 from repro.units import mm
 
 
@@ -77,3 +77,51 @@ class TestDesign:
         d_wide = wide.design(mm(3))
         assert d_wide.leakage_power == pytest.approx(
             4 * d_narrow.leakage_power, rel=0.01)
+
+
+class TestQuantizationEdges:
+    """Regression tests for the length-quantum boundary behaviour."""
+
+    def test_boundary_and_epsilon_below_share_a_design(self, designer):
+        on_boundary = 40 * _LENGTH_QUANTUM          # exactly 2.0 mm
+        just_below = on_boundary - 1e-12
+        assert designer.design(on_boundary) \
+            == designer.design(just_below)
+
+    def test_every_grid_point_matches_its_neighborhood(self, designer):
+        for index in (21, 33, 47):
+            boundary = index * _LENGTH_QUANTUM
+            design = designer.design(boundary)
+            assert design is not None
+            assert designer.design(boundary - 1e-12) == design
+
+    def test_design_consistent_with_max_feasible_length(self, designer):
+        """``is_feasible`` and ``design`` must agree at the edge: the
+        longest feasible length gets a design even though rounding to
+        the quantum grid would push it past the feasibility bound."""
+        edge = designer.max_length()
+        assert designer.is_feasible(edge)
+        design = designer.design(edge)
+        assert design is not None
+        # The designed (quantized) length never exceeds the bound.
+        assert design.length <= edge + 1e-15
+
+    def test_just_past_the_edge_is_rejected(self, designer):
+        past = designer.max_length() * (1 + 1e-9)
+        assert not designer.is_feasible(past)
+        assert designer.design(past) is None
+
+
+class TestPersistentRoundTrip:
+    def test_payload_round_trip_is_lossless(self, designer):
+        design = designer.design(mm(3))
+        clone = LinkDesign.from_payload(design.to_payload())
+        assert clone == design
+
+    def test_unfingerprintable_model_still_constructs(self, suite90):
+        class Opaque:
+            pass
+
+        # No crash: the persistent level is skipped for models the
+        # canonicalizer cannot render.
+        LinkDesigner(Opaque(), suite90.tech, 64)

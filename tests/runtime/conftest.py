@@ -1,0 +1,21 @@
+"""Runtime-test fixtures: every test gets a pristine runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import runtime
+from repro.runtime import STATS
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime(tmp_path, monkeypatch):
+    """Isolated cache directory, no overrides, zeroed stats."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    runtime.reset_configuration()
+    STATS.reset()
+    yield
+    runtime.reset_configuration()
+    STATS.reset()

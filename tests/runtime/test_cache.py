@@ -1,0 +1,145 @@
+"""The versioned persistent disk cache."""
+
+import dataclasses
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro import runtime
+from repro.runtime import DiskCache, STATS, cache_dir, fingerprint
+
+
+@dataclass(frozen=True)
+class _Key:
+    name: str
+    value: float
+
+
+class TestFingerprint:
+    def test_stable(self):
+        key = _Key("a", 1.5)
+        assert fingerprint(key) == fingerprint(_Key("a", 1.5))
+
+    def test_sensitive_to_every_field(self):
+        base = _Key("a", 1.5)
+        assert fingerprint(base) != fingerprint(_Key("b", 1.5))
+        assert fingerprint(base) != fingerprint(_Key("a", 1.6))
+
+    def test_technology_parameter_changes_key(self, tech90):
+        tweaked = dataclasses.replace(tech90, vdd=tech90.vdd * 1.01)
+        assert fingerprint(tech90) != fingerprint(tweaked)
+
+    def test_dict_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) \
+            == fingerprint({"b": 2, "a": 1})
+
+    def test_rejects_unfingerprintable(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+
+class TestCacheDir:
+    def test_env_override_respected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "here"))
+        assert cache_dir() == tmp_path / "here"
+        cache = DiskCache("ns")
+        cache.put({"k": 1}, "payload")
+        assert (tmp_path / "here" / "ns").is_dir()
+
+    def test_nothing_created_before_first_put(self, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "lazy"))
+        DiskCache("ns").get({"k": 1})
+        assert not (tmp_path / "lazy").exists()
+
+
+class TestRoundTrip:
+    def test_cold_miss_then_warm_hit(self):
+        cache = DiskCache("designs")
+        key = {"tech": "90nm", "length": 5}
+        assert cache.get(key) is None
+        cache.put(key, {"delay": 1.25e-10, "sizes": [4, 8]})
+        assert cache.get(key) == {"delay": 1.25e-10, "sizes": [4, 8]}
+
+    def test_hits_and_misses_counted(self):
+        cache = DiskCache("designs")
+        cache.get({"k": 1})
+        cache.put({"k": 1}, 42)
+        cache.get({"k": 1})
+        assert STATS.counters["cache.miss"] == 1
+        assert STATS.counters["cache.hit"] == 1
+        assert STATS.cache_hit_rate() == 0.5
+
+    def test_distinct_keys_do_not_collide(self):
+        cache = DiskCache("designs")
+        cache.put({"k": 1}, "one")
+        cache.put({"k": 2}, "two")
+        assert cache.get({"k": 1}) == "one"
+        assert cache.get({"k": 2}) == "two"
+
+    def test_namespaces_are_disjoint(self):
+        DiskCache("a").put({"k": 1}, "from-a")
+        assert DiskCache("b").get({"k": 1}) is None
+
+    def test_namespace_validation(self):
+        with pytest.raises(ValueError):
+            DiskCache("")
+        with pytest.raises(ValueError):
+            DiskCache("a/b")
+
+
+class TestRobustness:
+    def test_corrupted_file_is_a_miss_and_rewritten(self):
+        cache = DiskCache("ns")
+        key = {"k": 1}
+        cache.put(key, "good")
+        cache.path_for(key).write_text("{ not json !")
+        assert cache.get(key) is None
+        cache.put(key, "rewritten")
+        assert cache.get(key) == "rewritten"
+
+    def test_truncated_envelope_is_a_miss(self):
+        cache = DiskCache("ns")
+        key = {"k": 1}
+        cache.path_for(key).parent.mkdir(parents=True)
+        cache.path_for(key).write_text(json.dumps({"version": 1}))
+        assert cache.get(key) is None
+
+    def test_version_mismatch_ignored_and_rewritten(self):
+        old = DiskCache("ns", version=1)
+        new = DiskCache("ns", version=2)
+        key = {"k": 1}
+        old.put(key, "v1-payload")
+        assert new.get(key) is None
+        new.put(key, "v2-payload")
+        assert new.get(key) == "v2-payload"
+        assert old.get(key) is None
+
+    def test_key_collision_detected(self):
+        """A hash collision (here: a forged file) must not serve the
+        wrong payload."""
+        cache = DiskCache("ns")
+        forged = {"version": cache.version, "key": {"other": True},
+                  "payload": "evil"}
+        cache.path_for({"k": 1}).parent.mkdir(parents=True)
+        cache.path_for({"k": 1}).write_text(json.dumps(forged))
+        assert cache.get({"k": 1}) is None
+
+
+class TestDisabling:
+    def test_no_cache_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = DiskCache("ns")
+        cache.put({"k": 1}, "payload")
+        assert cache.get({"k": 1}) is None
+        assert not cache.directory.exists()
+
+    def test_configure_disable(self):
+        runtime.configure(cache_enabled=False)
+        cache = DiskCache("ns")
+        cache.put({"k": 1}, "payload")
+        assert not cache.directory.exists()
+        runtime.configure(cache_enabled=True)
+        cache.put({"k": 1}, "payload")
+        assert cache.get({"k": 1}) == "payload"

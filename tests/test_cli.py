@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -92,3 +94,68 @@ class TestExperimentPassthroughs:
         assert main(["widths", "dvopd", "90nm",
                      "--widths", "64", "128"]) == 0
         assert "best width" in capsys.readouterr().out
+
+
+class _FakeResult:
+    def format(self):
+        return "fake table"
+
+
+class TestRuntimeFlags:
+    """The shared --workers / --no-cache / --stats options."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_runtime(self, tmp_path, monkeypatch):
+        from repro import runtime
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        runtime.reset_configuration()
+        yield tmp_path
+        runtime.reset_configuration()
+
+    def test_table2_workers_and_stats_footer(self, capsys,
+                                             monkeypatch):
+        import repro.experiments.table2 as table2
+        captured = {}
+
+        def fake_run():
+            from repro.runtime import resolve_workers
+            captured["workers"] = resolve_workers()
+            return _FakeResult()
+
+        monkeypatch.setattr(table2, "run", fake_run)
+        assert main(["table2", "--workers", "2", "--stats"]) == 0
+        output = capsys.readouterr().out
+        assert "fake table" in output
+        assert "runtime stats" in output
+        assert "workers" in output
+        # The flag reached the experiment through the configuration.
+        assert captured["workers"] == 2
+
+    def test_accuracy_parallel_real_run(self, capsys):
+        assert main(["accuracy", "90nm", "--lengths", "1",
+                     "--workers", "2", "--stats"]) == 0
+        output = capsys.readouterr().out
+        assert "Prop %" in output
+        assert "runtime stats" in output
+
+    def test_no_stats_footer_by_default(self, capsys):
+        assert main(["nodes"]) == 0
+        assert "runtime stats" not in capsys.readouterr().out
+
+    def test_no_cache_creates_no_files(self, _isolated_runtime,
+                                       capsys):
+        # Synthesis designs links, the heaviest cache writer — with
+        # --no-cache not a single file may appear.
+        assert main(["widths", "dvopd", "90nm", "--widths", "64",
+                     "--no-cache"]) == 0
+        assert os.listdir(_isolated_runtime) == []
+
+    def test_cache_populated_without_no_cache(self, _isolated_runtime,
+                                              capsys):
+        assert main(["widths", "dvopd", "90nm", "--widths", "64"]) == 0
+        assert os.listdir(_isolated_runtime) != []
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            main(["nodes", "--workers", "0"])
