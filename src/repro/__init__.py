@@ -1,0 +1,3 @@
+"""Reproduction package root."""
+
+__version__ = "1.0.0"

@@ -9,6 +9,7 @@ Installed as the ``repro`` console script::
     repro synth dvopd 65nm              # one Table III cell
     repro table1 | table2 | table3      # full paper experiments
     repro staggering | runtime | leakage-area
+    repro report trace.jsonl            # summarize a recorded trace
 
 Every subcommand prints the same artifacts the benchmark suite saves.
 
@@ -18,6 +19,9 @@ Every subcommand also accepts the shared runtime flags:
                     (results are bit-identical to --workers 1)
     --no-cache      bypass the persistent disk cache entirely
     --stats         print a wall-time / cache-hit footer afterwards
+    --trace FILE    record a hierarchical span trace (JSONL) of the
+                    run — including spans from worker processes — and
+                    write a provenance manifest.json next to it
 """
 
 from __future__ import annotations
@@ -172,6 +176,26 @@ def _cmd_mesh(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.runtime.trace import (
+        export_chrome_trace,
+        read_trace,
+        summarize_events,
+    )
+    try:
+        events = read_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize_events(events)
+    print(summary.format())
+    if args.chrome:
+        export_chrome_trace(events, args.chrome)
+        print(f"chrome trace written to {args.chrome} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    return 0 if summary.well_formed else 1
+
+
 def _cmd_widths(args: argparse.Namespace) -> int:
     from repro.experiments.suite import ModelSuite
     from repro.noc import explore_widths
@@ -200,6 +224,9 @@ def _runtime_options() -> argparse.ArgumentParser:
                        help="bypass the persistent disk cache")
     group.add_argument("--stats", action="store_true",
                        help="print runtime statistics afterwards")
+    group.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a JSONL span trace of the run and "
+                            "a manifest.json next to it")
     return parent
 
 
@@ -290,11 +317,22 @@ def build_parser() -> argparse.ArgumentParser:
                             default=[32, 64, 128])
     widths_cmd.set_defaults(func=_cmd_widths)
 
+    report_cmd = add_parser("report",
+                            help="summarize a --trace JSONL file")
+    report_cmd.add_argument("trace_file")
+    report_cmd.add_argument("--chrome", default=None, metavar="OUT",
+                            help="also export a chrome://tracing JSON")
+    report_cmd.set_defaults(func=_cmd_report)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    import time
+    from datetime import datetime, timezone
+
     from repro import runtime as rt
+
     parser = build_parser()
     args = parser.parse_args(argv)
     # Each invocation starts from a clean runtime configuration so a
@@ -304,14 +342,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         cache_enabled=False if args.no_cache else None,
     )
+    sink = None
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        sink = rt.JsonlSink(trace_path)
+        rt.TRACER.add_sink(sink)
+    started_at = datetime.now(timezone.utc).isoformat()
+    started = time.perf_counter()
     try:
-        with rt.STATS.timer("command"):
+        with rt.METRICS.timer("command"), \
+                rt.span(f"repro.{args.command}"):
             status = args.func(args)
     finally:
+        wall_seconds = time.perf_counter() - started
+        if sink is not None:
+            rt.TRACER.remove_sink(sink)
+            sink.close()
+        if trace_path:
+            config = {key: value for key, value in vars(args).items()
+                      if key not in ("func",)}
+            manifest = rt.build_manifest(
+                args.command, config,
+                workers=rt.resolve_workers(),
+                cache_enabled=rt.cache_enabled(),
+                wall_seconds=wall_seconds,
+                started_at=started_at,
+                trace_file=str(trace_path),
+            )
+            rt.write_manifest(rt.manifest_path_for(trace_path),
+                              manifest)
         if args.stats:
-            footer = rt.STATS.format_footer()
             workers = rt.resolve_workers()
-            print(f"{footer}\n  {'workers':<24} {workers:9d}")
+            print(rt.METRICS.format_footer(
+                extra={"workers": workers}))
     return status
 
 

@@ -25,7 +25,7 @@ from repro.buffering.optimizer import (
     optimize_buffering,
 )
 from repro.experiments.suite import ModelSuite
-from repro.runtime import parallel_map
+from repro.runtime import parallel_map, span
 from repro.units import mm, to_mm, to_ps
 
 DEFAULT_NODES = ("90nm", "65nm", "45nm", "32nm", "22nm", "16nm")
@@ -79,6 +79,11 @@ def _node_row(task: "Tuple[str, float]") -> ScalingRow:
     """One node's scaling row (pool-safe: the suite is built here, so
     only the node name and length cross the process boundary)."""
     node, length = task
+    with span("scaling.node", node=node, length_mm=to_mm(length)):
+        return _node_row_inner(node, length)
+
+
+def _node_row_inner(node: str, length: float) -> ScalingRow:
     suite = ModelSuite.for_node(node)
     # Deep-nanometer nodes want repeaters every ~100 um; widen the
     # count search accordingly.
@@ -108,7 +113,8 @@ def run(nodes: Sequence[str] = DEFAULT_NODES,
         length: float = mm(5),
         workers: Optional[int] = None) -> ScalingResult:
     """Evaluate the scaling table for the given nodes (one per task)."""
-    rows: List[ScalingRow] = parallel_map(
-        _node_row, [(node, length) for node in nodes],
-        workers=workers, chunk=1)
+    with span("experiment.scaling", nodes=len(nodes)):
+        rows: List[ScalingRow] = parallel_map(
+            _node_row, [(node, length) for node in nodes],
+            workers=workers, chunk=1)
     return ScalingResult(length=length, rows=tuple(rows))

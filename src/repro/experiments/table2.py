@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.buffering.optimizer import optimize_buffering
 from repro.experiments.suite import ModelSuite
-from repro.runtime import parallel_map
+from repro.runtime import METRICS, parallel_map, span
 from repro.signoff.extraction import extract_buffered_line
 from repro.signoff.golden import evaluate_buffered_line
 from repro.tech.design_styles import DesignStyle
@@ -150,8 +150,11 @@ def _evaluate_task(task: "Tuple[str, str, float]") -> Table2Row:
     caches, so workers receive only primitives)."""
     node, style_value, length = task
     style = DesignStyle(style_value)
-    suite = ModelSuite.for_node(node, style=style)
-    return _evaluate_one(suite, style, length)
+    with span("table2.cell", node=node, style=style_value,
+              length_mm=to_mm(length)):
+        METRICS.count("table2.cells")
+        suite = ModelSuite.for_node(node, style=style)
+        return _evaluate_one(suite, style, length)
 
 
 def run(
@@ -165,8 +168,9 @@ def run(
              for node in nodes
              for style in styles
              for length in lengths]
-    rows: List[Table2Row] = parallel_map(_evaluate_task, tasks,
-                                         workers=workers)
+    with span("experiment.table2", cells=len(tasks)):
+        rows: List[Table2Row] = parallel_map(_evaluate_task, tasks,
+                                             workers=workers)
     return Table2Result(rows=tuple(rows))
 
 

@@ -29,7 +29,8 @@ from repro.noc.evaluation import NocReport, evaluate_topology
 from repro.noc.spec import CommunicationSpec
 from repro.noc.synthesis import SynthesisConfig, synthesize
 from repro.noc.testcases import dual_vopd, vproc
-from repro.runtime import parallel_map
+from repro.noc.topology import NocTopology
+from repro.runtime import parallel_map, span
 
 DEFAULT_NODES = ("90nm", "65nm", "45nm")
 
@@ -88,36 +89,54 @@ class Table3Result:
                    for case in self.cases)
 
 
-def run_case(design_name: str, spec_factory: SpecFactory, node: str,
-             config: Optional[SynthesisConfig] = None) -> Table3Case:
-    """Synthesize and evaluate one (design, node) cell."""
+def _synthesis_task(task: "Tuple[SpecFactory, str, str, "
+                    "Optional[SynthesisConfig]]") -> NocTopology:
+    """Synthesize one (spec, model) combination (pool-safe: the spec
+    factory is a module-level function and the model is named by its
+    :class:`ModelSuite` attribute, so workers rebuild both)."""
+    factory, node, model_name, config = task
     suite = ModelSuite.for_node(node)
-    spec = spec_factory(suite.tech)
+    spec = factory(suite.tech)
+    return synthesize(spec, getattr(suite, model_name), suite.tech,
+                      config=config)
 
-    original_topology = synthesize(spec, suite.bakoglu, suite.tech,
-                                   config=config)
-    proposed_topology = synthesize(spec, suite.proposed, suite.tech,
-                                   config=config)
 
-    return Table3Case(
-        design=design_name,
-        node=node,
-        original_self=evaluate_topology(
-            original_topology, suite.bakoglu, suite.tech,
-            label=f"original/self"),
-        original_accurate=evaluate_topology(
-            original_topology, suite.proposed, suite.tech,
-            label=f"original/accurate"),
-        proposed_self=evaluate_topology(
-            proposed_topology, suite.proposed, suite.tech,
-            label=f"proposed/self"),
-    )
+def run_case(design_name: str, spec_factory: SpecFactory, node: str,
+             config: Optional[SynthesisConfig] = None,
+             workers: Optional[int] = None) -> Table3Case:
+    """Synthesize and evaluate one (design, node) cell.
+
+    The two syntheses (original model, proposed model) are independent
+    problems and run as separate tasks — ``repro synth --workers 2``
+    overlaps them.
+    """
+    with span("table3.case", design=design_name, node=node):
+        tasks = [(spec_factory, node, model_name, config)
+                 for model_name in ("bakoglu", "proposed")]
+        original_topology, proposed_topology = parallel_map(
+            _synthesis_task, tasks, workers=workers, chunk=1)
+
+        suite = ModelSuite.for_node(node)
+        return Table3Case(
+            design=design_name,
+            node=node,
+            original_self=evaluate_topology(
+                original_topology, suite.bakoglu, suite.tech,
+                label="original/self"),
+            original_accurate=evaluate_topology(
+                original_topology, suite.proposed, suite.tech,
+                label="original/accurate"),
+            proposed_self=evaluate_topology(
+                proposed_topology, suite.proposed, suite.tech,
+                label="proposed/self"),
+        )
 
 
 def _case_task(task: "Tuple[str, SpecFactory, str, "
                "Optional[SynthesisConfig]]") -> Table3Case:
     """One (design, node) cell (pool-safe: the spec factories are
-    module-level functions, so they pickle by reference)."""
+    module-level functions, so they pickle by reference).  Inside a
+    pool worker the nested per-case ``parallel_map`` runs serially."""
     design_name, factory, node, config = task
     return run_case(design_name, factory, node, config)
 
@@ -132,8 +151,9 @@ def run(
     tasks = [(design_name, factory, node, config)
              for design_name, factory in designs
              for node in nodes]
-    cases: List[Table3Case] = parallel_map(_case_task, tasks,
-                                           workers=workers, chunk=1)
+    with span("experiment.table3", cells=len(tasks)):
+        cases: List[Table3Case] = parallel_map(_case_task, tasks,
+                                               workers=workers, chunk=1)
     return Table3Result(cases=tuple(cases))
 
 

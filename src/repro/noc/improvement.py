@@ -29,6 +29,7 @@ from repro.noc.synthesis import (
     _route_one_flow,
 )
 from repro.noc.topology import NocTopology, NodeId
+from repro.runtime import METRICS, span
 from repro.tech.parameters import TechnologyParameters
 
 
@@ -109,9 +110,30 @@ def improve_topology(
     current = topology
     initial_power = power_of(current)
     current_power = initial_power
+
+    with span("noc.improve", design=spec.name,
+              flows=len(current.routes)) as improving, \
+            METRICS.timer("noc.improve"):
+        passes, reroutes, current, current_power = _improvement_passes(
+            spec, adjacency, designer, router_params, capacity, config,
+            tech, power_of, current, current_power, max_passes)
+        improving.annotate(passes=passes, reroutes=reroutes)
+
+    return ImprovementResult(
+        topology=current,
+        initial_power=initial_power,
+        final_power=current_power,
+        passes=passes,
+        reroutes=reroutes,
+    )
+
+
+def _improvement_passes(spec, adjacency, designer, router_params,
+                        capacity, config, tech, power_of, current,
+                        current_power, max_passes):
+    """The rip-up/re-route pass loop; returns the final state."""
     reroutes = 0
     passes = 0
-
     for _pass in range(max_passes):
         passes += 1
         improved_this_pass = False
@@ -120,12 +142,13 @@ def improve_topology(
             stripped = _rebuild_without_flow(current, index)
             hop_budget = _hop_budget(flow.max_hops,
                                      config.max_flow_hops)
-            path = _route_one_flow(
+            routed = _route_one_flow(
                 flow.source, flow.dest, flow.bandwidth, adjacency,
                 stripped, designer, router_params, capacity, config,
                 tech, hop_budget=hop_budget)
-            if path is None:
+            if routed is None:
                 continue
+            path, _marginal_power = routed
             if path == current.routes[index]:
                 continue
             _commit_path(stripped, spec, path, adjacency)
@@ -139,10 +162,4 @@ def improve_topology(
         if not improved_this_pass:
             break
 
-    return ImprovementResult(
-        topology=current,
-        initial_power=initial_power,
-        final_power=current_power,
-        passes=passes,
-        reroutes=reroutes,
-    )
+    return passes, reroutes, current, current_power

@@ -26,7 +26,7 @@ from repro.buffering.optimizer import (
     minimize_power_under_delay,
 )
 from repro.models.interconnect import InterconnectEstimate
-from repro.runtime import DiskCache, fingerprint
+from repro.runtime import DiskCache, METRICS, fingerprint, span
 from repro.tech.parameters import TechnologyParameters
 from repro.units import ps
 
@@ -218,6 +218,7 @@ class LinkDesigner:
         if key * _LENGTH_QUANTUM > self.max_length():
             key = max(1, int(length / _LENGTH_QUANTUM))
         if key in self._cache:
+            METRICS.count("link.memo_hit")
             return self._cache[key]
         design = self._design_cached_on_disk(key)
         self._cache[key] = design
@@ -227,13 +228,13 @@ class LinkDesigner:
         if self._disk is None or self._context_hash is None:
             return None
         return self._disk.get({"context": self._context_hash,
-                               **key_tail})
+                               **key_tail}, kind=key_tail["kind"])
 
     def _disk_put(self, key_tail: Dict, payload: Dict) -> None:
         if self._disk is None or self._context_hash is None:
             return
         self._disk.put({"context": self._context_hash, **key_tail},
-                       payload)
+                       payload, kind=key_tail["kind"])
 
     def _design_cached_on_disk(self, key: int) -> Optional[LinkDesign]:
         key_tail = {"kind": "design", "quantum_index": key,
@@ -254,9 +255,17 @@ class LinkDesigner:
     def _design_uncached(self, length: float) -> Optional[LinkDesign]:
         if not self.is_feasible(length):
             return None
-        solution = minimize_power_under_delay(
-            self.model, length, self.tech.clock_period(),
-            input_slew=LINK_INPUT_SLEW)
+        with span("link.design", length_mm=length * 1e3,
+                  bus_width=self.bus_width, node=self.tech.name) as sp, \
+                METRICS.timer("link.design"):
+            METRICS.count("link.design_attempts")
+            solution = minimize_power_under_delay(
+                self.model, length, self.tech.clock_period(),
+                input_slew=LINK_INPUT_SLEW)
+            sp.annotate(feasible=solution is not None)
+            if solution is not None:
+                sp.annotate(num_repeaters=solution.num_repeaters,
+                            repeater_size=solution.repeater_size)
         if solution is None:
             return None
         estimate = self.model.evaluate(

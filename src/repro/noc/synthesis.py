@@ -37,6 +37,7 @@ from repro.noc.link import LinkDesigner
 from repro.noc.router import RouterParameters
 from repro.noc.spec import CommunicationSpec, flows_by_bandwidth
 from repro.noc.topology import NocTopology, NodeId, core_node, router_node
+from repro.runtime import METRICS, span
 from repro.tech.parameters import TechnologyParameters
 from repro.units import um
 
@@ -125,31 +126,45 @@ def synthesize(
         router_params = RouterParameters.for_technology(
             tech, flit_width=spec.data_width)
 
-    designer = LinkDesigner(model, tech, spec.data_width,
-                            utilization=config.utilization)
-    capacity = designer.capacity()
-    max_length = designer.max_length()
-    adjacency = _candidate_edges(spec, config, max_length)
+    with span("noc.synthesize", design=spec.name, node=tech.name,
+              width=spec.data_width, flows=len(spec.flows)) as synth, \
+            METRICS.timer("noc.synthesize"):
+        designer = LinkDesigner(model, tech, spec.data_width,
+                                utilization=config.utilization)
+        capacity = designer.capacity()
+        max_length = designer.max_length()
+        adjacency = _candidate_edges(spec, config, max_length)
 
-    topology = NocTopology(spec=spec)
-    flow_order = flows_by_bandwidth(spec.flows)
-    index_of = {id(flow): i for i, flow in enumerate(spec.flows)}
+        topology = NocTopology(spec=spec)
+        flow_order = flows_by_bandwidth(spec.flows)
+        index_of = {id(flow): i for i, flow in enumerate(spec.flows)}
 
-    for flow in flow_order:
-        hop_budget = _hop_budget(flow.max_hops, config.max_flow_hops)
-        path = _route_one_flow(
-            flow.source, flow.dest, flow.bandwidth, adjacency, topology,
-            designer, router_params, capacity, config, tech,
-            hop_budget=hop_budget)
-        if path is None:
-            constraint = (f" within {hop_budget} hops"
-                          if hop_budget is not None else "")
-            raise SynthesisError(
-                f"flow {flow.source} -> {flow.dest} "
-                f"({flow.bandwidth:.3g} b/s) cannot be routed"
-                f"{constraint}")
-        _commit_path(topology, spec, path, adjacency)
-        topology.route_flow(index_of[id(flow)], path)
+        for flow in flow_order:
+            hop_budget = _hop_budget(flow.max_hops,
+                                     config.max_flow_hops)
+            with span("noc.route_flow", source=flow.source,
+                      dest=flow.dest,
+                      bandwidth=flow.bandwidth) as routing:
+                routed = _route_one_flow(
+                    flow.source, flow.dest, flow.bandwidth, adjacency,
+                    topology, designer, router_params, capacity,
+                    config, tech, hop_budget=hop_budget)
+                if routed is None:
+                    routing.annotate(routed=False)
+                    constraint = (f" within {hop_budget} hops"
+                                  if hop_budget is not None else "")
+                    raise SynthesisError(
+                        f"flow {flow.source} -> {flow.dest} "
+                        f"({flow.bandwidth:.3g} b/s) cannot be routed"
+                        f"{constraint}")
+                path, marginal_power = routed
+                routing.annotate(routed=True, hops=len(path) - 1,
+                                 marginal_power=marginal_power)
+                METRICS.count("synth.flows_routed")
+                _commit_path(topology, spec, path, adjacency)
+                topology.route_flow(index_of[id(flow)], path)
+        synth.annotate(routers=len(topology.routers()),
+                       links=topology.graph.number_of_edges())
     return topology
 
 
@@ -169,17 +184,22 @@ def _edge_weight(candidate: _Candidate, bandwidth: float,
     """Marginal power (W) of pushing ``bandwidth`` over a candidate edge.
 
     Returns ``None`` for inadmissible edges (capacity exhausted, degree
-    limit, infeasible length).
+    limit, infeasible length); each rejection reason is counted under
+    ``synth.reject.*`` so a trace/stats footer explains *why* candidate
+    links were discarded.
     """
+    METRICS.count("synth.edges_evaluated")
     graph = topology.graph
     installed = (candidate.source in graph and candidate.dest in graph
                  and graph.has_edge(candidate.source, candidate.dest))
     if installed:
         load = topology.edge_load(candidate.source, candidate.dest)
         if load + bandwidth > capacity:
+            METRICS.count("synth.reject.capacity")
             return None
     design = designer.design(candidate.length)
     if design is None:
+        METRICS.count("synth.reject.infeasible_length")
         return None
 
     weight = design.dynamic_power(bandwidth, tech.vdd,
@@ -205,6 +225,7 @@ def _edge_weight(candidate: _Candidate, bandwidth: float,
             degree = (topology.router_degree(this)
                       if this in graph else 0)
             if degree + 1 > router_params.max_ports:
+                METRICS.count("synth.reject.ports")
                 return None
             weight += router_params.leakage_per_port
     return weight
@@ -217,11 +238,13 @@ def _route_one_flow(source: str, dest: str, bandwidth: float,
                     config: SynthesisConfig,
                     tech: TechnologyParameters,
                     hop_budget: Optional[int] = None,
-                    ) -> Optional[List[NodeId]]:
+                    ) -> Optional[Tuple[List[NodeId], float]]:
     """Dijkstra over the candidate graph with marginal-power weights.
 
-    With a hop budget the search runs over (node, hops-used) states, so
-    a node may be revisited with fewer hops spent — the standard
+    Returns the path together with its total marginal power (W), or
+    ``None`` when no admissible path exists.  With a hop budget the
+    search runs over (node, hops-used) states, so a node may be
+    revisited with fewer hops spent — the standard
     resource-constrained shortest-path relaxation.
     """
     start = core_node(source)
@@ -245,7 +268,7 @@ def _route_one_flow(source: str, dest: str, bandwidth: float,
             while cursor != start_state:
                 cursor = parent[cursor]
                 path.append(cursor[0])
-            return list(reversed(path))
+            return list(reversed(path)), cost
         for candidate in adjacency.get(node, ()):  # sorted construction
             next_hops = hops + (1 if candidate.dest[0] == "router"
                                 else 0)

@@ -22,7 +22,7 @@ from repro.noc.evaluation import NocReport, evaluate_topology
 from repro.noc.spec import CommunicationSpec
 from repro.noc.synthesis import SynthesisConfig, SynthesisError, \
     synthesize
-from repro.runtime import parallel_map
+from repro.runtime import parallel_map, span
 from repro.tech.parameters import TechnologyParameters
 
 #: Packet header (routing/addressing) bits, paid once per packet.
@@ -128,14 +128,17 @@ def _explore_one(task: "Tuple[CommunicationSpec, object, "
     spec, model, tech, width, config = task
     overhead = serialization_overhead(width)
     adjusted = respecify_width(spec, width)
-    try:
-        topology = synthesize(adjusted, model, tech, config=config)
-    except SynthesisError:
-        return WidthDesignPoint(
-            width=width, report=None, feasible=False,
-            serialization_overhead=overhead)
-    report = evaluate_topology(topology, model, tech,
-                               label=f"w{width}")
+    with span("widths.point", width=width, design=spec.name) as sp:
+        try:
+            topology = synthesize(adjusted, model, tech, config=config)
+        except SynthesisError:
+            sp.annotate(feasible=False)
+            return WidthDesignPoint(
+                width=width, report=None, feasible=False,
+                serialization_overhead=overhead)
+        report = evaluate_topology(topology, model, tech,
+                                   label=f"w{width}")
+        sp.annotate(feasible=True, total_power=report.total_power)
     return WidthDesignPoint(
         width=width, report=report, feasible=True,
         serialization_overhead=overhead)
@@ -155,6 +158,8 @@ def explore_widths(
     parallelizes per width without changing any design point.
     """
     tasks = [(spec, model, tech, width, config) for width in widths]
-    points: List[WidthDesignPoint] = parallel_map(
-        _explore_one, tasks, workers=workers, chunk=1)
+    with span("experiment.widths", design=spec.name,
+              widths=len(widths)):
+        points: List[WidthDesignPoint] = parallel_map(
+            _explore_one, tasks, workers=workers, chunk=1)
     return WidthExploration(points=tuple(points))

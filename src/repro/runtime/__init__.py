@@ -14,8 +14,15 @@ while provably preserving their serial results:
 * :class:`repro.runtime.cache.DiskCache` — a versioned on-disk cache
   (under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) that warm-starts
   link designs and calibration coefficients across processes;
-* :data:`repro.runtime.stats.STATS` — wall-time / cache-hit counters
-  surfaced by the ``--stats`` CLI flag.
+* :data:`repro.runtime.metrics.METRICS` — the process-wide counter /
+  wall-time registry surfaced by the ``--stats`` CLI flag
+  (:data:`STATS` is its compatibility alias), merged across worker
+  processes by ``parallel_map``;
+* :func:`repro.runtime.trace.span` / :data:`repro.runtime.trace.TRACER`
+  — hierarchical span tracing with pluggable sinks (``--trace`` writes
+  JSONL), free when no sink is attached;
+* :mod:`repro.runtime.manifest` — the ``manifest.json`` provenance
+  record written next to traced runs.
 
 Configuration resolves in this order: explicit function arguments,
 :func:`configure` (what the CLI flags set), environment variables
@@ -34,6 +41,13 @@ from repro.runtime.cache import (
     cache_dir,
     fingerprint,
 )
+from repro.runtime.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    manifest_path_for,
+    write_manifest,
+)
+from repro.runtime.metrics import METRICS, MetricsRegistry
 from repro.runtime.parallel import (
     parallel_map,
     resolve_workers,
@@ -41,22 +55,46 @@ from repro.runtime.parallel import (
     spawn_seed_sequences,
 )
 from repro.runtime.stats import STATS, RuntimeStats
+from repro.runtime.trace import (
+    JsonlSink,
+    SpanCollector,
+    TRACER,
+    Tracer,
+    current_span,
+    export_chrome_trace,
+    span,
+    summarize_trace,
+)
 
 __all__ = [
     "CACHE_VERSION",
     "DiskCache",
+    "JsonlSink",
+    "MANIFEST_SCHEMA",
+    "METRICS",
+    "MetricsRegistry",
     "RuntimeStats",
     "STATS",
+    "SpanCollector",
+    "TRACER",
+    "Tracer",
+    "build_manifest",
     "cache_dir",
     "cache_enabled",
     "configure",
     "configured_workers",
+    "current_span",
+    "export_chrome_trace",
     "fingerprint",
+    "manifest_path_for",
     "parallel_map",
     "reset_configuration",
     "resolve_workers",
+    "span",
     "spawn_generators",
     "spawn_seed_sequences",
+    "summarize_trace",
+    "write_manifest",
 ]
 
 #: Process-wide overrides set by :func:`configure` (the CLI flags).

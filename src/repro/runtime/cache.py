@@ -35,7 +35,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Optional
 
-from repro.runtime.stats import STATS
+from repro.runtime.metrics import METRICS
 
 #: Bump when the on-disk payload schema changes; older files are then
 #: ignored and transparently rewritten.
@@ -109,13 +109,27 @@ class DiskCache:
     def path_for(self, key: Any) -> Path:
         return self.directory / f"{fingerprint(key)}.json"
 
+    def _count(self, outcome: str, kind: Optional[str]) -> None:
+        """Aggregate plus attributed counters for one lookup outcome.
+
+        ``cache.hit`` / ``cache.miss`` stay the totals the hit-rate is
+        computed from; ``cache.<outcome>.<namespace>[.<kind>]`` says
+        *which* cache population the traffic belongs to.
+        """
+        METRICS.count(f"cache.{outcome}")
+        suffix = (f"{self.namespace}.{kind}" if kind
+                  else self.namespace)
+        METRICS.count(f"cache.{outcome}.{suffix}")
+
     # -- access -----------------------------------------------------------
 
-    def get(self, key: Any) -> Optional[Any]:
+    def get(self, key: Any, kind: Optional[str] = None) -> Optional[Any]:
         """The cached payload for ``key``, or ``None`` on any miss.
 
         Unreadable, corrupt, version-mismatched or colliding entries
         are all reported as misses; the next ``put`` rewrites them.
+        ``kind`` labels the key population (e.g. ``"design"`` vs
+        ``"max_length"``) in the attributed hit/miss counters.
         """
         if not self._enabled():
             return None
@@ -128,12 +142,13 @@ class DiskCache:
                 raise ValueError("stale or colliding cache entry")
             payload = envelope["payload"]
         except (OSError, ValueError, KeyError, TypeError):
-            STATS.count("cache.miss")
+            self._count("miss", kind)
             return None
-        STATS.count("cache.hit")
+        self._count("hit", kind)
         return payload
 
-    def put(self, key: Any, payload: Any) -> None:
+    def put(self, key: Any, payload: Any,
+            kind: Optional[str] = None) -> None:
         """Persist ``payload`` under ``key`` (atomic, best-effort)."""
         if not self._enabled():
             return
@@ -151,8 +166,8 @@ class DiskCache:
             with handle:
                 json.dump(envelope, handle)
             os.replace(handle.name, self.path_for(key))
-            STATS.count("cache.write")
+            self._count("write", kind)
         except OSError:
             # A read-only or full cache directory must never fail the
             # computation that produced the payload.
-            STATS.count("cache.write_failed")
+            METRICS.count("cache.write_failed")

@@ -1,0 +1,139 @@
+"""Process-wide metrics: named counters and wall-time accumulators.
+
+:class:`MetricsRegistry` is the aggregation point every layer records
+into — cache traffic, parallel task counts, synthesis rejection
+reasons, per-phase wall time.  A single process-wide :data:`METRICS`
+registry serves the whole process; worker processes record into their
+own (reset per chunk) and :func:`repro.runtime.parallel.parallel_map`
+merges the serialized payloads back into the parent, so ``--stats``
+totals are identical for any worker count.
+
+The registry subsumes the original ad-hoc ``STATS`` object;
+:mod:`repro.runtime.stats` re-exports :data:`METRICS` under its old
+name as a compatibility facade.
+
+Recording is cheap enough to stay always-on (two dict operations); the
+CLI's ``--stats`` flag merely decides whether the footer is printed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+#: Minimum label column width of the ``--stats`` footer.  Longer metric
+#: names widen the column for the whole footer instead of breaking the
+#: alignment.
+_FOOTER_MIN_WIDTH = 24
+
+
+class MetricsRegistry:
+    """Named counters and wall-time accumulators."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, float] = {}
+
+    # -- recording --------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def add_time(self, name: str, seconds: float) -> None:
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - started)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+    # -- cross-process aggregation ----------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A picklable/JSON-safe snapshot (what workers send back)."""
+        return {"counters": dict(self.counters),
+                "timers": dict(self.timers)}
+
+    def merge_payload(self, payload: Mapping[str, Any]) -> None:
+        """Fold a :meth:`to_payload` snapshot into this registry."""
+        for name, amount in payload.get("counters", {}).items():
+            self.count(name, amount)
+        for name, seconds in payload.get("timers", {}).items():
+            self.add_time(name, seconds)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_payload(other.to_payload())
+
+    # -- derived ----------------------------------------------------------
+
+    def cache_hit_rate(self) -> Optional[float]:
+        """Disk-cache hit fraction, or ``None`` before any lookup."""
+        hits = self.counters.get("cache.hit", 0)
+        misses = self.counters.get("cache.miss", 0)
+        total = hits + misses
+        if total == 0:
+            return None
+        return hits / total
+
+    def task_throughput(self) -> Optional[float]:
+        """Parallel tasks per second of map wall time, if measurable.
+
+        Defined when both the ``parallel.tasks`` counter and a matching
+        ``parallel.pool`` / ``parallel.serial`` timer were recorded.
+        """
+        tasks = self.counters.get("parallel.tasks", 0)
+        elapsed = (self.timers.get("parallel.pool", 0.0)
+                   + self.timers.get("parallel.serial", 0.0))
+        if tasks <= 0 or elapsed <= 0.0:
+            return None
+        return tasks / elapsed
+
+    def format_footer(self,
+                      extra: Optional[Mapping[str, int]] = None) -> str:
+        """The ``--stats`` footer: wall time, cache traffic, counters.
+
+        ``extra`` appends caller-supplied integer rows (the CLI adds
+        the resolved worker count).  The label column widens to the
+        longest name so long metric names stay aligned.
+        """
+        extra = dict(extra or {})
+        hit_rate = self.cache_hit_rate()
+        throughput = self.task_throughput()
+        names = list(self.timers) + list(self.counters) + list(extra)
+        if hit_rate is not None:
+            names.append("cache hit rate")
+        if throughput is not None:
+            names.append("parallel.throughput")
+        width = max([_FOOTER_MIN_WIDTH] + [len(name) for name in names])
+
+        lines = ["-- runtime stats --"]
+        for name in sorted(self.timers):
+            lines.append(f"  {name:<{width}} {self.timers[name]:9.3f} s")
+        if throughput is not None:
+            lines.append(
+                f"  {'parallel.throughput':<{width}} "
+                f"{throughput:9.1f} tasks/s")
+        if hit_rate is not None:
+            lines.append(
+                f"  {'cache hit rate':<{width}} {hit_rate * 100:8.1f} % "
+                f"({self.counters.get('cache.hit', 0)} hit / "
+                f"{self.counters.get('cache.miss', 0)} miss)")
+        for name in sorted(self.counters):
+            if name in ("cache.hit", "cache.miss"):
+                continue
+            lines.append(f"  {name:<{width}} {self.counters[name]:9d}")
+        for name, value in extra.items():
+            lines.append(f"  {name:<{width}} {value:9d}")
+        return "\n".join(lines)
+
+
+#: The process-wide registry.
+METRICS = MetricsRegistry()

@@ -11,6 +11,16 @@ Its contract:
   single item) runs the plain list comprehension in-process, and any
   environment where a process pool cannot start degrades to the same
   path rather than crashing.
+* **Observability round-trip** — each worker records into its own
+  metrics registry (and, when the parent is tracing, its own span
+  collector); the payloads ride back with the results, metrics merge
+  into the parent registry and spans are spliced under the dispatching
+  ``parallel.map`` span.  ``--stats`` totals and traces are therefore
+  complete for any worker count.
+* **No nested pools** — inside a worker, :func:`resolve_workers`
+  always answers 1, so a parallelized workload that itself calls
+  ``parallel_map`` runs that inner loop serially instead of forking a
+  pool per worker.
 
 Because callables and items cross a process boundary, ``fn`` must be a
 module-level function and the items picklable — every workload in this
@@ -32,20 +42,28 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.runtime.stats import STATS
+from repro.runtime import trace
+from repro.runtime.metrics import METRICS
+
+#: True inside a pool worker — makes nested parallelism collapse to
+#: the serial path instead of spawning pools from pool workers.
+_IN_WORKER = False
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
     """The effective worker count for a workload.
 
-    Resolution order: the explicit argument, the :func:`configure`
-    override (CLI ``--workers``), the ``REPRO_WORKERS`` environment
-    variable, then 1 (serial).  ``workers=0`` or a negative request is
-    an error; the special value ``None`` means "use the defaults".
+    Resolution order: the worker-process guard (always serial inside a
+    pool worker), the explicit argument, the :func:`configure` override
+    (CLI ``--workers``), the ``REPRO_WORKERS`` environment variable,
+    then 1 (serial).  ``workers=0`` or a negative request is an error;
+    the special value ``None`` means "use the defaults".
     """
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    if _IN_WORKER:
+        return 1
     if workers is not None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
         return workers
     from repro import runtime
     configured = runtime.configured_workers()
@@ -64,11 +82,30 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return 1
 
 
-def _run_chunk(payload: "Tuple[Callable[[Any], Any], List[Any]]"
-               ) -> List[Any]:
-    """Worker-side body: apply ``fn`` to one contiguous chunk."""
-    fn, chunk = payload
-    return [fn(item) for item in chunk]
+_ChunkPayload = Tuple[Callable[[Any], Any], List[Any], bool]
+_ChunkResult = Tuple[List[Any], dict, List[trace.Event]]
+
+
+def _run_chunk(payload: _ChunkPayload) -> _ChunkResult:
+    """Worker-side body: apply ``fn`` to one contiguous chunk.
+
+    The worker's registry is reset first (pool workers are reused
+    across chunks and, under ``fork``, inherit the parent's totals),
+    so the returned payload is exactly this chunk's contribution.
+    """
+    global _IN_WORKER
+    fn, chunk, capture_trace = payload
+    _IN_WORKER = True
+    METRICS.reset()
+    collector = trace.begin_worker_capture() if capture_trace else None
+    try:
+        with trace.span("parallel.chunk", items=len(chunk)):
+            results = [fn(item) for item in chunk]
+    finally:
+        _IN_WORKER = False
+    events = (trace.end_worker_capture(collector)
+              if collector is not None else [])
+    return results, METRICS.to_payload(), events
 
 
 def parallel_map(
@@ -89,9 +126,9 @@ def parallel_map(
     workers = resolve_workers(workers)
     if chunk is not None and chunk < 1:
         raise ValueError("chunk must be >= 1")
-    STATS.count("parallel.tasks", len(items))
+    METRICS.count("parallel.tasks", len(items))
     if workers <= 1 or len(items) <= 1:
-        with STATS.timer("parallel.serial"):
+        with METRICS.timer("parallel.serial"):
             return [fn(item) for item in items]
 
     if chunk is None:
@@ -103,13 +140,23 @@ def parallel_map(
     except (OSError, PermissionError, NotImplementedError):
         # Restricted environments (no /dev/shm, no fork) fall back to
         # the serial path instead of failing the workload.
-        STATS.count("parallel.pool_unavailable")
-        with STATS.timer("parallel.serial"):
+        METRICS.count("parallel.pool_unavailable")
+        with METRICS.timer("parallel.serial"):
             return [fn(item) for item in items]
-    with STATS.timer("parallel.pool"), pool:
-        nested = list(pool.map(_run_chunk,
-                               [(fn, part) for part in chunks]))
-    return [result for part in nested for result in part]
+
+    capture_trace = trace.TRACER.enabled
+    payloads = [(fn, part, capture_trace) for part in chunks]
+    results: List[Any] = []
+    with trace.span("parallel.map", tasks=len(items), workers=workers,
+                    chunks=len(chunks)) as dispatch, \
+            METRICS.timer("parallel.pool"), pool:
+        for chunk_results, metrics_payload, events \
+                in pool.map(_run_chunk, payloads):
+            results.extend(chunk_results)
+            METRICS.merge_payload(metrics_payload)
+            trace.TRACER.splice_payload(events,
+                                        parent_id=dispatch.span_id)
+    return results
 
 
 def spawn_seed_sequences(seed: int, count: int

@@ -1,76 +1,27 @@
-"""Lightweight timing and counter instrumentation.
+"""Compatibility facade over :mod:`repro.runtime.metrics`.
 
-A single process-wide :data:`STATS` registry collects named counters
-(cache hits/misses, tasks executed) and named wall-time accumulators.
-Recording is cheap enough to stay always-on; the CLI's ``--stats`` flag
-merely decides whether the footer is printed.
+The original ``STATS`` registry grew into the full metrics aggregator;
+this module keeps the historical import surface alive:
 
-Worker processes collect into their *own* registry — the parent only
-sees what happened in-process plus whatever the disk cache persisted.
+* :data:`STATS` *is* :data:`repro.runtime.metrics.METRICS` — the same
+  process-wide object, so old and new call sites share one registry;
+* :class:`RuntimeStats` is an alias of
+  :class:`repro.runtime.metrics.MetricsRegistry`, which preserves the
+  whole old API (``count``/``add_time``/``timer``/``reset``/
+  ``cache_hit_rate``/``format_footer``) and adds payload merging.
+
+New code should import from :mod:`repro.runtime.metrics` (or the
+:mod:`repro.runtime` package) directly.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from repro.runtime.metrics import METRICS, MetricsRegistry
 
+#: Historical name of the metrics registry class.
+RuntimeStats = MetricsRegistry
 
-class RuntimeStats:
-    """Named counters and wall-time accumulators."""
+#: The process-wide registry (same object as ``metrics.METRICS``).
+STATS = METRICS
 
-    def __init__(self) -> None:
-        self.counters: Dict[str, int] = {}
-        self.timers: Dict[str, float] = {}
-
-    # -- recording --------------------------------------------------------
-
-    def count(self, name: str, amount: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
-
-    def add_time(self, name: str, seconds: float) -> None:
-        self.timers[name] = self.timers.get(name, 0.0) + seconds
-
-    @contextmanager
-    def timer(self, name: str) -> Iterator[None]:
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add_time(name, time.perf_counter() - started)
-
-    def reset(self) -> None:
-        self.counters.clear()
-        self.timers.clear()
-
-    # -- derived ----------------------------------------------------------
-
-    def cache_hit_rate(self) -> Optional[float]:
-        """Disk-cache hit fraction, or ``None`` before any lookup."""
-        hits = self.counters.get("cache.hit", 0)
-        misses = self.counters.get("cache.miss", 0)
-        total = hits + misses
-        if total == 0:
-            return None
-        return hits / total
-
-    def format_footer(self) -> str:
-        """The ``--stats`` footer: wall time, cache traffic, workers."""
-        lines = ["-- runtime stats --"]
-        for name in sorted(self.timers):
-            lines.append(f"  {name:<24} {self.timers[name]:9.3f} s")
-        hit_rate = self.cache_hit_rate()
-        if hit_rate is not None:
-            lines.append(
-                f"  {'cache hit rate':<24} {hit_rate * 100:8.1f} % "
-                f"({self.counters.get('cache.hit', 0)} hit / "
-                f"{self.counters.get('cache.miss', 0)} miss)")
-        for name in sorted(self.counters):
-            if name in ("cache.hit", "cache.miss"):
-                continue
-            lines.append(f"  {name:<24} {self.counters[name]:9d}")
-        return "\n".join(lines)
-
-
-#: The process-wide registry.
-STATS = RuntimeStats()
+__all__ = ["RuntimeStats", "STATS"]

@@ -1,0 +1,459 @@
+"""Hierarchical span tracing with pluggable sinks.
+
+A *span* is a named, timed region of work with attributes and
+span-local counters::
+
+    from repro.runtime import span
+
+    with span("noc.synthesize", node="65nm") as sp:
+        ...
+        sp.count("flows.routed")
+        sp.annotate(links=12)
+
+Spans nest: the tracer keeps the active-span stack, so a span opened
+inside another records the outer one as its parent.  Each span emits
+two events — ``B`` (begin) at entry with the initial attributes and
+``E`` (end) at exit with the final attribute/counter set — to every
+attached :class:`SpanSink`.
+
+**Always-on-cheap**: with no sink attached, :meth:`Tracer.span`
+returns one shared no-op context manager — no event, no ``Span``
+object, no sink call is ever allocated, so instrumentation can stay in
+hot paths unconditionally.
+
+Sinks:
+
+* :class:`SpanCollector` — in-memory event list (tests, worker
+  processes);
+* :class:`JsonlSink` — one JSON object per line (the CLI ``--trace``
+  file), convertible to the Chrome ``chrome://tracing`` format by
+  :func:`export_chrome_trace`.
+
+**Worker propagation**: ``parallel_map`` workers call
+:func:`begin_worker_capture` / :func:`end_worker_capture` around each
+chunk; the collected events travel back with the results and the
+parent splices them under its dispatching span via
+:meth:`Tracer.splice_payload`, which re-allocates span ids in the
+parent's id space so a trace file's ids are globally unique.
+
+Timestamps are ``time.perf_counter()`` seconds.  On Linux that clock
+is ``CLOCK_MONOTONIC``, which is shared across processes of one boot,
+so spliced worker spans line up with parent spans; on platforms where
+the clock is per-process only the *durations* remain meaningful.
+
+The tracer is deliberately not thread-safe: the runtime parallelizes
+with processes, and each process owns its own :data:`TRACER`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, IO, Iterable, List, Optional, Union
+
+Event = Dict[str, Any]
+
+
+# ---------------------------------------------------------------------------
+# Sinks
+# ---------------------------------------------------------------------------
+
+
+class SpanCollector:
+    """In-memory sink: keeps every event in arrival order."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def to_payload(self) -> List[Event]:
+        """The collected events as a picklable list (for workers)."""
+        return list(self.events)
+
+
+class JsonlSink:
+    """Streams events to a file, one JSON object per line."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = open(self.path, "w",
+                                               encoding="utf-8")
+
+    def emit(self, event: Event) -> None:
+        if self._handle is None:
+            return
+        json.dump(event, self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+
+class Span:
+    """One live traced region.  Created only when a sink is attached."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "args",
+                 "started")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.args = attributes
+        self.started = 0.0
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach attributes; they appear on the span's end event."""
+        self.args.update(attributes)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment a span-local counter (an integer attribute)."""
+        self.args[name] = self.args.get(name, 0) + amount
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.args["error"] = exc_type.__name__
+        self._tracer._exit(self)
+        return False
+
+
+class _NullSpan:
+    """The do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
+
+    def annotate(self, **attributes: Any) -> None:
+        pass
+
+    def count(self, name: str, amount: int = 1) -> None:
+        pass
+
+
+class _NullSpanContext:
+    """Shared no-op context manager: zero allocation per span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+_NULL_CONTEXT = _NullSpanContext()
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class Tracer:
+    """Owns the sink list, the active-span stack and id allocation."""
+
+    def __init__(self) -> None:
+        self._sinks: List[Any] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- sink management --------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._sinks)
+
+    def add_sink(self, sink: Any) -> None:
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Any) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def clear(self) -> None:
+        """Drop all sinks and any dangling stack (tests, workers)."""
+        self._sinks = []
+        self._stack = []
+
+    # -- spans ------------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """A context manager for one traced region.
+
+        With no sink attached this returns a shared no-op object —
+        the disabled path allocates nothing.
+        """
+        if not self._sinks:
+            return _NULL_CONTEXT
+        return Span(self, name, attributes)
+
+    def current(self):
+        """The innermost active span (the null span when none is)."""
+        return self._stack[-1] if self._stack else NULL_SPAN
+
+    def _allocate_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def _emit(self, event: Event) -> None:
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def _enter(self, span: Span) -> None:
+        span.span_id = self._allocate_id()
+        span.parent_id = (self._stack[-1].span_id if self._stack
+                          else None)
+        span.started = time.perf_counter()
+        self._stack.append(span)
+        self._emit({"ph": "B", "name": span.name, "span": span.span_id,
+                    "parent": span.parent_id, "pid": os.getpid(),
+                    "ts": span.started, "args": dict(span.args)})
+
+    def _exit(self, span: Span) -> None:
+        if span in self._stack:
+            # Tolerate mis-nested exits instead of corrupting the stack.
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        event: Event = {"ph": "E", "name": span.name,
+                        "span": span.span_id, "pid": os.getpid(),
+                        "ts": time.perf_counter()}
+        if span.args:
+            event["args"] = dict(span.args)
+        self._emit(event)
+
+    # -- cross-process splicing -------------------------------------------
+
+    def splice_payload(self, events: Iterable[Event],
+                       parent_id: Optional[int] = None) -> None:
+        """Re-emit a worker's captured events under ``parent_id``.
+
+        Worker span ids are local to the worker process; splicing maps
+        them into this tracer's id space and re-parents the worker's
+        root spans to the dispatching span, so the merged stream forms
+        one well-nested tree.
+        """
+        if not self._sinks:
+            return
+        mapping: Dict[Any, int] = {}
+        for event in events:
+            remapped = dict(event)
+            original = event.get("span")
+            if original not in mapping:
+                mapping[original] = self._allocate_id()
+            remapped["span"] = mapping[original]
+            if event.get("ph") == "B":
+                original_parent = event.get("parent")
+                if original_parent is None:
+                    remapped["parent"] = parent_id
+                else:
+                    remapped["parent"] = mapping.get(original_parent,
+                                                     parent_id)
+            self._emit(remapped)
+
+
+#: The process-wide tracer.
+TRACER = Tracer()
+
+
+def span(name: str, **attributes: Any):
+    """``TRACER.span`` shorthand — the one import most callers need."""
+    return TRACER.span(name, **attributes)
+
+
+def current_span():
+    return TRACER.current()
+
+
+# ---------------------------------------------------------------------------
+# Worker-side capture (used by repro.runtime.parallel)
+# ---------------------------------------------------------------------------
+
+
+def begin_worker_capture() -> SpanCollector:
+    """Point the worker's tracer at a fresh in-memory collector.
+
+    Forked workers inherit the parent's sink list — including any open
+    ``--trace`` file handle, which must not be written from two
+    processes.  Capture therefore *replaces* the sinks with one
+    collector whose events travel back to the parent by value.
+    """
+    TRACER.clear()
+    collector = SpanCollector()
+    TRACER.add_sink(collector)
+    return collector
+
+
+def end_worker_capture(collector: SpanCollector) -> List[Event]:
+    """Detach the capture collector and return its events."""
+    TRACER.remove_sink(collector)
+    return collector.to_payload()
+
+
+# ---------------------------------------------------------------------------
+# Trace-file reading, validation and summarizing (``repro report``)
+# ---------------------------------------------------------------------------
+
+
+def read_trace(path: Union[str, Path]) -> List[Event]:
+    """Parse a JSONL trace file.
+
+    Raises :class:`ValueError` on an unparseable line; structural
+    problems (unmatched spans) are reported by
+    :func:`summarize_trace` instead, so a truncated-but-valid file can
+    still be summarized.
+    """
+    events: List[Event] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{number}: not valid JSON: {exc}") from exc
+            if not isinstance(event, dict) or "ph" not in event:
+                raise ValueError(
+                    f"{path}:{number}: not a trace event")
+            events.append(event)
+    return events
+
+
+@dataclass
+class SpanAggregate:
+    """Accumulated timing of every span sharing one name."""
+
+    name: str
+    calls: int = 0
+    total: float = 0.0       # s, inclusive of children
+    self_time: float = 0.0   # s, exclusive
+
+    @property
+    def child_time(self) -> float:
+        return self.total - self.self_time
+
+
+@dataclass
+class TraceSummary:
+    """Per-span-name timing rollup of one trace file."""
+
+    aggregates: Dict[str, SpanAggregate] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+    events: int = 0
+
+    @property
+    def well_formed(self) -> bool:
+        return not self.errors
+
+    def format(self) -> str:
+        width = max([24] + [len(name) for name in self.aggregates])
+        lines = [
+            f"{'span':<{width}} {'calls':>7} {'total s':>10} "
+            f"{'self s':>10} {'child s':>10}",
+        ]
+        ordered = sorted(self.aggregates.values(),
+                         key=lambda agg: agg.self_time, reverse=True)
+        for agg in ordered:
+            lines.append(
+                f"{agg.name:<{width}} {agg.calls:7d} "
+                f"{agg.total:10.3f} {agg.self_time:10.3f} "
+                f"{agg.child_time:10.3f}")
+        lines.append(f"{self.events} events, "
+                     f"{len(self.aggregates)} span names")
+        for error in self.errors:
+            lines.append(f"WARNING: {error}")
+        return "\n".join(lines)
+
+
+def summarize_events(events: Iterable[Event]) -> TraceSummary:
+    """Pair B/E events into spans and aggregate self/child time."""
+    summary = TraceSummary()
+    # span id -> [name, parent id, begin ts, accumulated child time]
+    open_spans: Dict[Any, List[Any]] = {}
+    for event in events:
+        summary.events += 1
+        phase = event.get("ph")
+        span_id = event.get("span")
+        if phase == "B":
+            if span_id in open_spans:
+                summary.errors.append(
+                    f"span {span_id} begun twice")
+                continue
+            open_spans[span_id] = [event.get("name", "?"),
+                                   event.get("parent"),
+                                   event.get("ts", 0.0), 0.0]
+        elif phase == "E":
+            entry = open_spans.pop(span_id, None)
+            if entry is None:
+                summary.errors.append(
+                    f"end event for unknown span {span_id} "
+                    f"({event.get('name', '?')})")
+                continue
+            name, parent_id, begin_ts, child_time = entry
+            duration = max(0.0, event.get("ts", begin_ts) - begin_ts)
+            aggregate = summary.aggregates.setdefault(
+                name, SpanAggregate(name=name))
+            aggregate.calls += 1
+            aggregate.total += duration
+            aggregate.self_time += max(0.0, duration - child_time)
+            if parent_id in open_spans:
+                open_spans[parent_id][3] += duration
+        else:
+            summary.errors.append(
+                f"unknown event phase {phase!r}")
+    for span_id, (name, _parent, _ts, _child) in open_spans.items():
+        summary.errors.append(
+            f"span {span_id} ({name}) has no end event")
+    return summary
+
+
+def summarize_trace(path: Union[str, Path]) -> TraceSummary:
+    return summarize_events(read_trace(path))
+
+
+def export_chrome_trace(events: Iterable[Event],
+                        path: Union[str, Path]) -> None:
+    """Write the events as a ``chrome://tracing`` JSON array."""
+    converted = []
+    for event in events:
+        phase = event.get("ph")
+        if phase not in ("B", "E"):
+            continue
+        entry = {
+            "name": event.get("name", "?"),
+            "ph": phase,
+            "ts": event.get("ts", 0.0) * 1e6,   # Chrome wants us
+            "pid": event.get("pid", 0),
+            "tid": event.get("pid", 0),
+        }
+        if event.get("args"):
+            entry["args"] = event["args"]
+        converted.append(entry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": converted}, handle)

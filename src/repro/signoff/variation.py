@@ -28,7 +28,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.runtime import parallel_map, spawn_seed_sequences
+from repro.runtime import METRICS, parallel_map, span, \
+    spawn_seed_sequences
 from repro.signoff.extraction import ExtractedLine
 from repro.signoff.golden import simulate_stage
 from repro.tech.parameters import DeviceParameters, \
@@ -142,8 +143,10 @@ def _sample_task(task: "Tuple[ExtractedLine, float, VariationModel, "
                  "np.random.SeedSequence]") -> float:
     """One Monte-Carlo draw on its own spawned stream (pool-safe)."""
     line, input_slew, variation, seed_sequence = task
-    return sample_line_delay(line, input_slew, variation,
-                             np.random.default_rng(seed_sequence))
+    METRICS.count("variation.samples")
+    with METRICS.timer("variation.sample"):
+        return sample_line_delay(line, input_slew, variation,
+                                 np.random.default_rng(seed_sequence))
 
 
 def monte_carlo_line_delay(
@@ -167,11 +170,14 @@ def monte_carlo_line_delay(
         variation = VariationModel()
     streams = spawn_seed_sequences(seed, samples + 1)
 
-    nominal = _sample_task((line, input_slew, VariationModel(0.0, 0.0),
-                            streams[0]))
-    tasks = [(line, input_slew, variation, stream)
-             for stream in streams[1:]]
-    draws: List[float] = parallel_map(_sample_task, tasks,
-                                      workers=workers)
+    with span("signoff.monte_carlo", samples=samples, seed=seed,
+              stages=len(line.stages)) as batch:
+        nominal = _sample_task((line, input_slew,
+                                VariationModel(0.0, 0.0), streams[0]))
+        tasks = [(line, input_slew, variation, stream)
+                 for stream in streams[1:]]
+        draws: List[float] = parallel_map(_sample_task, tasks,
+                                          workers=workers)
+        batch.annotate(nominal_delay=nominal)
     return VariationResult(samples=tuple(draws),
                            nominal_delay=nominal)

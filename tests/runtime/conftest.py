@@ -5,17 +5,19 @@ from __future__ import annotations
 import pytest
 
 from repro import runtime
-from repro.runtime import STATS
+from repro.runtime import STATS, TRACER
 
 
 @pytest.fixture(autouse=True)
 def _clean_runtime(tmp_path, monkeypatch):
-    """Isolated cache directory, no overrides, zeroed stats."""
+    """Isolated cache directory, no overrides, zeroed stats/tracer."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
     monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
     runtime.reset_configuration()
     STATS.reset()
+    TRACER.clear()
     yield
     runtime.reset_configuration()
     STATS.reset()
+    TRACER.clear()

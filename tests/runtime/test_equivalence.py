@@ -83,6 +83,38 @@ class TestTable2Equivalence:
             assert row_p.errors == row_s.errors
 
 
+class TestWorkerStatsEquivalence:
+    """--stats totals are worker-count independent: counters recorded
+    inside pool workers merge back into the parent registry."""
+
+    def _counters_for(self, workers, tech90, swss90, tmp_path,
+                      monkeypatch):
+        from repro import runtime
+        monkeypatch.setenv("REPRO_CACHE_DIR",
+                           str(tmp_path / f"cache-w{workers}"))
+        runtime.reset_configuration()
+        STATS.reset()
+        line = extract_buffered_line(tech90, swss90, mm(2), 2, 24.0)
+        monte_carlo_line_delay(line, ps(100), samples=6, seed=77,
+                               workers=workers)
+        counters = dict(STATS.counters)
+        # The fallback marker only appears where fork pools are
+        # unsupported; it is an environment fact, not a workload one.
+        counters.pop("parallel.pool_unavailable", None)
+        return counters
+
+    def test_counters_match_across_worker_counts(
+            self, tech90, swss90, tmp_path, monkeypatch):
+        serial = self._counters_for(1, tech90, swss90, tmp_path,
+                                    monkeypatch)
+        parallel = self._counters_for(2, tech90, swss90, tmp_path,
+                                      monkeypatch)
+        # Nominal delay is stream 0 of the same task, so 6 draws
+        # record 7 evaluations.
+        assert serial.get("variation.samples") == 7
+        assert parallel == serial
+
+
 class TestWarmCacheEquivalence:
     def test_second_designer_hits_disk_and_agrees(self, suite90):
         """A fresh designer (fresh process, conceptually) warm-starts

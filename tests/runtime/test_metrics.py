@@ -1,0 +1,105 @@
+"""The metrics registry, footer formatting, and the STATS facade."""
+
+import re
+
+from repro.runtime import METRICS, STATS, MetricsRegistry, RuntimeStats
+
+
+class TestFacade:
+    def test_stats_is_metrics(self):
+        """Old and new import paths share one registry object."""
+        assert STATS is METRICS
+        assert RuntimeStats is MetricsRegistry
+
+
+class TestCacheHitRate:
+    def test_zero_lookups_is_none(self):
+        registry = MetricsRegistry()
+        assert registry.cache_hit_rate() is None
+
+    def test_hits_only(self):
+        registry = MetricsRegistry()
+        registry.count("cache.hit", 4)
+        assert registry.cache_hit_rate() == 1.0
+
+    def test_misses_only(self):
+        registry = MetricsRegistry()
+        registry.count("cache.miss", 3)
+        assert registry.cache_hit_rate() == 0.0
+
+    def test_mixed(self):
+        registry = MetricsRegistry()
+        registry.count("cache.hit")
+        registry.count("cache.miss", 3)
+        assert registry.cache_hit_rate() == 0.25
+
+
+class TestMerge:
+    def test_payload_round_trip(self):
+        source = MetricsRegistry()
+        source.count("tasks", 5)
+        source.add_time("phase", 1.5)
+        target = MetricsRegistry()
+        target.count("tasks", 2)
+        target.merge_payload(source.to_payload())
+        assert target.counters["tasks"] == 7
+        assert target.timers["phase"] == 1.5
+
+    def test_merge_registry(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.add_time("t", 1.0)
+        b.add_time("t", 0.5)
+        a.merge(b)
+        assert a.timers["t"] == 1.5
+
+
+class TestFooter:
+    def test_long_names_stay_aligned(self):
+        registry = MetricsRegistry()
+        registry.count("short", 1)
+        registry.count("a.very.long.metric.name.beyond.24", 2)
+        registry.add_time("timer", 0.5)
+        footer = registry.format_footer()
+        # Every row is "  <name padded to W> <value>": the name field
+        # must be one shared width, so each value starts at the same
+        # character offset.
+        lines = footer.splitlines()[1:]
+        width = max(len("a.very.long.metric.name.beyond.24"), 24)
+        for line in lines:
+            name = line[2:2 + width]
+            rest = line[2 + width:]
+            assert rest.startswith(" ")
+            assert name.strip()  # name fits inside its column
+
+    def test_short_names_keep_default_width(self):
+        registry = MetricsRegistry()
+        registry.count("short", 1)
+        footer = registry.format_footer()
+        assert f"  {'short':<24} " in footer
+
+    def test_throughput_printed_with_tasks_and_timer(self):
+        registry = MetricsRegistry()
+        registry.count("parallel.tasks", 10)
+        registry.add_time("parallel.pool", 2.0)
+        assert registry.task_throughput() == 5.0
+        assert "parallel.throughput" in registry.format_footer()
+        assert "5.0 tasks/s" in registry.format_footer()
+
+    def test_throughput_absent_without_timer(self):
+        registry = MetricsRegistry()
+        registry.count("parallel.tasks", 10)
+        assert registry.task_throughput() is None
+        assert "parallel.throughput" not in registry.format_footer()
+
+    def test_throughput_sums_serial_and_pool_time(self):
+        registry = MetricsRegistry()
+        registry.count("parallel.tasks", 6)
+        registry.add_time("parallel.pool", 1.0)
+        registry.add_time("parallel.serial", 2.0)
+        assert registry.task_throughput() == 2.0
+
+    def test_extra_rows(self):
+        registry = MetricsRegistry()
+        footer = registry.format_footer(extra={"workers": 4})
+        assert re.search(r"workers\s+4", footer)

@@ -1,0 +1,233 @@
+"""The span tracer: sinks, nesting, worker splicing, summaries."""
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    JsonlSink,
+    METRICS,
+    SpanCollector,
+    TRACER,
+    parallel_map,
+    span,
+)
+from repro.runtime.trace import (
+    NULL_SPAN,
+    export_chrome_trace,
+    read_trace,
+    summarize_events,
+    summarize_trace,
+)
+
+
+def _traced_square(value):
+    """Pool-safe workload that both traces and counts."""
+    with span("work.square", value=value):
+        METRICS.count("work.calls")
+        return value * value
+
+
+class TestDisabledTracing:
+    def test_span_without_sink_is_shared_noop(self):
+        """The disabled path allocates nothing: every call hands back
+        the same context-manager object and the same null span."""
+        assert not TRACER.enabled
+        first = TRACER.span("a", attr=1)
+        second = TRACER.span("b")
+        assert first is second
+        with first as live:
+            assert live is NULL_SPAN
+            live.annotate(anything="goes")
+            live.count("things")
+
+    def test_no_events_reach_a_later_sink(self):
+        with TRACER.span("before-sink"):
+            pass
+        collector = SpanCollector()
+        TRACER.add_sink(collector)
+        assert collector.events == []
+
+
+class TestSpanNesting:
+    def test_parent_child_ids(self):
+        collector = SpanCollector()
+        TRACER.add_sink(collector)
+        with span("outer") as outer:
+            with span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        begins = [e for e in collector.events if e["ph"] == "B"]
+        ends = [e for e in collector.events if e["ph"] == "E"]
+        assert [e["name"] for e in begins] == ["outer", "inner"]
+        assert [e["name"] for e in ends] == ["inner", "outer"]
+        assert begins[1]["parent"] == begins[0]["span"]
+        assert begins[0]["parent"] is None
+
+    def test_attributes_and_counters_on_end_event(self):
+        collector = SpanCollector()
+        TRACER.add_sink(collector)
+        with span("op", node="65nm") as sp:
+            sp.count("rejects", 2)
+            sp.count("rejects")
+            sp.annotate(result="ok")
+        end = collector.events[-1]
+        assert end["ph"] == "E"
+        assert end["args"] == {"node": "65nm", "rejects": 3,
+                               "result": "ok"}
+
+    def test_exception_is_annotated(self):
+        collector = SpanCollector()
+        TRACER.add_sink(collector)
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+        end = collector.events[-1]
+        assert end["args"]["error"] == "RuntimeError"
+
+    def test_current_span(self):
+        collector = SpanCollector()
+        TRACER.add_sink(collector)
+        assert TRACER.current() is NULL_SPAN
+        with span("active") as sp:
+            assert TRACER.current() is sp
+        assert TRACER.current() is NULL_SPAN
+
+
+class TestJsonlSink:
+    def test_lines_are_json_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        TRACER.add_sink(sink)
+        with span("one"):
+            with span("two"):
+                pass
+        TRACER.remove_sink(sink)
+        sink.close()
+        events = read_trace(path)
+        assert len(events) == 4
+        assert all(event["ph"] in ("B", "E") for event in events)
+
+    def test_read_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ph": "B", "span": 1}\nnot json\n')
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+
+class TestSplicing:
+    def test_worker_payload_is_reparented_and_remapped(self):
+        collector = SpanCollector()
+        TRACER.add_sink(collector)
+        worker_events = [
+            {"ph": "B", "name": "chunk", "span": 1, "parent": None,
+             "pid": 999, "ts": 1.0, "args": {}},
+            {"ph": "B", "name": "item", "span": 2, "parent": 1,
+             "pid": 999, "ts": 1.1, "args": {}},
+            {"ph": "E", "name": "item", "span": 2, "pid": 999,
+             "ts": 1.2},
+            {"ph": "E", "name": "chunk", "span": 1, "pid": 999,
+             "ts": 1.3},
+        ]
+        with span("dispatch") as dispatch:
+            TRACER.splice_payload(worker_events,
+                                  parent_id=dispatch.span_id)
+        spliced = [e for e in collector.events
+                   if e.get("name") in ("chunk", "item")]
+        chunk_b = next(e for e in spliced
+                       if e["ph"] == "B" and e["name"] == "chunk")
+        item_b = next(e for e in spliced
+                      if e["ph"] == "B" and e["name"] == "item")
+        # Worker root hangs off the dispatching span; ids re-allocated
+        # in the parent's space, child still points at its parent.
+        assert chunk_b["parent"] == dispatch.span_id
+        assert chunk_b["span"] != 1
+        assert item_b["parent"] == chunk_b["span"]
+        assert chunk_b["pid"] == 999
+
+
+class TestWorkerPropagation:
+    def test_worker_spans_arrive_in_parent_sink(self):
+        collector = SpanCollector()
+        TRACER.add_sink(collector)
+        results = parallel_map(_traced_square, list(range(6)),
+                               workers=2, chunk=2)
+        assert results == [v * v for v in range(6)]
+        names = [e.get("name") for e in collector.events
+                 if e["ph"] == "B"]
+        if "parallel.map" not in names:
+            pytest.skip("process pool unavailable in this environment")
+        # Every task's span came back from the workers.
+        assert names.count("work.square") == 6
+        assert names.count("parallel.chunk") == 3
+        summary = summarize_events(collector.events)
+        assert summary.well_formed
+        # Worker pids differ from the parent's for at least one span.
+        import os
+        pids = {e["pid"] for e in collector.events}
+        assert any(pid != os.getpid() for pid in pids)
+
+    def test_worker_metrics_merge_into_parent(self):
+        parallel_map(_traced_square, list(range(6)), workers=2,
+                     chunk=2)
+        assert METRICS.counters.get("work.calls") == 6
+
+    def test_serial_run_records_same_counters(self):
+        parallel_map(_traced_square, list(range(6)), workers=1)
+        assert METRICS.counters.get("work.calls") == 6
+
+
+class TestSummaries:
+    def test_self_and_child_time(self):
+        events = [
+            {"ph": "B", "name": "outer", "span": 1, "parent": None,
+             "ts": 0.0},
+            {"ph": "B", "name": "inner", "span": 2, "parent": 1,
+             "ts": 1.0},
+            {"ph": "E", "name": "inner", "span": 2, "ts": 3.0},
+            {"ph": "E", "name": "outer", "span": 1, "ts": 4.0},
+        ]
+        summary = summarize_events(events)
+        assert summary.well_formed
+        outer = summary.aggregates["outer"]
+        inner = summary.aggregates["inner"]
+        assert outer.total == pytest.approx(4.0)
+        assert outer.self_time == pytest.approx(2.0)
+        assert outer.child_time == pytest.approx(2.0)
+        assert inner.total == pytest.approx(2.0)
+        assert inner.self_time == pytest.approx(2.0)
+        assert "outer" in summary.format()
+
+    def test_unmatched_spans_are_reported(self):
+        events = [
+            {"ph": "B", "name": "lost", "span": 1, "parent": None,
+             "ts": 0.0},
+            {"ph": "E", "name": "phantom", "span": 9, "ts": 1.0},
+        ]
+        summary = summarize_events(events)
+        assert not summary.well_formed
+        assert len(summary.errors) == 2
+
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        TRACER.add_sink(sink)
+        with span("a"):
+            with span("b"):
+                pass
+        TRACER.remove_sink(sink)
+        sink.close()
+        summary = summarize_trace(path)
+        assert summary.well_formed
+        assert set(summary.aggregates) == {"a", "b"}
+
+    def test_chrome_export(self, tmp_path):
+        events = [
+            {"ph": "B", "name": "x", "span": 1, "parent": None,
+             "pid": 7, "ts": 0.5, "args": {"k": 1}},
+            {"ph": "E", "name": "x", "span": 1, "pid": 7, "ts": 1.5},
+        ]
+        out = tmp_path / "chrome.json"
+        export_chrome_trace(events, out)
+        data = json.loads(out.read_text())
+        assert data["traceEvents"][0]["ts"] == pytest.approx(0.5e6)
+        assert data["traceEvents"][0]["pid"] == 7
