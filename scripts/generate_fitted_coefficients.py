@@ -43,14 +43,15 @@ def main() -> int:
     for node in available_nodes():
         tech = get_technology(node)
         for kind in (RepeaterKind.INVERTER, RepeaterKind.BUFFER):
-            started = time.time()
+            started = time.perf_counter()
             library = characterize_library(tech, kind)
             for form in (OutputSlewForm.PAPER, OutputSlewForm.SIZE_SCALED):
                 calibration = calibrate_from_library(library,
                                                      slew_form=form)
                 key = (node, kind.value, form.value)
                 fitted[key] = calibration.to_dict()
-            print(f"{node} {kind.value}: {time.time() - started:.0f}s",
+            print(f"{node} {kind.value}: "
+                  f"{time.perf_counter() - started:.0f}s",
                   flush=True)
 
     body = pprint.pformat(fitted, width=78, sort_dicts=True)

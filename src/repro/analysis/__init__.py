@@ -1,0 +1,165 @@
+"""Project-specific AST static analysis (the ``repro lint`` engine).
+
+Generic linters cannot see this repository's correctness conventions —
+the SI-units discipline of :mod:`repro.units`, the any-worker-count
+determinism contract of :mod:`repro.runtime.parallel`, the purity
+requirements of :class:`repro.runtime.DiskCache` keys, pool-safe
+callables, and span lifecycle.  This package can: five small checkers
+share one AST walk per file (:mod:`repro.analysis.core`), suppression
+is inline (``# repro: noqa[rule]``), and a committed baseline file
+grandfathers pre-existing findings so the CI gate only trips on new
+ones (:mod:`repro.analysis.baseline`).
+
+Entry points: :func:`run_lint` does everything the ``repro lint``
+subcommand needs; :func:`lint_paths` is the lower-level scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.analysis.baseline import (
+    BASELINE_SCHEMA,
+    apply_baseline,
+    read_baseline,
+    write_baseline,
+)
+from repro.analysis.checkers import ALL_CHECKERS, CHECKERS_BY_RULE
+from repro.analysis.core import (
+    Checker,
+    FileContext,
+    Finding,
+    SYNTAX_RULE,
+    check_file,
+    check_source,
+    collect_files,
+    display_path,
+)
+from repro.runtime.metrics import METRICS
+
+__all__ = [
+    "ALL_CHECKERS",
+    "BASELINE_SCHEMA",
+    "CHECKERS_BY_RULE",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "SYNTAX_RULE",
+    "apply_baseline",
+    "check_file",
+    "check_source",
+    "collect_files",
+    "display_path",
+    "lint_paths",
+    "read_baseline",
+    "run_lint",
+    "write_baseline",
+]
+
+
+@dataclass
+class LintResult:
+    """Everything one ``repro lint`` run produced."""
+
+    findings: List[Finding]
+    files_scanned: int
+    baselined: int = 0
+    #: every finding before baseline filtering (what --write-baseline
+    #: serializes).
+    all_findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def format_text(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        total = len(self.findings)
+        summary = (f"{self.files_scanned} files scanned, "
+                   f"{total} finding{'s' if total != 1 else ''}")
+        if self.baselined:
+            summary += f" ({self.baselined} baselined)"
+        if self.findings:
+            per_rule = ", ".join(
+                f"{rule}: {count}"
+                for rule, count in sorted(self.by_rule().items()))
+            summary += f" — {per_rule}"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict:
+        return {
+            "files_scanned": self.files_scanned,
+            "baselined": self.baselined,
+            "findings": [finding.to_json()
+                         for finding in self.findings],
+            "counts_by_rule": self.by_rule(),
+        }
+
+
+def make_checkers(rules: Optional[Sequence[str]] = None
+                  ) -> List[Checker]:
+    """Fresh checker instances, optionally restricted to ``rules``.
+
+    Unknown rule names raise :class:`ValueError` (a usage error).
+    """
+    classes: Sequence[Type[Checker]] = ALL_CHECKERS
+    if rules is not None:
+        unknown = sorted(set(rules) - set(CHECKERS_BY_RULE))
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s): {', '.join(unknown)}; available: "
+                f"{', '.join(sorted(CHECKERS_BY_RULE))}")
+        classes = [CHECKERS_BY_RULE[rule] for rule in rules]
+    return [cls() for cls in classes]
+
+
+def lint_paths(paths: Sequence[Path],
+               rules: Optional[Sequence[str]] = None,
+               exclude: Sequence[str] = ()
+               ) -> Tuple[List[Finding], int]:
+    """Scan ``paths``; returns (findings, files scanned).
+
+    Instrumented through :data:`repro.runtime.metrics.METRICS`
+    (``lint.files``, ``lint.findings.<rule>``, the ``lint.scan``
+    timer) so ``repro lint --stats`` prints the same footer as every
+    other subcommand.
+    """
+    checkers = make_checkers(rules)
+    files = collect_files(paths, exclude=exclude)
+    findings: List[Finding] = []
+    with METRICS.timer("lint.scan"):
+        for path in files:
+            findings.extend(check_file(path, checkers,
+                                       display_path(path)))
+    METRICS.count("lint.files", len(files))
+    for finding in findings:
+        METRICS.count(f"lint.findings.{finding.rule}")
+    return sorted(findings, key=Finding.sort_key), len(files)
+
+
+def run_lint(paths: Sequence[Path],
+             rules: Optional[Sequence[str]] = None,
+             exclude: Sequence[str] = (),
+             baseline_path: Optional[Path] = None) -> LintResult:
+    """Scan, then apply the baseline if one was given."""
+    all_findings, files_scanned = lint_paths(paths, rules=rules,
+                                             exclude=exclude)
+    findings = all_findings
+    baselined = 0
+    if baseline_path is not None and Path(baseline_path).exists():
+        budget = read_baseline(baseline_path)
+        findings, baselined = apply_baseline(all_findings, budget)
+        if baselined:
+            METRICS.count("lint.baselined", baselined)
+    return LintResult(findings=findings, files_scanned=files_scanned,
+                      baselined=baselined, all_findings=all_findings)

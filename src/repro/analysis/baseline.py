@@ -1,0 +1,91 @@
+"""Baseline files: grandfathered findings the lint gate ignores.
+
+A baseline is a committed JSON file mapping line-independent finding
+fingerprints (rule + path + message) to an occurrence count.  ``repro
+lint --write-baseline`` regenerates it from the current tree; on later
+runs every finding whose fingerprint still has budget in the baseline
+is filtered out, so the gate fails only on *new* findings (or on old
+ones that moved to a different file / changed message — both of which
+genuinely are new findings).
+
+Counts (rather than a plain set) make duplicate findings behave: two
+identical violations in one file consume two baseline slots, so fixing
+one and introducing another elsewhere cannot cancel out.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.analysis.core import Finding
+
+#: Bump when the baseline layout changes incompatibly.
+BASELINE_SCHEMA = 1
+
+
+def write_baseline(path: Union[str, Path],
+                   findings: List[Finding]) -> Path:
+    """Serialize ``findings`` as the new baseline; returns the path."""
+    counts = Counter(finding.fingerprint() for finding in findings)
+    entries = [
+        {"rule": fingerprint.split("::", 2)[0],
+         "path": fingerprint.split("::", 2)[1],
+         "message": fingerprint.split("::", 2)[2],
+         "count": count}
+        for fingerprint, count in sorted(counts.items())
+    ]
+    payload = {"schema": BASELINE_SCHEMA, "findings": entries}
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def read_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    """Fingerprint → grandfathered count, from a baseline file.
+
+    Raises :class:`ValueError` on a malformed or wrong-schema file —
+    a stale baseline must fail loudly, not silently admit findings.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) \
+            or payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"unsupported baseline schema in {path}")
+    counts: Dict[str, int] = {}
+    for entry in payload.get("findings", []):
+        try:
+            fingerprint = (f"{entry['rule']}::{entry['path']}"
+                           f"::{entry['message']}")
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed baseline entry in {path}: "
+                             f"{entry!r}") from exc
+        counts[fingerprint] = counts.get(fingerprint, 0) + count
+    return counts
+
+
+def apply_baseline(findings: List[Finding],
+                   baseline: Dict[str, int]
+                   ) -> Tuple[List[Finding], int]:
+    """Split findings into (new, number grandfathered).
+
+    Each finding consumes one unit of its fingerprint's baseline
+    budget; findings beyond the budget are new.
+    """
+    remaining = dict(baseline)
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        budget = remaining.get(fingerprint, 0)
+        if budget > 0:
+            remaining[fingerprint] = budget - 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

@@ -1,0 +1,42 @@
+"""The concrete ``repro lint`` rules.
+
+Adding a checker is three steps (see ``docs/static-analysis.md``):
+subclass :class:`repro.analysis.core.Checker` in a new module here,
+give it a unique ``rule`` name, and append the class to
+:data:`ALL_CHECKERS`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.analysis.core import Checker
+from repro.analysis.checkers.cache_purity import CachePurityChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.span_hygiene import SpanHygieneChecker
+from repro.analysis.checkers.units import UnitsChecker
+from repro.analysis.checkers.worker_safety import WorkerSafetyChecker
+
+#: Every registered rule, in reporting order.
+ALL_CHECKERS: List[Type[Checker]] = [
+    UnitsChecker,
+    DeterminismChecker,
+    WorkerSafetyChecker,
+    CachePurityChecker,
+    SpanHygieneChecker,
+]
+
+#: rule name → checker class.
+CHECKERS_BY_RULE: Dict[str, Type[Checker]] = {
+    checker.rule: checker for checker in ALL_CHECKERS
+}
+
+__all__ = [
+    "ALL_CHECKERS",
+    "CHECKERS_BY_RULE",
+    "CachePurityChecker",
+    "DeterminismChecker",
+    "SpanHygieneChecker",
+    "UnitsChecker",
+    "WorkerSafetyChecker",
+]

@@ -1,0 +1,225 @@
+"""``determinism``: no wall clocks, no global RNG, no set ordering.
+
+The runtime's contract is bit-equal results for any ``--workers N``
+(see :mod:`repro.runtime.parallel`).  Three things silently break it:
+
+* **Module-level RNG state** — ``random.*`` and ``np.random.<fn>``
+  draw from process-global generators whose state depends on call
+  order, which differs between serial and pooled execution.  Only
+  ``SeedSequence``-derived generators (``np.random.default_rng(seed)``,
+  ``spawn_seed_sequences``) are stream-stable.
+
+* **Wall clocks in results** — ``time.time()`` / ``datetime.now()``
+  make output depend on when it ran.  They are legitimate only in the
+  observability layer (``runtime/trace.py``, ``runtime/manifest.py``),
+  whose entire job is timestamping.
+
+* **Unordered iteration into ordered machinery** — a ``set`` fed to
+  ``parallel_map`` or into a cache key iterates in hash order, which
+  varies across processes (``PYTHONHASHSEED``) and so changes both
+  task-to-stream pairing and cache fingerprints.  ``sorted(...)`` the
+  set first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.core import Checker, FileContext
+
+#: Files (path suffixes) allowed to read wall clocks.
+CLOCK_ALLOWED_SUFFIXES: Tuple[str, ...] = (
+    "runtime/trace.py",
+    "runtime/manifest.py",
+)
+
+#: np.random attributes that are part of the sanctioned seeded API.
+_SANCTIONED_NP_RANDOM = frozenset({
+    "SeedSequence", "default_rng", "Generator", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+#: Receivers whose ``.get``/``.put`` arguments become cache keys.
+_CACHE_METHODS = frozenset({"get", "put"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Is this expression certainly an unordered set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    # list(...)/tuple(...) of a set is still hash-ordered.
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("list", "tuple") and node.args \
+            and _is_set_expr(node.args[0]):
+        return True
+    return False
+
+
+class DeterminismChecker(Checker):
+    """Global RNG, wall clocks, and set-ordered dispatch."""
+
+    rule = "determinism"
+    severity = "error"
+    description = ("forbids module-level RNG, wall clocks outside the "
+                   "observability layer, and unordered sets feeding "
+                   "parallel_map or cache keys")
+
+    def begin_file(self, context: FileContext) -> None:
+        super().begin_file(context)
+        path = context.path.replace("\\", "/")
+        self._clocks_allowed = path.endswith(CLOCK_ALLOWED_SUFFIXES)
+        #: local alias → canonical module ("random", "numpy",
+        #: "numpy.random", "time", "datetime")
+        self._modules: Dict[str, str] = {}
+        #: local alias → canonical class ("datetime.datetime",
+        #: "datetime.date")
+        self._classes: Dict[str, str] = {}
+
+    # -- imports --------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name in ("random", "numpy", "numpy.random",
+                              "time", "datetime"):
+                target = ("numpy" if alias.name == "numpy.random"
+                          and alias.asname is None else alias.name)
+                self._modules[local] = target
+            if alias.name == "random":
+                self.report(node, "stdlib 'random' draws from "
+                                  "process-global state; use "
+                                  "numpy SeedSequence-spawned "
+                                  "generators instead")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self.report(node, "importing from stdlib 'random' "
+                              "(process-global RNG state); use "
+                              "numpy SeedSequence-spawned generators")
+            return
+        if node.module in ("numpy", "np"):
+            for alias in node.names:
+                if alias.name == "random":
+                    self._modules[alias.asname or "random"] \
+                        = "numpy.random"
+        if node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _SANCTIONED_NP_RANDOM:
+                    self.report(node, f"'numpy.random.{alias.name}' "
+                                      f"uses the module-level "
+                                      f"generator; spawn per-task "
+                                      f"streams via SeedSequence")
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in ("time", "time_ns") \
+                        and not self._clocks_allowed:
+                    self.report(node, "wall-clock 'time.time' imported"
+                                      " outside the observability "
+                                      "layer; use time.perf_counter "
+                                      "for durations")
+        if node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self._classes[alias.asname or alias.name] \
+                        = f"datetime.{alias.name}"
+
+    # -- calls ----------------------------------------------------------------
+
+    def _module_of(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return self._modules.get(node.id) \
+                or self._classes.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._module_of(node.value)
+            if base == "numpy" and node.attr == "random":
+                return "numpy.random"
+            if base == "datetime" and node.attr in ("datetime", "date"):
+                return f"datetime.{node.attr}"
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = self._module_of(func.value)
+            if base == "random":
+                self.report(node, f"'random.{func.attr}' draws from "
+                                  f"process-global RNG state; use "
+                                  f"numpy SeedSequence-spawned "
+                                  f"generators")
+            elif base == "numpy.random":
+                if func.attr not in _SANCTIONED_NP_RANDOM:
+                    self.report(node, f"'np.random.{func.attr}' uses "
+                                      f"the module-level generator; "
+                                      f"spawn per-task streams via "
+                                      f"SeedSequence")
+                elif func.attr == "default_rng" and not node.args:
+                    self.report(node, "'default_rng()' without a seed "
+                                      "is entropy-seeded and never "
+                                      "reproducible")
+            elif base == "time" and func.attr in ("time", "time_ns") \
+                    and not self._clocks_allowed:
+                self.report(node, f"wall clock 'time.{func.attr}()' "
+                                  f"outside the observability layer; "
+                                  f"use time.perf_counter for "
+                                  f"durations")
+            elif base in ("datetime.datetime", "datetime.date") \
+                    and func.attr in ("now", "utcnow", "today") \
+                    and not self._clocks_allowed:
+                self.report(node, f"wall clock '{base.split('.')[1]}"
+                                  f".{func.attr}()' outside the "
+                                  f"observability layer (trace/"
+                                  f"manifest own timestamping)")
+        self._check_ordered_consumers(node)
+
+    # -- set-fed dispatch ------------------------------------------------------
+
+    def _check_ordered_consumers(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+
+        if name == "parallel_map":
+            # fn, items — items may also arrive as a keyword.
+            items = node.args[1] if len(node.args) > 1 else None
+            for keyword in node.keywords:
+                if keyword.arg == "items":
+                    items = keyword.value
+            if items is not None and _is_set_expr(items):
+                self.report(node, "a set's iteration order is hash-"
+                                  "dependent; sorted(...) it before "
+                                  "dispatching to parallel_map")
+            return
+
+        if name == "fingerprint":
+            for arg in list(node.args) \
+                    + [kw.value for kw in node.keywords]:
+                if _is_set_expr(arg):
+                    self.report(node, "a set inside a cache key has "
+                                      "hash-dependent order; "
+                                      "sorted(...) it first")
+            return
+
+        if name in _CACHE_METHODS and isinstance(func, ast.Attribute):
+            receiver = func.value
+            terminal = None
+            if isinstance(receiver, ast.Name):
+                terminal = receiver.id
+            elif isinstance(receiver, ast.Attribute):
+                terminal = receiver.attr
+            if terminal is None:
+                return
+            lowered = terminal.lower()
+            if "cache" in lowered or "disk" in lowered:
+                for arg in list(node.args) \
+                        + [kw.value for kw in node.keywords]:
+                    if _is_set_expr(arg):
+                        self.report(node, "a set inside a cache key "
+                                          "has hash-dependent order; "
+                                          "sorted(...) it first")

@@ -1,0 +1,95 @@
+"""``span-hygiene``: spans only exist inside a ``with``.
+
+:func:`repro.runtime.trace.span` returns a context manager; the span
+begins at ``__enter__`` and its end event is emitted at ``__exit__``.
+A bare call —
+
+    span("phase")          # nothing happens, silently
+
+— never enters the span, so the trace is missing the region *and* the
+tracer's active-span stack never sees it; an assigned-but-unentered
+span (``sp = span(...)``) is the same bug one step later.  The
+sanctioned positions are as a ``with`` item (possibly inside one
+combined ``with a, b:``), handed to ``ExitStack.enter_context``, or
+directly ``return``-ed (a delegating factory — the caller enters it,
+as :func:`repro.runtime.trace.span` itself does).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.analysis.core import Checker, FileContext
+
+#: Module-ish receivers whose ``.span`` attribute is the tracer API.
+_SPAN_RECEIVERS = frozenset({"trace", "rt", "runtime", "tracer"})
+
+
+class SpanHygieneChecker(Checker):
+    """Flags ``span(...)`` calls not used as context managers."""
+
+    rule = "span-hygiene"
+    severity = "error"
+    description = ("trace.span(...) must be entered as a context "
+                   "manager (with-statement or enter_context)")
+
+    def begin_file(self, context: FileContext) -> None:
+        super().begin_file(context)
+        #: ids of span-call nodes that appear in a sanctioned slot.
+        self._sanctioned: Set[int] = set()
+        #: whether `span` was imported from the repro runtime, so a
+        #: bare-name `span(...)` in this file is the tracer's.
+        self._span_imported = False
+
+    def _is_span_call(self, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "span" and self._span_imported
+        if isinstance(func, ast.Attribute) and func.attr == "span":
+            value = func.value
+            if isinstance(value, ast.Name):
+                return value.id.lower() in _SPAN_RECEIVERS \
+                    or value.id == "TRACER"
+            if isinstance(value, ast.Attribute):
+                return value.attr in ("trace", "runtime") \
+                    or value.attr == "TRACER"
+        return False
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and (node.module == "repro.runtime"
+                            or node.module.startswith("repro.runtime.")):
+            for alias in node.names:
+                if alias.name == "span" and alias.asname is None:
+                    self._span_imported = True
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            if isinstance(item.context_expr, ast.Call):
+                self._sanctioned.add(id(item.context_expr))
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        for item in node.items:
+            if isinstance(item.context_expr, ast.Call):
+                self._sanctioned.add(id(item.context_expr))
+
+    def visit_Return(self, node: ast.Return) -> None:
+        # `return span(...)` delegates entry to the caller.
+        if isinstance(node.value, ast.Call):
+            self._sanctioned.add(id(node.value))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # ExitStack.enter_context(span(...)) is sanctioned too.
+        func = node.func
+        if isinstance(func, ast.Attribute) \
+                and func.attr == "enter_context":
+            for arg in node.args:
+                if isinstance(arg, ast.Call):
+                    self._sanctioned.add(id(arg))
+        if not self._is_span_call(node):
+            return
+        if id(node) in self._sanctioned:
+            return
+        self.report(node, "span(...) called without entering it; a "
+                          "span only begins inside 'with span(...)' "
+                          "(or ExitStack.enter_context)")

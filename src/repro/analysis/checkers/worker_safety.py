@@ -1,0 +1,100 @@
+"""``worker-safety``: only module-level callables cross the pool.
+
+:func:`repro.runtime.parallel.parallel_map` pickles its callable into
+worker processes.  Lambdas and functions defined inside another
+function do not pickle — and worse, under a ``fork`` start method they
+*may* appear to work while capturing parent state that a ``spawn``
+pool would not see, so the same code diverges between platforms.  The
+rule: the ``fn`` argument must be a module-level function (a plain
+name or a dotted module attribute), never a lambda or a closure-local
+``def``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.core import Checker, FileContext
+
+
+class _Scope:
+    """One enclosing function scope and the callables local to it."""
+
+    __slots__ = ("local_callables",)
+
+    def __init__(self) -> None:
+        self.local_callables: Set[str] = set()
+
+
+class WorkerSafetyChecker(Checker):
+    """Flags lambdas and closure-local defs dispatched to the pool."""
+
+    rule = "worker-safety"
+    severity = "error"
+    description = ("callables passed to parallel_map must be "
+                   "module-level functions (picklable, closure-free)")
+
+    def begin_file(self, context: FileContext) -> None:
+        super().begin_file(context)
+        self._scopes: List[_Scope] = []
+
+    # -- scope tracking --------------------------------------------------------
+
+    def _enter_function(self, node) -> None:
+        if self._scopes:
+            # A def nested inside another function is closure-local.
+            self._scopes[-1].local_callables.add(node.name)
+        self._scopes.append(_Scope())
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self,
+                               node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def leave_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scopes.pop()
+
+    def leave_AsyncFunctionDef(self,
+                               node: ast.AsyncFunctionDef) -> None:
+        self._scopes.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # name = lambda ...: a function-local alias of a closure.
+        if self._scopes and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._scopes[-1].local_callables.add(target.id)
+
+    # -- the dispatch site -------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name != "parallel_map":
+            return
+        fn = node.args[0] if node.args else None
+        for keyword in node.keywords:
+            if keyword.arg == "fn":
+                fn = keyword.value
+        if fn is None:
+            return
+        if isinstance(fn, ast.Lambda):
+            self.report(fn, "lambda passed to parallel_map cannot be "
+                            "pickled into pool workers; hoist it to a "
+                            "module-level function")
+            return
+        if isinstance(fn, ast.Name):
+            if any(fn.id in scope.local_callables
+                   for scope in self._scopes):
+                self.report(fn, f"'{fn.id}' is defined inside an "
+                                f"enclosing function; parallel_map "
+                                f"workers cannot unpickle closure-"
+                                f"local callables — move it to "
+                                f"module level")

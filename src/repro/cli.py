@@ -10,6 +10,7 @@ Installed as the ``repro`` console script::
     repro table1 | table2 | table3      # full paper experiments
     repro staggering | runtime | leakage-area
     repro report trace.jsonl            # summarize a recorded trace
+    repro lint src tests                # project-specific AST lint
 
 Every subcommand prints the same artifacts the benchmark suite saves.
 
@@ -196,6 +197,43 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if summary.well_formed else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import run_lint, write_baseline
+
+    paths = [Path(entry) for entry in (args.paths or ["src"])]
+    rules = None
+    if args.rules:
+        rules = [name.strip() for name in args.rules.split(",")
+                 if name.strip()]
+    baseline_path = Path(args.baseline)
+    try:
+        result = run_lint(paths, rules=rules,
+                          exclude=tuple(args.exclude or ()),
+                          baseline_path=(None if args.write_baseline
+                                         else baseline_path))
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(result.to_json(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+    if args.write_baseline:
+        write_baseline(baseline_path, result.all_findings)
+        print(f"baseline written to {baseline_path} "
+              f"({len(result.all_findings)} findings grandfathered)")
+        return 0
+    if args.format == "json":
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(result.format_text())
+    return 0 if result.clean else 1
+
+
 def _cmd_widths(args: argparse.Namespace) -> int:
     from repro.experiments.suite import ModelSuite
     from repro.noc import explore_widths
@@ -324,12 +362,37 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also export a chrome://tracing JSON")
     report_cmd.set_defaults(func=_cmd_report)
 
+    lint_cmd = add_parser(
+        "lint", help="project-specific AST static analysis")
+    lint_cmd.add_argument("paths", nargs="*", metavar="PATH",
+                          help="files or directories to scan "
+                               "(default: src)")
+    lint_cmd.add_argument("--format", default="text",
+                          choices=["text", "json"],
+                          help="findings output format")
+    lint_cmd.add_argument("--rules", default=None, metavar="R1,R2",
+                          help="comma-separated subset of rules")
+    lint_cmd.add_argument("--exclude", action="append", default=None,
+                          metavar="FRAGMENT",
+                          help="skip files whose path contains "
+                               "FRAGMENT (repeatable)")
+    lint_cmd.add_argument("--baseline", default="lint-baseline.json",
+                          metavar="FILE",
+                          help="baseline file of grandfathered "
+                               "findings (used when it exists)")
+    lint_cmd.add_argument("--write-baseline", action="store_true",
+                          help="rewrite the baseline from the "
+                               "current findings and exit 0")
+    lint_cmd.add_argument("--report", default=None, metavar="FILE",
+                          help="also write a JSON findings report "
+                               "to FILE")
+    lint_cmd.set_defaults(func=_cmd_lint)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     import time
-    from datetime import datetime, timezone
 
     from repro import runtime as rt
 
@@ -347,7 +410,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if trace_path:
         sink = rt.JsonlSink(trace_path)
         rt.TRACER.add_sink(sink)
-    started_at = datetime.now(timezone.utc).isoformat()
+    started_at = rt.utc_timestamp()
     started = time.perf_counter()
     try:
         with rt.METRICS.timer("command"), \

@@ -70,25 +70,30 @@ class BakogluModel:
         return 0.5 * (vdd / i_n + vdd / i_p)
 
     def input_capacitance(self, size: float) -> float:
-        """Gate capacitance of the repeater, from device data."""
+        """Gate capacitance in farads of a repeater of dimensionless
+        ``size`` (multiple of the minimum inverter), from device data.
+        """
         wn, wp = self.tech.inverter_widths(size)
         return self.tech.nmos.c_gate * wn + self.tech.pmos.c_gate * wp
 
     def self_capacitance(self, size: float) -> float:
-        """Drain (self-loading) capacitance of the repeater."""
+        """Drain (self-loading) capacitance in farads of a repeater
+        of dimensionless ``size``."""
         wn, wp = self.tech.inverter_widths(size)
         return self.tech.nmos.c_drain * wn + self.tech.pmos.c_drain * wp
 
     def wire_resistance(self, length: float) -> float:
+        """Resistance in ohms of ``length`` meters of wire."""
         return self._optimistic_config().resistance_per_meter() * length
 
     def wire_capacitance(self, length: float) -> float:
-        """Ground capacitance only — coupling is neglected."""
+        """Capacitance in farads of ``length`` meters of wire —
+        ground capacitance only, coupling is neglected."""
         return (self._optimistic_config().ground_capacitance_per_meter()
                 * length)
 
     def repeater_area(self, size: float) -> float:
-        """Raw transistor gate area (the simplistic estimate).
+        """Raw transistor gate area in square meters (simplistic).
 
         Real cells pay for diffusion, contacts, and finger pitch; the
         original model counts only ``width x gate length``, which is
@@ -98,7 +103,7 @@ class BakogluModel:
         return (wn + wp) * self.tech.feature_size
 
     def repeater_leakage(self, size: float) -> float:
-        """Average leakage from device data, per Section III-C."""
+        """Average leakage in watts from device data (Sec. III-C)."""
         wn, wp = self.tech.inverter_widths(size)
         vdd = self.tech.vdd
         return 0.5 * (self.tech.nmos.leakage_power(wn, vdd)
@@ -108,7 +113,9 @@ class BakogluModel:
 
     def stage_delay(self, size: float, segment_length: float,
                     next_cap: float) -> float:
-        """Elmore delay of one repeater stage, coupling neglected."""
+        """Elmore delay in seconds of one repeater stage, coupling
+        neglected; ``segment_length`` in meters, ``next_cap`` in
+        farads."""
         r_d = self.drive_resistance(size)
         r_w = self.wire_resistance(segment_length)
         c_w = self.wire_capacitance(segment_length)
@@ -127,8 +134,9 @@ class BakogluModel:
         bus_width: int = 1,
         receiver_cap: Optional[float] = None,
     ) -> InterconnectEstimate:
-        """Evaluate a buffered line; ``input_slew`` is accepted for
-        interface compatibility but ignored (the model has no slew
+        """Evaluate a buffered line of ``length`` meters;
+        ``input_slew`` (seconds) is accepted for interface
+        compatibility but ignored (the model has no slew
         dependence)."""
         if length <= 0:
             raise ValueError("length must be positive")

@@ -55,19 +55,26 @@ class PamunuwaModel:
     # -- element models ---------------------------------------------------
 
     def drive_resistance(self, size: float) -> float:
+        """Drive resistance in ohms of a repeater of dimensionless
+        ``size`` (multiple of the minimum inverter)."""
         return self._gate_model().drive_resistance(size)
 
     def input_capacitance(self, size: float) -> float:
+        """Gate capacitance in farads of a repeater of dimensionless
+        ``size``."""
         return self._gate_model().input_capacitance(size)
 
     def wire_resistance(self, length: float) -> float:
+        """Resistance in ohms of ``length`` meters of wire."""
         return self._optimistic_config().resistance_per_meter() * length
 
     def wire_ground_cap(self, length: float) -> float:
+        """Ground capacitance in farads of ``length`` meters of wire."""
         return (self._optimistic_config().ground_capacitance_per_meter()
                 * length)
 
     def wire_coupling_cap(self, length: float) -> float:
+        """Coupling capacitance in farads of ``length`` meters of wire."""
         return (self._optimistic_config().coupling_capacitance_per_meter()
                 * length)
 
@@ -75,7 +82,9 @@ class PamunuwaModel:
 
     def stage_delay(self, size: float, segment_length: float,
                     next_cap: float) -> float:
-        """One stage with the crosstalk-aware wire term."""
+        """Delay in seconds of one stage with the crosstalk-aware
+        wire term; ``segment_length`` in meters, ``next_cap`` in
+        farads."""
         gate = self._gate_model()
         miller = self.config.delay_miller
         r_d = self.drive_resistance(size)
@@ -99,8 +108,9 @@ class PamunuwaModel:
         bus_width: int = 1,
         receiver_cap: Optional[float] = None,
     ) -> InterconnectEstimate:
-        """Evaluate a buffered line (``input_slew`` ignored — the model
-        has no slew dependence)."""
+        """Evaluate a buffered line of ``length`` meters
+        (``input_slew``, in seconds, is ignored — the model has no
+        slew dependence)."""
         if length <= 0:
             raise ValueError("length must be positive")
         if num_repeaters < 1:

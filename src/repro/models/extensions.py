@@ -54,7 +54,9 @@ class SlewAwareInterconnectModel(BufferedInterconnectModel):
     def stage_delay(self, size: float, input_slew: float,
                     segment_length: float, next_cap: float,
                     rising_output: bool) -> Tuple[float, float]:
-        """(delay, far-end slew) of one stage with slew degradation."""
+        """(delay, far-end slew), both in seconds, of one stage with
+        slew degradation; ``size`` is the dimensionless repeater
+        multiple, ``segment_length`` meters, ``next_cap`` farads."""
         repeater = self.repeater_model()
         load = effective_load_capacitance(self.config, segment_length,
                                           next_cap)

@@ -58,10 +58,12 @@ class InterconnectEstimate:
 
     @property
     def total_power(self) -> float:
+        """Dynamic plus leakage power, in watts."""
         return self.dynamic_power + self.leakage_power
 
     @property
     def total_area(self) -> float:
+        """Repeater plus wire area, in square meters."""
         return self.repeater_area + self.wire_area
 
 
@@ -86,7 +88,9 @@ class BufferedInterconnectModel:
     def stage_delay(self, size: float, input_slew: float,
                     segment_length: float, next_cap: float,
                     rising_output: bool) -> Tuple[float, float]:
-        """(delay, output slew) of one repeater stage."""
+        """(delay, output slew), both in seconds, of one repeater
+        stage; ``size`` is the dimensionless repeater multiple,
+        ``segment_length`` meters, ``next_cap`` farads."""
         repeater = self.repeater_model()
         load = effective_load_capacitance(
             self.config, segment_length, next_cap)

@@ -41,7 +41,8 @@ class RepeaterModel:
         return self.tech.inverter_widths(size)
 
     def transition_width(self, size: float, rising_output: bool) -> float:
-        """The ``w_r`` of the model: pMOS width for rise, nMOS for fall."""
+        """The ``w_r`` of the model in meters: pMOS width for rise,
+        nMOS for fall; ``size`` is the dimensionless multiple."""
         wn, wp = self.widths(size)
         return wp if rising_output else wn
 
@@ -85,12 +86,13 @@ class RepeaterModel:
 
     def average_delay(self, size: float, input_slew: float,
                       load_cap: float) -> float:
-        """Mean of the rise and fall delays (the usual STA summary)."""
+        """Mean of the rise and fall delays in seconds (the usual STA
+        summary); ``input_slew`` seconds, ``load_cap`` farads."""
         return 0.5 * (self.delay(size, input_slew, load_cap, True)
                       + self.delay(size, input_slew, load_cap, False))
 
     def worst_delay(self, size: float, input_slew: float,
                     load_cap: float) -> float:
-        """Max of the rise and fall delays."""
+        """Max of the rise and fall delays, in seconds."""
         return max(self.delay(size, input_slew, load_cap, True),
                    self.delay(size, input_slew, load_cap, False))

@@ -46,7 +46,8 @@ class TableInterconnectModel:
     # -- size handling ------------------------------------------------------
 
     def snap_size(self, size: float) -> float:
-        """Nearest characterized drive strength."""
+        """Nearest characterized drive strength (dimensionless
+        multiple of the minimum inverter)."""
         sizes = self.library.sizes()
         return min(sizes, key=lambda s: abs(s - size))
 
@@ -54,17 +55,22 @@ class TableInterconnectModel:
 
     def repeater_delay(self, size: float, input_slew: float,
                        load_cap: float, rising_output: bool) -> float:
+        """NLDM delay in seconds; ``input_slew`` seconds,
+        ``load_cap`` farads, ``size`` dimensionless."""
         cell = self.library.cell(self.snap_size(size))
         return cell.tables(rising_output).delay.lookup(input_slew,
                                                        load_cap)
 
     def repeater_slew(self, size: float, input_slew: float,
                       load_cap: float, rising_output: bool) -> float:
+        """NLDM output slew in seconds; ``input_slew`` seconds,
+        ``load_cap`` farads, ``size`` dimensionless."""
         cell = self.library.cell(self.snap_size(size))
         return cell.tables(rising_output).output_slew.lookup(
             input_slew, load_cap)
 
     def input_capacitance(self, size: float) -> float:
+        """Input pin capacitance in farads at the snapped size."""
         return self.library.cell(self.snap_size(size)).input_capacitance
 
     # -- line evaluation ------------------------------------------------------
@@ -78,7 +84,9 @@ class TableInterconnectModel:
         bus_width: int = 1,
         receiver_cap: Optional[float] = None,
     ) -> InterconnectEstimate:
-        """Same contract as the closed-form models."""
+        """Same contract as the closed-form models: ``length`` in
+        meters, ``input_slew`` in seconds, ``repeater_size`` a
+        dimensionless multiple."""
         if length <= 0:
             raise ValueError("length must be positive")
         if num_repeaters < 1:

@@ -41,6 +41,7 @@ class WireDelayComponents:
 
     @property
     def total(self) -> float:
+        """Sum of the three delay terms, in seconds."""
         return self.ground_term + self.coupling_term + self.load_term
 
 

@@ -53,11 +53,13 @@ class NocReport:
 
     @property
     def total_power(self) -> float:
+        """Link plus router power, in watts."""
         return (self.dynamic_power + self.leakage_power
                 + self.router_dynamic_power)
 
     @property
     def total_area(self) -> float:
+        """Repeater, wire and router area, in square meters."""
         return self.repeater_area + self.wire_area + self.router_area
 
     def row(self) -> str:

@@ -55,6 +55,7 @@ class LinkDesign:
 
     @property
     def delay(self) -> float:
+        """End-to-end link delay, in seconds."""
         return self.solution.delay
 
     def dynamic_power(self, bandwidth: float, vdd: float,
@@ -73,6 +74,7 @@ class LinkDesign:
 
     @property
     def total_area(self) -> float:
+        """Repeater plus wire area, in square meters."""
         return self.repeater_area + self.wire_area
 
     # -- persistent-cache serialization -----------------------------------
@@ -195,6 +197,7 @@ class LinkDesigner:
         return self._max_length
 
     def is_feasible(self, length: float) -> bool:
+        """Whether a link of ``length`` meters closes timing."""
         return length <= self.max_length()
 
     # -- design -----------------------------------------------------------
@@ -314,15 +317,17 @@ class LayerAwareLinkDesigner:
         }
 
     def capacity(self) -> float:
+        """Usable payload bandwidth of one link, bits/s."""
         return (self.bus_width * self.tech.clock_frequency
                 * self.utilization)
 
     def max_length(self) -> float:
-        """Feasibility is governed by the most capable layer."""
+        """Longest feasible link in meters: the most capable layer."""
         return max(designer.max_length()
                    for designer in self._designers.values())
 
     def is_feasible(self, length: float) -> bool:
+        """Whether a link of ``length`` meters closes timing."""
         return length <= self.max_length()
 
     def _reference_cost(self, design: LinkDesign) -> float:
@@ -347,8 +352,10 @@ class LayerAwareLinkDesigner:
         return best_name, best
 
     def design(self, length: float) -> Optional[LinkDesign]:
+        """Cheapest feasible design of ``length`` meters, if any."""
         return self._best(length)[1]
 
     def layer_choice(self, length: float) -> Optional[str]:
-        """Which layer the cheapest feasible design uses, by name."""
+        """Which layer the cheapest feasible design of ``length``
+        meters uses, by name."""
         return self._best(length)[0]

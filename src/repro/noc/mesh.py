@@ -62,6 +62,7 @@ class MeshPlacement:
                 self.y0 + row * self.pitch_y)
 
     def nearest(self, x: float, y: float) -> Tuple[int, int]:
+        """Grid cell closest to the point ``(x, y)`` in meters."""
         col = min(max(round((x - self.x0) / self.pitch_x), 0),
                   self.columns - 1)
         row = min(max(round((y - self.y0) / self.pitch_y), 0),

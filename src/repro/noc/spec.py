@@ -62,6 +62,7 @@ class CommunicationSpec:
     # -- construction ------------------------------------------------------
 
     def add_core(self, name: str, x: float, y: float) -> Core:
+        """Register a core placed at ``(x, y)`` meters on the die."""
         if name in self.cores:
             raise ValueError(f"core {name!r} already exists")
         core = Core(name=name, x=x, y=y)
@@ -70,6 +71,7 @@ class CommunicationSpec:
 
     def add_flow(self, source: str, dest: str, bandwidth: float,
                  max_hops: "int | None" = None) -> Flow:
+        """Register a flow of ``bandwidth`` bits/s between two cores."""
         flow = Flow(source=source, dest=dest, bandwidth=bandwidth,
                     max_hops=max_hops)
         for endpoint in (source, dest):

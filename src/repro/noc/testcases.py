@@ -84,7 +84,8 @@ def dual_vopd(tech: Optional[TechnologyParameters] = None,
     """The 26-core dual video object plane decoder specification.
 
     Two VOPD instances decode independent streams in parallel; the
-    instances sit side by side on the die.
+    instances sit side by side on the die, ``core_pitch`` meters
+    apart.
     """
     scale = _scale_for(tech)
     pitch = core_pitch * scale
@@ -110,7 +111,8 @@ def vproc(tech: Optional[TechnologyParameters] = None,
           core_pitch: float = mm(1.6)) -> CommunicationSpec:
     """The 42-core video processor specification.
 
-    Structure: stream input feeds a demux that fans out to four
+    Cores sit ``core_pitch`` meters apart.  Structure: stream input
+    feeds a demux that fans out to four
     parallel processing pipelines of five stages, each pipeline backed
     by a line memory; a motion-estimation pair and a four-core DSP
     cluster assist; results merge into a scaler + deinterlacer back end

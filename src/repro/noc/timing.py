@@ -46,6 +46,7 @@ class TimingReport:
         return max(self.flows, key=lambda f: f.total_cycles)
 
     def average_cycles(self) -> float:
+        """Mean end-to-end latency across flows, a cycle count."""
         return (sum(f.total_cycles for f in self.flows)
                 / len(self.flows))
 

@@ -38,6 +38,7 @@ class NocTopology:
     # -- construction ------------------------------------------------------
 
     def add_router(self, name: str, x: float, y: float) -> NodeId:
+        """Add a router placed at ``(x, y)`` meters (idempotent)."""
         node = router_node(name)
         if node not in self.graph:
             self.graph.add_node(node, x=x, y=y)
@@ -52,7 +53,7 @@ class NocTopology:
 
     def add_link(self, source: NodeId, dest: NodeId,
                  length: float) -> None:
-        """Install a directed link (idempotent)."""
+        """Install a directed link of ``length`` meters (idempotent)."""
         if source not in self.graph or dest not in self.graph:
             raise KeyError("both link endpoints must exist")
         if not self.graph.has_edge(source, dest):
@@ -89,9 +90,11 @@ class NocTopology:
         return len(neighbours)
 
     def edge_load(self, source: NodeId, dest: NodeId) -> float:
+        """Routed traffic on one link, bits/s."""
         return self.graph.edges[source, dest]["load"]
 
     def edge_length(self, source: NodeId, dest: NodeId) -> float:
+        """Physical length of one link, in meters."""
         return self.graph.edges[source, dest]["length"]
 
     def hop_count(self, flow_index: int) -> int:
@@ -107,6 +110,7 @@ class NocTopology:
         return sum(hops) / len(hops), max(hops)
 
     def max_link_length(self) -> float:
+        """Longest link in meters (0.0 when there are no links)."""
         lengths = [data["length"] for _, _, data in self.links()]
         return max(lengths) if lengths else 0.0
 
@@ -119,8 +123,9 @@ class NocTopology:
 
     def validate(self, capacity: float,
                  max_ports: Optional[int] = None) -> List[str]:
-        """Structural and constraint checks; returns human-readable
-        violations (empty list when clean)."""
+        """Structural and constraint checks against a per-link
+        ``capacity`` in bits/s; returns human-readable violations
+        (empty list when clean)."""
         problems: List[str] = []
         for index, _flow in enumerate(self.spec.flows):
             if index not in self.routes:

@@ -46,6 +46,7 @@ class WidthDesignPoint:
 
     @property
     def total_power(self) -> float:
+        """Total NoC power in watts (inf when infeasible)."""
         if self.report is None:
             return float("inf")
         return self.report.total_power

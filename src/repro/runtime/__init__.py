@@ -45,6 +45,7 @@ from repro.runtime.manifest import (
     MANIFEST_SCHEMA,
     build_manifest,
     manifest_path_for,
+    utc_timestamp,
     write_manifest,
 )
 from repro.runtime.metrics import METRICS, MetricsRegistry
@@ -94,6 +95,7 @@ __all__ = [
     "spawn_generators",
     "spawn_seed_sequences",
     "summarize_trace",
+    "utc_timestamp",
     "write_manifest",
 ]
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import json
 import platform
 import sys
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
@@ -24,6 +25,16 @@ from repro.runtime.metrics import METRICS, MetricsRegistry
 
 #: Bump when the manifest layout changes incompatibly.
 MANIFEST_SCHEMA = 1
+
+
+def utc_timestamp() -> str:
+    """The current UTC time as an ISO-8601 string.
+
+    Provenance timestamping belongs to this module: wall clocks are
+    banned everywhere else (``repro lint``'s determinism rule), so
+    callers that need a run's start time take it from here.
+    """
+    return datetime.now(timezone.utc).isoformat()
 
 
 def _json_safe(value: Any) -> Any:

@@ -96,6 +96,18 @@ class MetricsRegistry:
             return None
         return tasks / elapsed
 
+    def lint_throughput(self) -> Optional[float]:
+        """Files linted per second of scan wall time, if measurable.
+
+        Defined when ``repro lint`` recorded both the ``lint.files``
+        counter and the ``lint.scan`` timer.
+        """
+        files = self.counters.get("lint.files", 0)
+        elapsed = self.timers.get("lint.scan", 0.0)
+        if files <= 0 or elapsed <= 0.0:
+            return None
+        return files / elapsed
+
     def format_footer(self,
                       extra: Optional[Mapping[str, int]] = None) -> str:
         """The ``--stats`` footer: wall time, cache traffic, counters.
@@ -107,11 +119,14 @@ class MetricsRegistry:
         extra = dict(extra or {})
         hit_rate = self.cache_hit_rate()
         throughput = self.task_throughput()
+        lint_rate = self.lint_throughput()
         names = list(self.timers) + list(self.counters) + list(extra)
         if hit_rate is not None:
             names.append("cache hit rate")
         if throughput is not None:
             names.append("parallel.throughput")
+        if lint_rate is not None:
+            names.append("lint.throughput")
         width = max([_FOOTER_MIN_WIDTH] + [len(name) for name in names])
 
         lines = ["-- runtime stats --"]
@@ -121,6 +136,10 @@ class MetricsRegistry:
             lines.append(
                 f"  {'parallel.throughput':<{width}} "
                 f"{throughput:9.1f} tasks/s")
+        if lint_rate is not None:
+            lines.append(
+                f"  {'lint.throughput':<{width}} "
+                f"{lint_rate:9.1f} files/s")
         if hit_rate is not None:
             lines.append(
                 f"  {'cache hit rate':<{width}} {hit_rate * 100:8.1f} % "

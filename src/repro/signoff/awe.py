@@ -50,7 +50,7 @@ class RCTree:
         return len(self.parents) - 1
 
     def add_cap(self, node: int, capacitance: float) -> None:
-        """Add extra grounded capacitance at an existing node."""
+        """Add extra grounded farads at an existing node."""
         self.capacitances[node] += capacitance
 
     @property
@@ -84,7 +84,8 @@ def rc_tree_moments(tree: RCTree, driver_resistance: float = 0.0
     ``m2(i) = sum_k R_ik * C_k * (-m1(k))`` (reported positive here),
 
     where ``R_ik`` is the resistance shared by the root->i and root->k
-    paths.  ``driver_resistance`` is added in series at the root.
+    paths.  ``driver_resistance`` (ohms) is added in series at the
+    root.
 
     Returns arrays of |m1| and m2 per node (positive conventions:
     ``m1`` is the Elmore delay).
@@ -203,6 +204,7 @@ def two_pole_delay(m1: float, m2: float) -> float:
 
 def tree_delay(tree: RCTree, node: int,
                driver_resistance: float = 0.0) -> float:
-    """Two-pole 50% delay to ``node`` under a step at the root."""
+    """Two-pole 50% delay (seconds) to ``node`` under a step at the
+    root, driven through ``driver_resistance`` ohms."""
     m1, m2 = rc_tree_moments(tree, driver_resistance)
     return two_pole_delay(float(m1[node]), float(m2[node]))

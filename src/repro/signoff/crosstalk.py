@@ -182,7 +182,12 @@ def crosstalk_delay_bracket(
     load_cap: float,
     input_slew: float,
 ) -> Tuple[CoupledStageResult, CoupledStageResult, CoupledStageResult]:
-    """(best, quiet, worst) explicit-aggressor delays for one stage."""
+    """(best, quiet, worst) explicit-aggressor delays for one stage.
+
+    ``driver_size`` is a dimensionless multiple of the minimum
+    inverter; resistances are ohms, capacitances farads, and
+    ``input_slew`` seconds.
+    """
     common = (tech, driver_size, wire_resistance, ground_cap,
               coupling_cap, load_cap, input_slew, True)
     best = simulate_coupled_stage(*common, AggressorActivity.SAME)

@@ -37,7 +37,8 @@ class WireSegmentParasitics:
     length: float
 
     def total_cap(self, miller_factor: float) -> float:
-        """Effective grounded capacitance for a switching scenario."""
+        """Effective grounded farads for a switching scenario, given
+        a dimensionless ``miller_factor``."""
         return self.ground_cap + miller_factor * self.coupling_cap
 
 
@@ -76,15 +77,18 @@ class ExtractedLine:
         return (self.tech.nmos.c_gate * wn + self.tech.pmos.c_gate * wp)
 
     def stage_load_cap(self, stage_index: int) -> float:
-        """Gate capacitance loading the far end of stage ``stage_index``."""
+        """Gate farads loading the far end of stage ``stage_index``."""
         if stage_index + 1 < len(self.stages):
             return self.repeater_input_cap(stage_index + 1)
         return self.receiver_cap
 
     def total_wire_resistance(self) -> float:
+        """Summed wire resistance of every stage, in ohms."""
         return sum(stage.wire.resistance for stage in self.stages)
 
     def total_wire_cap(self, miller_factor: float) -> float:
+        """Summed effective wire farads under a dimensionless
+        ``miller_factor``."""
         return sum(stage.wire.total_cap(miller_factor)
                    for stage in self.stages)
 

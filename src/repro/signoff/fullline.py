@@ -48,8 +48,9 @@ def build_full_line_circuit(
 ) -> "tuple[Circuit, float]":
     """The whole buffered line as one netlist.
 
-    Returns the circuit and a suggested stop time.  The line input node
-    is ``in`` and the far-end (receiver input) node is ``out``.
+    ``input_slew`` is in seconds.  Returns the circuit and a suggested
+    stop time.  The line input node is ``in`` and the far-end
+    (receiver input) node is ``out``.
     """
     if miller_factor is None:
         miller_factor = line.config.delay_miller
@@ -96,7 +97,8 @@ def evaluate_full_line(
     miller_factor: Optional[float] = None,
     max_retries: int = 3,
 ) -> FullLineResult:
-    """Simulate the entire line monolithically and measure its timing."""
+    """Simulate the entire line monolithically and measure its timing,
+    driving it with a ramp of ``input_slew`` seconds."""
     circuit, stop_time = build_full_line_circuit(line, input_slew,
                                                  miller_factor)
     vdd = line.tech.vdd

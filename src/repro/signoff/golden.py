@@ -116,7 +116,10 @@ def simulate_stage(
 ) -> StageTiming:
     """Simulate one stage and measure its 50% delay and output slew.
 
-    Retries with a longer stop time if the output has not settled —
+    ``driver_size`` is a dimensionless multiple of the minimum
+    inverter; the wire parasitics are ohms and farads and
+    ``input_slew`` seconds.  Retries with a longer stop time if the
+    output has not settled —
     the stop-time estimate is heuristic and long resistive wires can
     exceed it.
     """

@@ -84,18 +84,21 @@ class VariationResult:
 
     @property
     def mean(self) -> float:
+        """Sample mean delay, in seconds."""
         return float(np.mean(self.samples))
 
     @property
     def sigma(self) -> float:
+        """Sample standard deviation, in seconds."""
         return float(np.std(self.samples))
 
     @property
     def sigma_over_mean(self) -> float:
+        """Relative spread sigma/mean, dimensionless."""
         return self.sigma / self.mean
 
     def three_sigma_delay(self) -> float:
-        """The statistical 3-sigma timing bound."""
+        """The statistical 3-sigma timing bound, in seconds."""
         return self.mean + 3.0 * self.sigma
 
     def format(self) -> str:
@@ -113,7 +116,8 @@ def sample_line_delay(
     variation: VariationModel,
     rng: np.random.Generator,
 ) -> float:
-    """One Monte-Carlo draw: every repeater independently perturbed.
+    """One Monte-Carlo draw (seconds): every repeater independently
+    perturbed, the line driven with an ``input_slew``-second ramp.
 
     Each stage is simulated with its own perturbed device set; slews
     propagate through the perturbed chain exactly as in the golden
@@ -157,7 +161,8 @@ def monte_carlo_line_delay(
     seed: int = 2010,
     workers: Optional[int] = None,
 ) -> VariationResult:
-    """Monte-Carlo delay distribution of a buffered line.
+    """Monte-Carlo delay distribution of a buffered line driven with
+    a ramp of ``input_slew`` seconds.
 
     Deterministic for a given ``seed`` regardless of ``workers``:
     stream 0 of the spawned root sequence computes the nominal delay

@@ -55,6 +55,8 @@ class CornerDerating:
     metal_thickness_shift: float
 
     def scale(self, value: float, shift: float) -> float:
+        """Derate ``value`` (any unit, preserved) by the dimensionless
+        fractional ``shift``."""
         return value * (1.0 + shift)
 
 

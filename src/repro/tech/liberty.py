@@ -291,7 +291,8 @@ def loads(text: str) -> LibertyGroup:
 def new_library(name: str, *, time_unit: str = "1ps",
                 capacitive_load_unit: str = "1fF",
                 voltage: float = 1.0) -> LibertyGroup:
-    """Create an empty library group with the unit declarations we emit."""
+    """Create an empty library group with the unit declarations we
+    emit; ``voltage`` is the nominal supply in volts."""
     library = LibertyGroup(kind="library", args=(name,))
     library.attributes["time_unit"] = time_unit
     library.attributes["leakage_power_unit"] = "1nW"

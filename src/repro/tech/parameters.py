@@ -148,7 +148,8 @@ class WireLayerGeometry:
 
     def scaled(self, width_multiple: float = 1.0,
                spacing_multiple: float = 1.0) -> "WireLayerGeometry":
-        """Return a copy with width/spacing scaled (for design styles)."""
+        """Return a copy with width/spacing scaled by dimensionless
+        multiples (for design styles)."""
         return dataclasses.replace(
             self,
             width=self.width * width_multiple,

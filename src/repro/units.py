@@ -15,9 +15,19 @@ Papers and technology files usually quote picoseconds, femtofarads,
 microns, milliwatts and gigahertz.  These helpers make the conversions
 explicit at API boundaries so that no function ever has to guess what
 unit a bare float is in.
+
+The discipline is machine-readable: :data:`UNIT_SUFFIXES` maps every
+identifier suffix the codebase may carry (``length_mm``, ``delay_ps``)
+to its dimension and SI factor.  The conversion helpers below are
+*generated* from that registry, and ``repro.analysis`` (the ``repro
+lint`` static checkers) reads the very same table, so the linter and
+the runtime can never disagree about what ``_um`` means.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 # ---------------------------------------------------------------------------
 # Multiplicative prefixes
@@ -36,116 +46,177 @@ GIGA = 1e9
 
 
 # ---------------------------------------------------------------------------
-# To SI
+# The suffix registry — the single source of truth
 # ---------------------------------------------------------------------------
 
-def ps(value: float) -> float:
-    """Convert picoseconds to seconds."""
-    return value * PICO
+
+@dataclass(frozen=True)
+class UnitSuffix:
+    """One identifier suffix with its dimension and SI conversion.
+
+    ``si_factor`` multiplies a value carrying this suffix into the SI
+    base unit of ``dimension`` (so ``x_ps * 1e-12`` is seconds).
+    ``words`` are the spellings a docstring may use to annotate the
+    unit (``"picoseconds"``, ``"ps"``); the first entry is canonical.
+    """
+
+    suffix: str
+    dimension: str
+    si_factor: float
+    words: Tuple[str, ...]
 
 
-def ns(value: float) -> float:
-    """Convert nanoseconds to seconds."""
-    return value * NANO
+#: SI base-unit name per dimension (for generated docstrings).
+SI_BASE_UNITS: Dict[str, str] = {
+    "time": "seconds",
+    "length": "meters",
+    "capacitance": "farads",
+    "resistance": "ohms",
+    "power": "watts",
+    "voltage": "volts",
+    "current": "amperes",
+    "frequency": "hertz",
+    "area": "square meters",
+}
 
 
-def fF(value: float) -> float:  # noqa: N802 - deliberate unit capitalisation
-    """Convert femtofarads to farads."""
-    return value * FEMTO
+def _entries() -> Tuple[UnitSuffix, ...]:
+    return (
+        # time
+        UnitSuffix("ps", "time", PICO, ("picoseconds", "ps")),
+        UnitSuffix("ns", "time", NANO, ("nanoseconds", "ns")),
+        UnitSuffix("us", "time", MICRO, ("microseconds", "us")),
+        UnitSuffix("ms", "time", MILLI, ("milliseconds", "ms")),
+        UnitSuffix("s", "time", 1.0, ("seconds", "s")),
+        UnitSuffix("seconds", "time", 1.0, ("seconds",)),
+        # length
+        UnitSuffix("nm", "length", NANO, ("nanometers", "nm")),
+        UnitSuffix("um", "length", MICRO,
+                   ("microns", "micrometers", "um")),
+        UnitSuffix("mm", "length", MILLI, ("millimeters", "mm")),
+        UnitSuffix("m", "length", 1.0, ("meters", "m")),
+        UnitSuffix("meters", "length", 1.0, ("meters",)),
+        # capacitance
+        UnitSuffix("ff", "capacitance", FEMTO, ("femtofarads", "fF")),
+        UnitSuffix("pf", "capacitance", PICO, ("picofarads", "pF")),
+        UnitSuffix("nf", "capacitance", NANO, ("nanofarads", "nF")),
+        UnitSuffix("f", "capacitance", 1.0, ("farads", "F")),
+        # resistance
+        UnitSuffix("kohm", "resistance", KILO, ("kilo-ohms", "kohm")),
+        UnitSuffix("ohm", "resistance", 1.0, ("ohms", "ohm")),
+        UnitSuffix("ohms", "resistance", 1.0, ("ohms",)),
+        # power
+        UnitSuffix("nw", "power", NANO, ("nanowatts", "nW")),
+        UnitSuffix("uw", "power", MICRO, ("microwatts", "uW")),
+        UnitSuffix("mw", "power", MILLI, ("milliwatts", "mW")),
+        UnitSuffix("w", "power", 1.0, ("watts", "W")),
+        UnitSuffix("watts", "power", 1.0, ("watts",)),
+        # voltage
+        UnitSuffix("mv", "voltage", MILLI, ("millivolts", "mV")),
+        UnitSuffix("v", "voltage", 1.0, ("volts", "V")),
+        UnitSuffix("volts", "voltage", 1.0, ("volts",)),
+        # frequency
+        UnitSuffix("ghz", "frequency", GIGA, ("gigahertz", "GHz")),
+        UnitSuffix("mhz", "frequency", MEGA, ("megahertz", "MHz")),
+        UnitSuffix("khz", "frequency", KILO, ("kilohertz", "kHz")),
+        UnitSuffix("hz", "frequency", 1.0, ("hertz", "Hz")),
+    )
 
 
-def pF(value: float) -> float:  # noqa: N802
-    """Convert picofarads to farads."""
-    return value * PICO
+#: suffix (lowercase, as it appears after the final underscore of an
+#: identifier) → :class:`UnitSuffix`.  ``length_mm`` carries suffix
+#: ``mm``; ``delay`` carries none.
+UNIT_SUFFIXES: Dict[str, UnitSuffix] = {
+    entry.suffix: entry for entry in _entries()
+}
+
+#: Docstring words that declare a float deliberately dimensionless.
+#: A value documented as a "fraction" or "ratio" satisfies the units
+#: discipline without naming an SI unit.
+DIMENSIONLESS_WORDS: Tuple[str, ...] = (
+    "dimensionless", "unitless", "fraction", "fractional", "ratio",
+    "factor",
+    "probability", "weight", "count", "multiple", "normalized",
+    "percent", "bits", "bits/s", "index", "exponent", "r2", "sigmas",
+)
 
 
-def um(value: float) -> float:
-    """Convert microns to meters."""
-    return value * MICRO
+def unit_suffix_of(identifier: str) -> Optional[UnitSuffix]:
+    """The unit suffix an identifier carries, if any.
 
-
-def nm(value: float) -> float:
-    """Convert nanometers to meters."""
-    return value * NANO
-
-
-def mm(value: float) -> float:
-    """Convert millimeters to meters."""
-    return value * MILLI
-
-
-def ghz(value: float) -> float:
-    """Convert gigahertz to hertz."""
-    return value * GIGA
-
-
-def mhz(value: float) -> float:
-    """Convert megahertz to hertz."""
-    return value * MEGA
-
-
-def mw(value: float) -> float:
-    """Convert milliwatts to watts."""
-    return value * MILLI
-
-
-def uw(value: float) -> float:
-    """Convert microwatts to watts."""
-    return value * MICRO
-
-
-def nw(value: float) -> float:
-    """Convert nanowatts to watts."""
-    return value * NANO
-
-
-def kohm(value: float) -> float:
-    """Convert kilo-ohms to ohms."""
-    return value * KILO
+    The suffix is the token after the final underscore, compared
+    case-insensitively: ``total_cap_ff`` → the femtofarad entry,
+    ``delay`` / ``num_repeaters`` → ``None``.  A bare identifier that
+    *is* a suffix (``mm``) does not count — a suffix annotates a base
+    name, it is not a name by itself.
+    """
+    if "_" not in identifier:
+        return None
+    token = identifier.rsplit("_", 1)[1].lower()
+    return UNIT_SUFFIXES.get(token)
 
 
 # ---------------------------------------------------------------------------
-# From SI (for report printing)
+# Generated conversion helpers
 # ---------------------------------------------------------------------------
 
-def to_ps(seconds: float) -> float:
-    """Convert seconds to picoseconds."""
-    return seconds / PICO
+
+def _to_si(suffix: str, public_name: str) -> Callable[[float], float]:
+    """A ``<unit>(value) -> SI`` converter generated from the registry."""
+    entry = UNIT_SUFFIXES[suffix]
+    factor = entry.si_factor
+    base = SI_BASE_UNITS[entry.dimension]
+
+    def convert(value: float) -> float:
+        return value * factor
+
+    convert.__name__ = public_name
+    convert.__qualname__ = public_name
+    convert.__doc__ = f"Convert {entry.words[0]} to {base}."
+    return convert
 
 
-def to_ns(seconds: float) -> float:
-    """Convert seconds to nanoseconds."""
-    return seconds / NANO
+def _from_si(suffix: str, public_name: str) -> Callable[[float], float]:
+    """An ``to_<unit>(SI) -> unit`` converter generated from the registry."""
+    entry = UNIT_SUFFIXES[suffix]
+    factor = entry.si_factor
+    base = SI_BASE_UNITS[entry.dimension]
+
+    def convert(value: float) -> float:
+        return value / factor
+
+    convert.__name__ = public_name
+    convert.__qualname__ = public_name
+    convert.__doc__ = f"Convert {base} to {entry.words[0]}."
+    return convert
 
 
-def to_fF(farads: float) -> float:  # noqa: N802
-    """Convert farads to femtofarads."""
-    return farads / FEMTO
+# To SI -----------------------------------------------------------------------
 
+ps = _to_si("ps", "ps")
+ns = _to_si("ns", "ns")
+fF = _to_si("ff", "fF")  # noqa: N816 - deliberate unit capitalisation
+pF = _to_si("pf", "pF")  # noqa: N816
+um = _to_si("um", "um")
+nm = _to_si("nm", "nm")
+mm = _to_si("mm", "mm")
+ghz = _to_si("ghz", "ghz")
+mhz = _to_si("mhz", "mhz")
+mw = _to_si("mw", "mw")
+uw = _to_si("uw", "uw")
+nw = _to_si("nw", "nw")
+kohm = _to_si("kohm", "kohm")
 
-def to_um(meters: float) -> float:
-    """Convert meters to microns."""
-    return meters / MICRO
+# From SI (for report printing) ----------------------------------------------
 
-
-def to_mm(meters: float) -> float:
-    """Convert meters to millimeters."""
-    return meters / MILLI
-
-
-def to_mw(watts: float) -> float:
-    """Convert watts to milliwatts."""
-    return watts / MILLI
-
-
-def to_uw(watts: float) -> float:
-    """Convert watts to microwatts."""
-    return watts / MICRO
-
-
-def to_ghz(hertz: float) -> float:
-    """Convert hertz to gigahertz."""
-    return hertz / GIGA
+to_ps = _from_si("ps", "to_ps")
+to_ns = _from_si("ns", "to_ns")
+to_fF = _from_si("ff", "to_fF")  # noqa: N816
+to_um = _from_si("um", "to_um")
+to_mm = _from_si("mm", "to_mm")
+to_mw = _from_si("mw", "to_mw")
+to_uw = _from_si("uw", "to_uw")
+to_ghz = _from_si("ghz", "to_ghz")
 
 
 # Physical constants ---------------------------------------------------------

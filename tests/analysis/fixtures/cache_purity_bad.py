@@ -1,0 +1,18 @@
+"""Seeded ``cache-purity`` violations: environment and mutable-global
+reads inside a DiskCache-keyed function."""
+
+import os
+
+from repro.runtime import DiskCache
+
+_CACHE = DiskCache("analysis-fixture")
+_TWEAKS = {"gain": 2.0}
+
+
+def compute(key: str) -> float:
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    value = _TWEAKS["gain"] * float(os.environ.get("SCALE", "1"))
+    _CACHE.put(key, value)
+    return value

@@ -1,0 +1,16 @@
+"""Clean fixture: the cached payload is a pure function of its key."""
+
+from repro.runtime import DiskCache
+
+_CACHE = DiskCache("analysis-fixture")
+
+GAIN = 2.0
+
+
+def compute(key: str, scale: float) -> float:
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    value = GAIN * scale
+    _CACHE.put(key, value)
+    return value

@@ -1,0 +1,25 @@
+"""Seeded ``determinism`` violations: global RNG, wall clocks, and
+unordered sets feeding ordered machinery."""
+
+import random
+import time
+
+import numpy as np
+
+from repro.runtime import fingerprint, parallel_map
+
+
+def jitter() -> float:
+    return random.gauss(0.0, 1.0) + np.random.rand()
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def dispatch(worker):
+    return parallel_map(worker, {3, 1, 2})
+
+
+def key():
+    return fingerprint({"a", "b"})

@@ -1,0 +1,24 @@
+"""Clean fixture: seeded streams, monotonic clocks, sorted dispatch."""
+
+import time
+
+import numpy as np
+
+from repro.runtime import fingerprint, parallel_map
+
+
+def jitter(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.standard_normal())
+
+
+def elapsed() -> float:
+    return time.perf_counter()
+
+
+def dispatch(worker, items):
+    return parallel_map(worker, sorted(set(items)))
+
+
+def key(names):
+    return fingerprint(sorted(names))

@@ -1,0 +1,12 @@
+"""Seeded ``units`` violations: a bare-float public API and
+mixed-suffix arithmetic."""
+
+
+def stage_delay(load: float, slew: float) -> float:
+    """Delay of one stage."""
+    return load * slew
+
+
+def span_length(length_um: float, gap_m: float) -> float:
+    """Total distance in meters."""
+    return length_um + gap_m

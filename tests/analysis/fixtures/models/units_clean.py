@@ -1,0 +1,16 @@
+"""Clean fixture: every float carries a suffix or a documented unit."""
+
+
+def stage_delay_ps(load_ff: float, slew_ps: float) -> float:
+    """Stage delay in picoseconds."""
+    return load_ff * 0.5 + slew_ps
+
+
+def utilization(area_um: float, budget_um: float) -> float:
+    """Fraction of the area budget consumed (dimensionless)."""
+    return area_um / budget_um
+
+
+def wire_delay(length: float, per_meter: float) -> float:
+    """Delay in seconds of ``length`` meters of wire."""
+    return length * per_meter

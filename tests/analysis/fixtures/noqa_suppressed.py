@@ -1,0 +1,11 @@
+"""Every violation in this file is suppressed inline."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro: noqa[determinism]
+
+
+def stamp_again() -> float:
+    return time.time()  # repro: noqa

@@ -1,0 +1,8 @@
+"""Seeded ``span-hygiene`` violation: a span that never begins."""
+
+from repro.runtime.trace import span
+
+
+def timed(work):
+    span("fixture-phase")
+    return work()

@@ -1,0 +1,20 @@
+"""Clean fixture: every span is entered as a context manager."""
+
+from contextlib import ExitStack
+
+from repro.runtime.trace import span
+
+
+def timed(work):
+    with span("fixture-phase"):
+        return work()
+
+
+def stacked(work):
+    with ExitStack() as stack:
+        stack.enter_context(span("fixture-stacked"))
+        return work()
+
+
+def delegating():
+    return span("fixture-delegated")

@@ -1,0 +1,12 @@
+"""Seeded ``worker-safety`` violations: closures into the pool."""
+
+from repro.runtime import parallel_map
+
+
+def run(items):
+    def local_worker(item):
+        return item * 2
+
+    first = parallel_map(lambda item: item + 1, items)
+    second = parallel_map(local_worker, items)
+    return first, second

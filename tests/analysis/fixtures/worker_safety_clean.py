@@ -1,0 +1,11 @@
+"""Clean fixture: only module-level callables cross the pool."""
+
+from repro.runtime import parallel_map
+
+
+def double(item):
+    return item * 2
+
+
+def run(items):
+    return parallel_map(double, items)

@@ -1,0 +1,68 @@
+"""Baseline files: round-trip, budgets, loud failure on bad input."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    apply_baseline,
+    read_baseline,
+    write_baseline,
+)
+
+
+def _finding(path="a.py", line=1, rule="units", message="msg"):
+    return Finding(path, line, 1, rule, message)
+
+
+class TestRoundTrip:
+    def test_write_then_read_restores_counts(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        findings = [_finding(line=1), _finding(line=9),
+                    _finding(rule="determinism", message="other")]
+        write_baseline(target, findings)
+        budget = read_baseline(target)
+        assert budget[_finding().fingerprint()] == 2
+        assert budget[_finding(rule="determinism",
+                               message="other").fingerprint()] == 1
+
+    def test_empty_baseline_round_trips(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [])
+        assert read_baseline(target) == {}
+
+
+class TestApplyBaseline:
+    def test_grandfathered_findings_are_filtered(self):
+        budget = {_finding().fingerprint(): 1}
+        fresh, suppressed = apply_baseline([_finding(line=5)], budget)
+        assert fresh == []
+        assert suppressed == 1
+
+    def test_budget_is_per_occurrence(self):
+        budget = {_finding().fingerprint(): 1}
+        duplicated = [_finding(line=5), _finding(line=9)]
+        fresh, suppressed = apply_baseline(duplicated, budget)
+        assert suppressed == 1
+        assert [finding.line for finding in fresh] == [9]
+
+    def test_new_findings_pass_through(self):
+        fresh, suppressed = apply_baseline([_finding()], {})
+        assert fresh == [_finding()]
+        assert suppressed == 0
+
+
+class TestBadBaselines:
+    def test_wrong_schema_fails_loudly(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"schema": 99, "findings": []}))
+        with pytest.raises(ValueError, match="schema"):
+            read_baseline(target)
+
+    def test_malformed_entry_fails_loudly(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps(
+            {"schema": 1, "findings": [{"rule": "units"}]}))
+        with pytest.raises(ValueError, match="malformed"):
+            read_baseline(target)

@@ -1,0 +1,89 @@
+"""Each rule catches its seeded fixture; clean fixtures stay silent."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_file, check_source, make_checkers
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+#: bad fixture → (expected rule, expected finding count)
+BAD_FIXTURES = {
+    "models/units_bad.py": ("units", 2),
+    "determinism_bad.py": ("determinism", 6),
+    "worker_safety_bad.py": ("worker-safety", 2),
+    "cache_purity_bad.py": ("cache-purity", 2),
+    "span_hygiene_bad.py": ("span-hygiene", 1),
+}
+
+CLEAN_FIXTURES = (
+    "models/units_clean.py",
+    "determinism_clean.py",
+    "worker_safety_clean.py",
+    "cache_purity_clean.py",
+    "span_hygiene_clean.py",
+)
+
+
+def _lint(relative):
+    """All five checkers over one fixture (so cross-rule false
+    positives fail the clean tests too)."""
+    path = FIXTURES / relative
+    return check_file(path, make_checkers(), path.as_posix())
+
+
+class TestSeededViolations:
+    @pytest.mark.parametrize("relative,expected",
+                             sorted(BAD_FIXTURES.items()))
+    def test_rule_catches_its_fixture(self, relative, expected):
+        rule, count = expected
+        findings = _lint(relative)
+        assert [finding.rule for finding in findings] == [rule] * count
+
+    def test_findings_carry_real_positions(self):
+        for relative in BAD_FIXTURES:
+            for finding in _lint(relative):
+                assert finding.line > 0
+                assert finding.path.endswith(relative)
+
+
+class TestCleanFixtures:
+    @pytest.mark.parametrize("relative", CLEAN_FIXTURES)
+    def test_no_false_positives(self, relative):
+        assert _lint(relative) == []
+
+
+class TestSuppression:
+    def test_noqa_fixture_is_fully_silenced(self):
+        assert _lint("noqa_suppressed.py") == []
+
+
+class TestMixedSuffixDetail:
+    """check_source-level probes of the units arithmetic rule."""
+
+    def _units(self, source):
+        return check_source(source, "models/probe.py",
+                            make_checkers(["units"]))
+
+    def test_cross_dimension_addition(self):
+        findings = self._units("total = delay_ps + length_um\n")
+        assert len(findings) == 1
+        assert "time with length" in findings[0].message
+
+    def test_same_dimension_different_scale(self):
+        findings = self._units("slack = margin_ps - margin_ns\n")
+        assert len(findings) == 1
+
+    def test_comparison_mixing_scales(self):
+        findings = self._units("ok = cap_ff < cap_f\n")
+        assert len(findings) == 1
+
+    def test_same_suffix_is_fine(self):
+        assert self._units("total = left_ps + right_ps\n") == []
+
+    def test_alias_suffixes_with_equal_factor_are_fine(self):
+        assert self._units("total = start_s + ramp_seconds\n") == []
+
+    def test_multiplication_combines_dimensions_legitimately(self):
+        assert self._units("tau = drive_ohms * load_f\n") == []

@@ -1,0 +1,90 @@
+"""`repro lint` end to end: exit codes, formats, baseline workflow."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+BAD = str(FIXTURES / "span_hygiene_bad.py")
+CLEAN = str(FIXTURES / "span_hygiene_clean.py")
+
+
+def _lint(tmp_path, *argv):
+    """Run `repro lint` with the baseline pointed away from the repo's
+    committed file."""
+    return main(["lint", *argv,
+                 "--baseline", str(tmp_path / "baseline.json")])
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        assert _lint(tmp_path, CLEAN) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        assert _lint(tmp_path, BAD) == 1
+        output = capsys.readouterr().out
+        assert "span-hygiene" in output
+        assert "1 finding" in output
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert _lint(tmp_path, str(tmp_path / "nope")) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        assert _lint(tmp_path, CLEAN, "--rules", "made-up") == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestRuleSelection:
+    def test_rules_flag_restricts_the_scan(self, tmp_path):
+        # The only violation in this fixture is a determinism one, so
+        # a span-hygiene-only scan comes back clean.
+        bad = str(FIXTURES / "determinism_bad.py")
+        assert _lint(tmp_path, bad, "--rules", "span-hygiene") == 0
+
+    def test_exclude_skips_matching_paths(self, tmp_path):
+        assert _lint(tmp_path, str(FIXTURES),
+                     "--exclude", "_bad", "--exclude", "noqa") == 0
+
+
+class TestOutputs:
+    def test_json_format_is_parseable(self, tmp_path, capsys):
+        assert _lint(tmp_path, BAD, "--format", "json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts_by_rule"] == {"span-hygiene": 1}
+        assert payload["findings"][0]["rule"] == "span-hygiene"
+
+    def test_report_writes_the_json_artifact(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert _lint(tmp_path, BAD, "--report", str(report)) == 1
+        payload = json.loads(report.read_text())
+        assert payload["files_scanned"] == 1
+        assert payload["counts_by_rule"] == {"span-hygiene": 1}
+
+    def test_stats_footer_reports_throughput(self, tmp_path, capsys):
+        assert _lint(tmp_path, CLEAN, "--stats") == 0
+        output = capsys.readouterr().out
+        assert "lint.throughput" in output
+        assert "files/s" in output
+
+
+class TestBaselineWorkflow:
+    def test_write_then_scan_round_trip(self, tmp_path, capsys):
+        assert _lint(tmp_path, BAD, "--write-baseline") == 0
+        assert "grandfathered" in capsys.readouterr().out
+        # The same finding is now baselined, so the gate passes ...
+        assert _lint(tmp_path, BAD) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # ... but a different file's findings are still new.
+        bad_elsewhere = str(FIXTURES / "worker_safety_bad.py")
+        assert _lint(tmp_path, bad_elsewhere) == 1
+
+
+class TestMergedTree:
+    def test_repo_src_is_clean(self, tmp_path):
+        """The acceptance criterion: `repro lint src/` exits 0."""
+        assert _lint(tmp_path, str(REPO_SRC)) == 0

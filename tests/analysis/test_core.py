@@ -1,0 +1,119 @@
+"""The visitor core: noqa, syntax findings, file collection."""
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    SYNTAX_RULE,
+    check_source,
+    collect_files,
+    make_checkers,
+)
+
+#: One determinism violation per line — handy for suppression tests.
+CLOCK_LINE = "import time\nnow = time.time()\n"
+
+
+def _determinism():
+    return make_checkers(["determinism"])
+
+
+class TestFinding:
+    def test_fingerprint_ignores_position(self):
+        near = Finding("a.py", 3, 1, "units", "msg")
+        far = Finding("a.py", 99, 7, "units", "msg")
+        assert near.fingerprint() == far.fingerprint()
+
+    def test_fingerprint_separates_paths_and_rules(self):
+        base = Finding("a.py", 1, 1, "units", "msg")
+        other_path = Finding("b.py", 1, 1, "units", "msg")
+        other_rule = Finding("a.py", 1, 1, "determinism", "msg")
+        assert base.fingerprint() != other_path.fingerprint()
+        assert base.fingerprint() != other_rule.fingerprint()
+
+    def test_format_is_gcc_style(self):
+        finding = Finding("a.py", 3, 5, "units", "msg",
+                          severity="warning")
+        assert finding.format() == "a.py:3:5: warning: units: msg"
+
+
+class TestNoqa:
+    def test_bare_noqa_suppresses_everything(self):
+        source = "import time\nnow = time.time()  # repro: noqa\n"
+        assert check_source(source, "x.py", _determinism()) == []
+
+    def test_named_rule_suppresses_only_that_rule(self):
+        source = ("import time\n"
+                  "now = time.time()  # repro: noqa[determinism]\n")
+        assert check_source(source, "x.py", _determinism()) == []
+
+    def test_other_rule_name_does_not_suppress(self):
+        source = ("import time\n"
+                  "now = time.time()  # repro: noqa[units]\n")
+        findings = check_source(source, "x.py", _determinism())
+        assert [finding.rule for finding in findings] == ["determinism"]
+
+    def test_unsuppressed_line_still_fires(self):
+        findings = check_source(CLOCK_LINE, "x.py", _determinism())
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+
+class TestSyntaxErrors:
+    def test_unparseable_file_is_one_syntax_finding(self):
+        findings = check_source("def broken(:\n", "x.py",
+                                make_checkers())
+        assert [finding.rule for finding in findings] == [SYNTAX_RULE]
+
+    def test_syntax_finding_cannot_be_suppressed(self):
+        findings = check_source("def broken(:  # repro: noqa\n",
+                                "x.py", make_checkers())
+        assert [finding.rule for finding in findings] == [SYNTAX_RULE]
+
+
+class TestMakeCheckers:
+    def test_default_is_all_five_rules(self):
+        rules = {checker.rule for checker in make_checkers()}
+        assert rules == {"units", "determinism", "worker-safety",
+                         "cache-purity", "span-hygiene"}
+
+    def test_unknown_rule_is_a_usage_error(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            make_checkers(["units", "made-up"])
+
+
+class TestCollectFiles:
+    def test_walks_directories_and_skips_junk(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "b.py").write_text("y = 2\n")
+        pycache = sub / "__pycache__"
+        pycache.mkdir()
+        (pycache / "b.cpython-311.py").write_text("z = 3\n")
+        hidden = tmp_path / ".hidden"
+        hidden.mkdir()
+        (hidden / "c.py").write_text("w = 4\n")
+
+        names = [path.name for path in collect_files([tmp_path])]
+        assert names == ["a.py", "b.py"]
+
+    def test_exclude_fragments(self, tmp_path):
+        (tmp_path / "keep.py").write_text("x = 1\n")
+        skip = tmp_path / "fixtures"
+        skip.mkdir()
+        (skip / "drop.py").write_text("y = 2\n")
+        names = [path.name
+                 for path in collect_files([tmp_path],
+                                           exclude=("fixtures",))]
+        assert names == ["keep.py"]
+
+    def test_overlapping_arguments_deduplicate(self, tmp_path):
+        target = tmp_path / "a.py"
+        target.write_text("x = 1\n")
+        assert collect_files([tmp_path, target]) \
+            == collect_files([tmp_path])
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_files([tmp_path / "nope"])

@@ -49,6 +49,41 @@ def test_physical_constants():
     assert units.COPPER_MEAN_FREE_PATH > 10e-9
 
 
+class TestSuffixRegistry:
+    """UNIT_SUFFIXES is the shared source of truth for runtime + lint."""
+
+    def test_keys_match_entries_and_are_lowercase(self):
+        for suffix, entry in units.UNIT_SUFFIXES.items():
+            assert suffix == entry.suffix == entry.suffix.lower()
+            assert entry.si_factor > 0
+            assert entry.words, f"'{suffix}' has no docstring words"
+
+    def test_every_dimension_has_a_base_unit_name(self):
+        dimensions = {entry.dimension
+                      for entry in units.UNIT_SUFFIXES.values()}
+        assert dimensions <= set(units.SI_BASE_UNITS)
+
+    def test_suffix_of_identifier(self):
+        assert units.unit_suffix_of("total_cap_ff").suffix == "ff"
+        assert units.unit_suffix_of("Delay_PS").suffix == "ps"
+        assert units.unit_suffix_of("num_repeaters") is None
+        assert units.unit_suffix_of("delay") is None
+        # A bare suffix is not a suffixed name.
+        assert units.unit_suffix_of("mm") is None
+
+    def test_converters_are_generated_from_the_registry(self):
+        assert units.ps(1.0) == units.UNIT_SUFFIXES["ps"].si_factor
+        assert units.um(1.0) == units.UNIT_SUFFIXES["um"].si_factor
+        assert units.kohm(1.0) == units.UNIT_SUFFIXES["kohm"].si_factor
+        assert units.to_fF(1.0) \
+            == 1.0 / units.UNIT_SUFFIXES["ff"].si_factor
+
+    def test_generated_docstrings_name_both_units(self):
+        assert "picoseconds" in units.ps.__doc__
+        assert "seconds" in units.ps.__doc__
+        assert units.ps.__name__ == "ps"
+
+
 @given(st.floats(min_value=1e-6, max_value=1e6,
                  allow_nan=False, allow_infinity=False))
 def test_roundtrips_are_inverse(value):
