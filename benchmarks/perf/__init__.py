@@ -1,0 +1,8 @@
+"""Micro-benchmarks for the vectorized kernel layer.
+
+Unlike the table/figure benchmarks one level up, these time the
+``repro.kernels`` batch paths against their scalar golden references
+and assert equivalence while doing so.  Run with::
+
+    pytest benchmarks/perf/ --benchmark-only
+"""

@@ -19,6 +19,12 @@ The runtime's contract is bit-equal results for any ``--workers N``
   varies across processes (``PYTHONHASHSEED``) and so changes both
   task-to-stream pairing and cache fingerprints.  ``sorted(...)`` the
   set first.
+
+Inside :mod:`repro.kernels` the RNG rule tightens to a blanket ban:
+kernels are pure array transforms, so *no* ``numpy.random`` usage is
+allowed there — not even the seeded API.  All draws happen in the
+caller (which owns the ``SeedSequence`` streams) and arrive as arrays;
+``Generator`` instances may only be threaded in as arguments.
 """
 
 from __future__ import annotations
@@ -72,6 +78,10 @@ class DeterminismChecker(Checker):
         super().begin_file(context)
         path = context.path.replace("\\", "/")
         self._clocks_allowed = path.endswith(CLOCK_ALLOWED_SUFFIXES)
+        # Kernels are pure array transforms: every numpy.random usage
+        # is banned there, including the otherwise-sanctioned seeded
+        # API (draws belong to the caller).
+        self._kernels_module = "/kernels/" in path
         #: local alias → canonical module ("random", "numpy",
         #: "numpy.random", "time", "datetime")
         self._modules: Dict[str, str] = {}
@@ -108,7 +118,13 @@ class DeterminismChecker(Checker):
                         = "numpy.random"
         if node.module == "numpy.random":
             for alias in node.names:
-                if alias.name not in _SANCTIONED_NP_RANDOM:
+                if self._kernels_module:
+                    self.report(node, f"'numpy.random.{alias.name}' "
+                                      f"inside repro.kernels; kernels "
+                                      f"are pure array transforms — "
+                                      f"draw in the caller and pass "
+                                      f"arrays (or a Generator) in")
+                elif alias.name not in _SANCTIONED_NP_RANDOM:
                     self.report(node, f"'numpy.random.{alias.name}' "
                                       f"uses the module-level "
                                       f"generator; spawn per-task "
@@ -151,7 +167,13 @@ class DeterminismChecker(Checker):
                                   f"numpy SeedSequence-spawned "
                                   f"generators")
             elif base == "numpy.random":
-                if func.attr not in _SANCTIONED_NP_RANDOM:
+                if self._kernels_module:
+                    self.report(node, f"'np.random.{func.attr}' inside "
+                                      f"repro.kernels; kernels are "
+                                      f"pure array transforms — draw "
+                                      f"in the caller and pass arrays "
+                                      f"(or a Generator) in")
+                elif func.attr not in _SANCTIONED_NP_RANDOM:
                     self.report(node, f"'np.random.{func.attr}' uses "
                                       f"the module-level generator; "
                                       f"spawn per-task streams via "

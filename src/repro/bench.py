@@ -1,0 +1,238 @@
+"""Scalar-vs-kernel benchmarks: the repo's tracked perf trajectory.
+
+``repro bench`` times the two hot paths that the vectorized kernels
+accelerate — Monte-Carlo variation analysis and link-design sweeps —
+once on the scalar reference path and once on the batched kernels,
+checks the results agree (≤ :data:`EQUIVALENCE_RTOL` relative), and
+writes ``BENCH_kernels.json``:
+
+.. code-block:: json
+
+    {
+      "schema": 1,
+      "generated_at": "...",
+      "node": "90nm",
+      "quick": false,
+      "env": {"python": "...", "platform": "...", "numpy": "..."},
+      "results": [
+        {"op": "monte_carlo", "n": 10000,
+         "wall_s": {"scalar": 12.3, "kernel": 0.4},
+         "speedup": 30.7, "max_rel_diff": 0.0, "equivalent": true}
+      ]
+    }
+
+This file seeds the perf baseline later PRs are judged against; the
+CI ``bench-smoke`` job runs the ``--quick`` variant and fails when
+kernel/scalar equivalence drifts.
+
+Timing uses ``time.perf_counter`` (a duration, not a wall clock) and
+runs the scalar path at ``workers=1``, so the recorded speedup is the
+single-process algorithmic win, not parallelism.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.units import mm, ps
+
+#: Bump when the BENCH_kernels.json layout changes incompatibly.
+BENCH_SCHEMA = 1
+
+#: Maximum allowed scalar-vs-kernel relative difference.
+EQUIVALENCE_RTOL = 1e-9
+
+#: Monte-Carlo sample counts (full / --quick).
+DEFAULT_SAMPLES = 10_000
+QUICK_SAMPLES = 2_000
+
+#: Link-sweep lengths in millimeters (full / --quick).
+SWEEP_LENGTHS_MM = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0)
+QUICK_SWEEP_LENGTHS_MM = (1.0, 3.0, 5.0)
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One scalar-vs-kernel timing comparison."""
+
+    op: str
+    n: int
+    scalar_wall_s: float
+    kernel_wall_s: float
+    max_rel_diff: float
+
+    @property
+    def speedup(self) -> float:
+        """Scalar wall time over kernel wall time (dimensionless)."""
+        return self.scalar_wall_s / self.kernel_wall_s
+
+    @property
+    def equivalent(self) -> bool:
+        """Whether the two paths agreed within the tolerance."""
+        return self.max_rel_diff <= EQUIVALENCE_RTOL
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "n": self.n,
+            "wall_s": {"scalar": self.scalar_wall_s,
+                       "kernel": self.kernel_wall_s},
+            "speedup": self.speedup,
+            "max_rel_diff": self.max_rel_diff,
+            "equivalent": self.equivalent,
+        }
+
+    def format(self) -> str:
+        verdict = "ok" if self.equivalent else "DRIFT"
+        return (f"{self.op:<14} n={self.n:<6d} "
+                f"scalar {self.scalar_wall_s:8.3f} s   "
+                f"kernel {self.kernel_wall_s:8.3f} s   "
+                f"{self.speedup:7.1f}x   "
+                f"max rel diff {self.max_rel_diff:.2e} [{verdict}]")
+
+
+def _max_rel_diff(reference: np.ndarray, candidate: np.ndarray) -> float:
+    reference = np.asarray(reference, dtype=float)
+    candidate = np.asarray(candidate, dtype=float)
+    scale = np.maximum(np.abs(reference), 1e-300)
+    return float(np.max(np.abs(candidate - reference) / scale))
+
+
+def run_monte_carlo_bench(node: str = "90nm",
+                          samples: int = DEFAULT_SAMPLES,
+                          seed: int = 2010) -> BenchResult:
+    """Time the closed-form Monte-Carlo at ``workers=1``, both paths.
+
+    The scalar path is the ``"model"`` engine (one Python stage chain
+    per draw); the kernel path evaluates the same factor matrix in one
+    batched call.  Both walk identical RNG streams, so the sample
+    vectors must match bit-for-bit — any drift beyond
+    :data:`EQUIVALENCE_RTOL` is a correctness failure.
+    """
+    from repro.experiments.suite import ModelSuite
+    from repro.signoff.extraction import extract_buffered_line
+    from repro.signoff.variation import monte_carlo_line_delay
+
+    suite = ModelSuite.for_node(node)
+    model = suite.proposed
+    # A 10 mm global link (20 repeaters) — the long-wire end of the
+    # paper's studied range, where per-draw scalar evaluation hurts.
+    line = extract_buffered_line(model.tech, model.config, mm(10), 20,
+                                 40.0)
+
+    started = time.perf_counter()
+    scalar = monte_carlo_line_delay(line, ps(100), samples=samples,
+                                    seed=seed, workers=1,
+                                    engine="model", model=model)
+    scalar_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    kernel = monte_carlo_line_delay(line, ps(100), samples=samples,
+                                    seed=seed, workers=1,
+                                    engine="kernel", model=model)
+    kernel_wall = time.perf_counter() - started
+
+    diff = _max_rel_diff(np.array(scalar.samples),
+                         np.array(kernel.samples))
+    diff = max(diff, _max_rel_diff(scalar.nominal_delay,
+                                   kernel.nominal_delay))
+    return BenchResult(op="monte_carlo", n=samples,
+                       scalar_wall_s=scalar_wall,
+                       kernel_wall_s=kernel_wall,
+                       max_rel_diff=diff)
+
+
+def run_link_sweep_bench(node: str = "90nm",
+                         lengths_mm: Tuple[float, ...] = SWEEP_LENGTHS_MM
+                         ) -> BenchResult:
+    """Time the min-power link design sweep, scalar vs kernel search.
+
+    Both paths follow the same search trajectory by construction, so
+    the chosen (count, size) and the resulting delay/power must agree
+    exactly; the recorded difference covers delay and total power of
+    every design.
+    """
+    from repro.buffering.optimizer import minimize_power_under_delay
+    from repro.experiments.suite import ModelSuite
+
+    suite = ModelSuite.for_node(node)
+    model = suite.proposed
+    max_delay = suite.tech.clock_period()
+
+    started = time.perf_counter()
+    scalar = [minimize_power_under_delay(model, mm(length), max_delay,
+                                         use_kernels=False)
+              for length in lengths_mm]
+    scalar_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    kernel = [minimize_power_under_delay(model, mm(length), max_delay,
+                                         use_kernels=True)
+              for length in lengths_mm]
+    kernel_wall = time.perf_counter() - started
+
+    diff = 0.0
+    for reference, candidate in zip(scalar, kernel):
+        if (reference is None) != (candidate is None):
+            diff = max(diff, float("inf"))
+            continue
+        if reference is None:
+            continue
+        if (reference.num_repeaters != candidate.num_repeaters
+                or reference.repeater_size != candidate.repeater_size):
+            diff = max(diff, float("inf"))
+            continue
+        diff = max(diff, _max_rel_diff(reference.delay, candidate.delay))
+        diff = max(diff, _max_rel_diff(reference.power, candidate.power))
+    return BenchResult(op="link_sweep", n=len(lengths_mm),
+                       scalar_wall_s=scalar_wall,
+                       kernel_wall_s=kernel_wall,
+                       max_rel_diff=diff)
+
+
+def run_bench(node: str = "90nm", quick: bool = False,
+              samples: Optional[int] = None,
+              output: str = "BENCH_kernels.json"
+              ) -> "Tuple[int, Dict[str, Any]]":
+    """Run every benchmark, write ``output``, return (status, report).
+
+    Status is 0 when every comparison stayed within
+    :data:`EQUIVALENCE_RTOL` and 1 on drift — the bench doubles as the
+    CI equivalence gate.
+    """
+    from repro.runtime.manifest import environment_info, utc_timestamp
+    import platform
+    import sys
+
+    if samples is None:
+        samples = QUICK_SAMPLES if quick else DEFAULT_SAMPLES
+    lengths = QUICK_SWEEP_LENGTHS_MM if quick else SWEEP_LENGTHS_MM
+
+    results: List[BenchResult] = [
+        run_monte_carlo_bench(node, samples=samples),
+        run_link_sweep_bench(node, lengths_mm=lengths),
+    ]
+    report: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "generated_at": utc_timestamp(),
+        "node": node,
+        "quick": quick,
+        "env": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            **environment_info(),
+        },
+        "results": [result.to_payload() for result in results],
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    # Human-readable lines for the CLI; not part of the JSON artifact.
+    report["formatted"] = [result.format() for result in results]
+    status = 0 if all(result.equivalent for result in results) else 1
+    return status, report

@@ -98,6 +98,25 @@ def _best_size_for_count(model, length: float, count: int,
     return BufferingSolution(count, x2, e2, f2)
 
 
+def _use_kernel_search(model, use_kernels: Optional[bool]) -> bool:
+    """Resolve the kernel-dispatch tri-state.
+
+    ``None`` auto-detects (kernels engage for the plain proposed
+    model); ``True`` insists and raises for unsupported models;
+    ``False`` forces the scalar reference path.
+    """
+    if use_kernels is False:
+        return False
+    from repro.kernels.line import supports_model
+    supported = supports_model(model)
+    if use_kernels and not supported:
+        raise ValueError(
+            f"use_kernels=True but {type(model).__name__} is not "
+            "supported by the batched kernels (only the plain "
+            "BufferedInterconnectModel is)")
+    return supported
+
+
 def optimize_buffering(
     model,
     length: float,
@@ -107,12 +126,16 @@ def optimize_buffering(
     max_size: float = DEFAULT_MAX_SIZE,
     bus_width: int = 1,
     counts: Optional[Sequence[int]] = None,
+    use_kernels: Optional[bool] = None,
 ) -> BufferingSolution:
     """Best (count, size) for the weighted delay-power objective.
 
     ``counts`` overrides the repeater-count candidates; by default every
     count from 1 to ``max_repeaters`` (a heuristic cap derived from the
-    line length) is tried.
+    line length) is tried.  When the model supports the batched
+    kernels (see ``use_kernels``), all counts are searched as lanes of
+    one lockstep golden-section search, following the same trajectory
+    as this scalar loop.
     """
     if not 0.0 <= delay_weight <= 1.0:
         raise ValueError("delay_weight must lie in [0, 1]")
@@ -124,6 +147,12 @@ def optimize_buffering(
             # Generous cap: about four repeaters per millimeter.
             max_repeaters = max(2, int(length / 0.25e-3))
         counts = range(1, max_repeaters + 1)
+
+    if _use_kernel_search(model, use_kernels):
+        from repro.kernels.search import optimize_buffering_batch
+        return optimize_buffering_batch(
+            model, length, list(counts), delay_weight, input_slew,
+            max_size, bus_width)
 
     best: Optional[BufferingSolution] = None
     for count in counts:
@@ -144,6 +173,7 @@ def minimize_power_under_delay(
     max_size: float = DEFAULT_MAX_SIZE,
     bus_width: int = 1,
     counts: Optional[Sequence[int]] = None,
+    use_kernels: Optional[bool] = None,
 ) -> Optional[BufferingSolution]:
     """Cheapest buffering whose delay meets ``max_delay``.
 
@@ -151,11 +181,19 @@ def minimize_power_under_delay(
     infeasible at this length and clock) — which is exactly the
     feasibility check the NoC synthesizer performs per candidate link.
     ``counts`` defaults to a sparse candidate set sized to the length.
+    Kernel dispatch as in :func:`optimize_buffering`.
     """
     if max_delay <= 0:
         raise ValueError("max_delay must be positive")
     if counts is None:
         counts = _count_candidates(length)
+
+    if _use_kernel_search(model, use_kernels):
+        from repro.kernels.search import \
+            minimize_power_under_delay_batch
+        return minimize_power_under_delay_batch(
+            model, length, max_delay, input_slew, max_size, bus_width,
+            list(counts))
 
     best: Optional[BufferingSolution] = None
     for count in counts:
@@ -199,6 +237,7 @@ def max_feasible_length(
     input_slew: float = DEFAULT_INPUT_SLEW,
     upper_bound: float = 30e-3,
     max_size: float = DEFAULT_MAX_SIZE,
+    use_kernels: Optional[bool] = None,
 ) -> float:
     """Longest line (meters) whose optimally buffered delay meets
     ``max_delay``.
@@ -211,7 +250,8 @@ def max_feasible_length(
         solution = optimize_buffering(
             model, length, delay_weight=1.0, input_slew=input_slew,
             max_size=max_size,
-            counts=_count_candidates(length))
+            counts=_count_candidates(length),
+            use_kernels=use_kernels)
         return solution.delay <= max_delay
 
     low = 0.1e-3

@@ -11,6 +11,7 @@ Installed as the ``repro`` console script::
     repro staggering | runtime | leakage-area
     repro report trace.jsonl            # summarize a recorded trace
     repro lint src tests                # project-specific AST lint
+    repro bench --quick                 # scalar-vs-kernel benchmarks
 
 Every subcommand prints the same artifacts the benchmark suite saves.
 
@@ -234,6 +235,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.clean else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_bench
+    status, report = run_bench(node=args.node, quick=args.quick,
+                               samples=args.samples,
+                               output=args.output)
+    for line in report["formatted"]:
+        print(line)
+    print(f"report written to {args.output}")
+    if status != 0:
+        print("error: kernel/scalar equivalence drifted beyond "
+              "tolerance", file=sys.stderr)
+    return status
+
+
 def _cmd_widths(args: argparse.Namespace) -> int:
     from repro.experiments.suite import ModelSuite
     from repro.noc import explore_widths
@@ -387,6 +402,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write a JSON findings report "
                                "to FILE")
     lint_cmd.set_defaults(func=_cmd_lint)
+
+    bench_cmd = add_parser(
+        "bench", help="time scalar vs vectorized-kernel paths")
+    bench_cmd.add_argument("node", nargs="?", default="90nm")
+    bench_cmd.add_argument("--quick", action="store_true",
+                           help="smaller sample counts (CI smoke)")
+    bench_cmd.add_argument("--samples", type=int, default=None,
+                           metavar="N",
+                           help="Monte-Carlo draws (default 10000, "
+                                "2000 with --quick)")
+    bench_cmd.add_argument("--output", default="BENCH_kernels.json",
+                           metavar="FILE",
+                           help="benchmark report destination")
+    bench_cmd.set_defaults(func=_cmd_bench)
 
     return parser
 

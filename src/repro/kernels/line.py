@@ -1,0 +1,164 @@
+"""Batched buffered-line evaluation (the composed proposed model).
+
+:func:`evaluate_line_batch` is the array form of
+:meth:`repro.models.interconnect.BufferedInterconnectModel.evaluate`:
+it evaluates many ``(length, num_repeaters, repeater_size)`` lanes in
+one call.  Lanes may have different repeater counts; the stage loop
+runs to the largest count with per-lane ``active`` masks so every lane
+accumulates exactly the stages the scalar loop would have.
+
+The slew chain is inherently sequential (stage ``k+1`` consumes stage
+``k``'s output slew), so the loop over *stages* stays in Python — the
+win is that each iteration evaluates *all lanes* at once, and the
+expensive per-meter wire parasitics are hoisted once per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels import repeater as krepeater
+from repro.kernels import wire as kwire
+from repro.models.area import wire_area
+from repro.models.interconnect import BufferedInterconnectModel
+from repro.runtime.metrics import METRICS
+from repro.runtime.trace import span
+
+
+def supports_model(model: object) -> bool:
+    """True when ``model`` can be evaluated by the kernels.
+
+    Subclasses may override ``stage_delay``/``evaluate`` (e.g. the
+    slew-aware sign-off variant), which the kernels would silently
+    ignore — so the check is an exact type match, not ``isinstance``.
+    """
+    return type(model) is BufferedInterconnectModel
+
+
+@dataclass(frozen=True)
+class LineBatch:
+    """Array-of-structs result of one batched line evaluation.
+
+    Field meanings match
+    :class:`repro.models.interconnect.InterconnectEstimate`; every
+    field is an array over the broadcast lanes (``stage_delays`` is
+    omitted — per-stage breakdowns stay a scalar-path feature).
+    """
+
+    delay: np.ndarray
+    output_slew: np.ndarray
+    dynamic_power: np.ndarray
+    leakage_power: np.ndarray
+    repeater_area: np.ndarray
+    wire_area: np.ndarray
+    num_repeaters: np.ndarray
+    repeater_size: np.ndarray
+    length: np.ndarray
+
+    @property
+    def total_power(self) -> np.ndarray:
+        """Dynamic plus leakage power per lane, in watts."""
+        return self.dynamic_power + self.leakage_power
+
+
+def evaluate_line_batch(
+    model: BufferedInterconnectModel,
+    length: np.ndarray,
+    num_repeaters: np.ndarray,
+    repeater_size: np.ndarray,
+    input_slew: float,
+    bus_width: int = 1,
+    receiver_cap: "float | None" = None,
+) -> LineBatch:
+    """Evaluate uniformly buffered lines over broadcast lanes.
+
+    ``length`` in meters, ``num_repeaters`` integral, ``repeater_size``
+    the dimensionless drive multiple; scalars broadcast.
+    ``receiver_cap`` defaults per lane to the lane's own repeater input
+    capacitance, matching the scalar default.
+    """
+    if not supports_model(model):
+        raise TypeError(
+            "evaluate_line_batch mirrors the plain "
+            "BufferedInterconnectModel stage arithmetic; got "
+            f"{type(model).__name__}")
+    lengths, counts, sizes = np.broadcast_arrays(
+        np.atleast_1d(np.asarray(length, dtype=float)),
+        np.atleast_1d(np.asarray(num_repeaters)),
+        np.atleast_1d(np.asarray(repeater_size, dtype=float)),
+    )
+    if not np.all(lengths > 0):
+        raise ValueError("length must be positive")
+    if not np.all(counts >= 1):
+        raise ValueError("need at least one repeater")
+    if not np.all(sizes > 0):
+        raise ValueError("size must be positive")
+    counts = counts.astype(int)
+
+    lanes = lengths.size
+    METRICS.count("kernels.batches")
+    METRICS.count("kernels.batch_size", lanes)
+    with span("kernels.line_batch", lanes=lanes), \
+            METRICS.timer("kernels.batch"):
+        tech = model.tech
+        calibration = model.calibration
+        coeffs = kwire.WireCoefficients.from_config(model.config)
+
+        segment = lengths / counts
+        input_cap = krepeater.input_capacitance(tech, calibration, sizes)
+        receiver = (input_cap if receiver_cap is None
+                    else np.broadcast_to(float(receiver_cap),
+                                         lengths.shape))
+        wn, wp = krepeater.inverter_widths(tech, sizes)
+
+        total_delay = np.zeros(lengths.shape)
+        slew = np.broadcast_to(float(input_slew), lengths.shape).copy()
+        rising = True
+        inverting = calibration.kind.inverting
+        max_count = int(counts.max())
+        for stage in range(max_count):
+            active = stage < counts
+            direction = calibration.direction(rising)
+            wr = wp if rising else wn
+            next_cap = np.where(stage + 1 < counts, input_cap, receiver)
+            load = kwire.effective_load_capacitance(
+                coeffs, segment, next_cap)
+            d_repeater = krepeater.delay(direction, slew, wr, load)
+            d_wire = kwire.wire_delay(coeffs, segment, next_cap)
+            slew_out = krepeater.output_slew(direction, load, slew, wr)
+            total_delay = np.where(active,
+                                   total_delay + (d_repeater + d_wire),
+                                   total_delay)
+            slew = np.where(active, slew_out, slew)
+            if inverting:
+                rising = not rising
+
+        switched = (kwire.switched_wire_capacitance(coeffs, lengths)
+                    + counts * input_cap)
+        p_dynamic = bus_width * (model.activity_factor * switched
+                                 * tech.vdd * tech.vdd
+                                 * tech.clock_frequency)
+
+        e0n, e1n = calibration.leakage_n
+        e0p, e1p = calibration.leakage_p
+        p_sn = e0n + e1n * wn
+        p_sp = e0p + e1p * wp
+        p_leak = bus_width * counts * (0.5 * (p_sn + p_sp))
+
+        f0, f1 = calibration.area
+        a_repeaters = bus_width * counts * (f0 + f1 * wn)
+        a_wire = wire_area(model.config, 1.0, bus_width) * lengths
+
+        return LineBatch(
+            delay=total_delay,
+            output_slew=slew,
+            dynamic_power=p_dynamic,
+            leakage_power=p_leak,
+            repeater_area=a_repeaters,
+            wire_area=a_wire,
+            num_repeaters=counts,
+            repeater_size=sizes,
+            length=lengths,
+        )

@@ -1,0 +1,83 @@
+"""Broadcast forms of the three repeater equations (Section III-A).
+
+Every function here mirrors one method of
+:class:`repro.models.repeater.RepeaterModel` /
+:class:`repro.models.calibration.DirectionCoefficients` with the same
+operation order, but accepts NumPy arrays (or scalars) for the
+size/slew/load arguments and broadcasts.  The scalar methods remain
+the golden reference; the equivalence tests pin these to them.
+
+Arguments follow the scalar conventions: slews and delays in seconds,
+widths in meters, capacitance in farads.  ``wr`` is the pMOS width for
+rising output transitions and the nMOS width for falling ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.characterization.cells import BUFFER_STAGE_RATIO, RepeaterKind
+from repro.models.calibration import (
+    CalibratedTechnology,
+    DirectionCoefficients,
+    OutputSlewForm,
+)
+from repro.tech.parameters import TechnologyParameters
+
+
+def inverter_widths(tech: TechnologyParameters,
+                    sizes: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """(wn, wp) arrays in meters for an array of drive strengths."""
+    wn = tech.min_nmos_width * sizes
+    return wn, wn * tech.pn_ratio
+
+
+def transition_widths(tech: TechnologyParameters, sizes: np.ndarray,
+                      rising_output: bool) -> np.ndarray:
+    """The model's ``w_r`` in meters: pMOS width for rise, nMOS for
+    fall."""
+    wn, wp = inverter_widths(tech, sizes)
+    return wp if rising_output else wn
+
+
+def input_capacitance(tech: TechnologyParameters,
+                      calibration: CalibratedTechnology,
+                      sizes: np.ndarray) -> np.ndarray:
+    """Input capacitance ``gamma * (wp + wn)`` in farads, per lane."""
+    if calibration.kind is RepeaterKind.BUFFER:
+        first_size = np.maximum(sizes / BUFFER_STAGE_RATIO, 1.0)
+        wn, wp = inverter_widths(tech, first_size)
+    else:
+        wn, wp = inverter_widths(tech, sizes)
+    return calibration.input_cap_gamma * (wn + wp)
+
+
+def intrinsic_delay(direction: DirectionCoefficients,
+                    input_slew: np.ndarray) -> np.ndarray:
+    """Intrinsic delay ``a0 + a1 s_i + a2 s_i^2`` in seconds."""
+    a0, a1, a2 = direction.intrinsic
+    return a0 + a1 * input_slew + a2 * input_slew * input_slew
+
+
+def drive_resistance(direction: DirectionCoefficients,
+                     input_slew: np.ndarray,
+                     wr: np.ndarray) -> np.ndarray:
+    """Drive resistance ``(b0 + b1 s_i) / w_r`` in ohms."""
+    b0, b1 = direction.drive
+    return (b0 + b1 * input_slew) / wr
+
+
+def output_slew(direction: DirectionCoefficients, load_cap: np.ndarray,
+                input_slew: np.ndarray, wr: np.ndarray) -> np.ndarray:
+    """Output slew in seconds (both published and size-scaled forms)."""
+    c0, c1, c2 = direction.slew
+    if direction.slew_form is OutputSlewForm.PAPER:
+        return c0 + c1 * input_slew / wr + c2 * load_cap
+    return c0 + c1 * input_slew / wr + c2 * load_cap / wr
+
+
+def delay(direction: DirectionCoefficients, input_slew: np.ndarray,
+          wr: np.ndarray, load_cap: np.ndarray) -> np.ndarray:
+    """Repeater delay ``d_r = i(s_i) + r_d(s_i, w_r) c_l`` in seconds."""
+    return (intrinsic_delay(direction, input_slew)
+            + drive_resistance(direction, input_slew, wr) * load_cap)

@@ -1,0 +1,73 @@
+"""Broadcast forms of the enhanced Pamunuwa wire terms (Section III-B).
+
+The scalar :mod:`repro.models.wire` recomputes the per-meter
+resistance and capacitances on *every* call — those come from the
+resistivity/field models and dominate the cost of a scalar stage
+evaluation.  A batch, by contrast, shares one wire configuration
+across all lanes, so :class:`WireCoefficients` hoists the per-meter
+values once and the per-lane work reduces to a handful of fused
+multiplies.  The expressions mirror the scalar ones
+operation-for-operation so results agree to ULP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.wire import LOAD_COEFFICIENT, WIRE_CAP_COEFFICIENT
+from repro.tech.design_styles import WireConfiguration
+
+
+@dataclass(frozen=True)
+class WireCoefficients:
+    """Per-meter parasitics of one wire configuration, hoisted once.
+
+    Units: ohm/m, F/m; ``delay_miller`` dimensionless.
+    """
+
+    resistance_per_meter: float
+    ground_cap_per_meter: float
+    coupling_cap_per_meter: float
+    switched_cap_per_meter: float
+    delay_miller: float
+
+    @classmethod
+    def from_config(cls, config: WireConfiguration) -> "WireCoefficients":
+        return cls(
+            resistance_per_meter=config.resistance_per_meter(),
+            ground_cap_per_meter=config.ground_capacitance_per_meter(),
+            coupling_cap_per_meter=config.coupling_capacitance_per_meter(),
+            switched_cap_per_meter=config.switched_capacitance_per_meter(),
+            delay_miller=config.delay_miller,
+        )
+
+
+def wire_delay(coefficients: WireCoefficients, lengths: np.ndarray,
+               load_cap: np.ndarray) -> np.ndarray:
+    """Total wire delay ``d_w`` per lane, in seconds."""
+    r_wire = coefficients.resistance_per_meter * lengths
+    c_ground = coefficients.ground_cap_per_meter * lengths
+    c_coupling = coefficients.coupling_cap_per_meter * lengths
+    ground_term = r_wire * WIRE_CAP_COEFFICIENT * c_ground
+    coupling_term = (r_wire * WIRE_CAP_COEFFICIENT
+                     * coefficients.delay_miller * c_coupling)
+    load_term = r_wire * LOAD_COEFFICIENT * load_cap
+    return ground_term + coupling_term + load_term
+
+
+def effective_load_capacitance(coefficients: WireCoefficients,
+                               lengths: np.ndarray,
+                               next_input_cap: np.ndarray) -> np.ndarray:
+    """Load capacitance ``c_l`` presented to the driver, per lane."""
+    c_ground = coefficients.ground_cap_per_meter * lengths
+    c_coupling = coefficients.coupling_cap_per_meter * lengths
+    return (c_ground + coefficients.delay_miller * c_coupling
+            + next_input_cap)
+
+
+def switched_wire_capacitance(coefficients: WireCoefficients,
+                              lengths: np.ndarray) -> np.ndarray:
+    """Capacitance (F) charged by the driver per transition, per lane."""
+    return coefficients.switched_cap_per_meter * lengths

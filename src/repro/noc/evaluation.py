@@ -101,6 +101,10 @@ def evaluate_topology(
             tech, flit_width=spec.data_width)
     designer = LinkDesigner(model, tech, spec.data_width,
                             utilization=utilization)
+    # Pre-warm the designer's caches with every distinct link length in
+    # one batch (the batched kernel scorer, when the model supports it).
+    designer.design_batch(sorted({data["length"]
+                                  for _, _, data in topology.links()}))
 
     dynamic = 0.0
     leakage = 0.0

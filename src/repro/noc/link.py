@@ -227,6 +227,20 @@ class LinkDesigner:
         self._cache[key] = design
         return design
 
+    def design_batch(self, lengths: "list[float]"
+                     ) -> "list[Optional[LinkDesign]]":
+        """Designs for many lengths, warming every cache level.
+
+        Each design runs on the batched kernel scorer when the model
+        supports it (all repeater-count candidates searched as lanes of
+        one lockstep search), so pre-warming a synthesis run's distinct
+        candidate lengths through this entry point replaces thousands
+        of scalar model calls with a few dozen array calls.
+        """
+        with span("link.design_batch", n=len(lengths),
+                  bus_width=self.bus_width):
+            return [self.design(length) for length in lengths]
+
     def _disk_get(self, key_tail: Dict) -> Optional[Dict]:
         if self._disk is None or self._context_hash is None:
             return None
@@ -354,6 +368,13 @@ class LayerAwareLinkDesigner:
     def design(self, length: float) -> Optional[LinkDesign]:
         """Cheapest feasible design of ``length`` meters, if any."""
         return self._best(length)[1]
+
+    def design_batch(self, lengths: "list[float]"
+                     ) -> "list[Optional[LinkDesign]]":
+        """Designs for many lengths, warming every layer's caches."""
+        with span("link.design_batch", n=len(lengths),
+                  bus_width=self.bus_width):
+            return [self.design(length) for length in lengths]
 
     def layer_choice(self, length: float) -> Optional[str]:
         """Which layer the cheapest feasible design of ``length``

@@ -135,6 +135,14 @@ def synthesize(
         max_length = designer.max_length()
         adjacency = _candidate_edges(spec, config, max_length)
 
+        # Pre-warm the designer with every distinct candidate length in
+        # one batch, so Dijkstra's lazy per-edge lookups below all hit
+        # the memo instead of triggering scalar searches mid-routing.
+        lengths = sorted({candidate.length
+                          for candidates in adjacency.values()
+                          for candidate in candidates})
+        designer.design_batch(lengths)
+
         topology = NocTopology(spec=spec)
         flow_order = flows_by_bandwidth(spec.flows)
         index_of = {id(flow): i for i, flow in enumerate(spec.flows)}

@@ -156,7 +156,12 @@ def explore_widths(
     """Synthesize and cost the specification at each candidate width.
 
     Each width is an independent synthesis problem, so the sweep
-    parallelizes per width without changing any design point.
+    parallelizes per width without changing any design point.  Within
+    each point, synthesis and evaluation pre-warm their link designers
+    through the batched kernel scorer
+    (:meth:`repro.noc.link.LinkDesigner.design_batch`) whenever the
+    model supports it, so every width runs on vectorized candidate
+    scoring.
     """
     tasks = [(spec, model, tech, width, config) for width in widths]
     with span("experiment.widths", design=spec.name,

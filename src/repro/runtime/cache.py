@@ -13,9 +13,11 @@ them as small JSON files:
   of the key object; dataclasses (class name + fields), enums and
   containers are canonicalized recursively, so *any* change to the
   technology, model coefficients or wire configuration changes the key.
-* **Versioned envelope** — every file records the cache schema version
-  and the full key; a version mismatch, key-hash collision or corrupt
-  file is treated as a miss and silently rewritten, never an error.
+* **Versioned envelope** — every file records the cache schema version,
+  an environment salt (:func:`environment_salt`, e.g. the numpy
+  version) and the full key; a version/salt mismatch, key-hash
+  collision or corrupt file is treated as a miss and silently
+  rewritten, never an error.
 * **Atomic writes** — payloads land via ``os.replace`` of a temp file,
   so concurrent workers can share one cache directory.
 
@@ -40,6 +42,19 @@ from repro.runtime.metrics import METRICS
 #: Bump when the on-disk payload schema changes; older files are then
 #: ignored and transparently rewritten.
 CACHE_VERSION = 1
+
+
+def environment_salt() -> "dict[str, str]":
+    """Environment facts cached payloads may depend on.
+
+    Numeric payloads flow through the vectorized kernels, so a numpy
+    upgrade (new ufunc implementations, different pow/SIMD paths) can
+    legitimately change cached values in the last ulp.  Folding the
+    numpy version into every envelope invalidates such payloads across
+    upgrades instead of serving stale ulps forever.
+    """
+    import numpy
+    return {"numpy": numpy.__version__}
 
 
 def cache_dir() -> Path:
@@ -89,11 +104,13 @@ class DiskCache:
     """
 
     def __init__(self, namespace: str, version: int = CACHE_VERSION,
-                 directory: Optional[Path] = None):
+                 directory: Optional[Path] = None,
+                 salt: "Optional[dict[str, str]]" = None):
         if not namespace or "/" in namespace:
             raise ValueError("namespace must be a plain name")
         self.namespace = namespace
         self.version = version
+        self.salt = environment_salt() if salt is None else salt
         self._directory = directory
 
     @property
@@ -138,6 +155,7 @@ class DiskCache:
             with open(path, "r", encoding="utf-8") as handle:
                 envelope = json.load(handle)
             if (envelope.get("version") != self.version
+                    or envelope.get("salt") != self.salt
                     or envelope.get("key") != _canonical(key)):
                 raise ValueError("stale or colliding cache entry")
             payload = envelope["payload"]
@@ -154,6 +172,7 @@ class DiskCache:
             return
         envelope = {
             "version": self.version,
+            "salt": self.salt,
             "key": _canonical(key),
             "payload": payload,
         }

@@ -3,9 +3,10 @@
 Every traced CLI run emits a ``manifest.json`` beside its trace file
 answering "exactly what produced this artifact?": the subcommand and
 its full argument set, a stable hash of that configuration, the
-package/python versions, the effective worker count and cache state,
-the RNG seed when the workload has one, and the per-phase wall-time
-and counter totals accumulated by the metrics registry.
+package/python versions, the numerical environment (numpy and BLAS,
+which decide the kernels' code paths), the effective worker count and
+cache state, the RNG seed when the workload has one, and the per-phase
+wall-time and counter totals accumulated by the metrics registry.
 
 The schema is versioned (:data:`MANIFEST_SCHEMA`); consumers should
 treat unknown fields as forward-compatible additions.
@@ -35,6 +36,27 @@ def utc_timestamp() -> str:
     callers that need a run's start time take it from here.
     """
     return datetime.now(timezone.utc).isoformat()
+
+
+def environment_info() -> Dict[str, Any]:
+    """Numerical-environment facts that can change results in the ulps.
+
+    Records the numpy version and, when the build metadata exposes it,
+    the BLAS implementation — the two knobs that decide which SIMD /
+    library code paths the vectorized kernels execute.
+    """
+    import numpy
+    info: Dict[str, Any] = {"numpy": numpy.__version__}
+    try:
+        build = numpy.show_config(mode="dicts")
+        blas = build["Build Dependencies"]["blas"]
+        info["blas"] = {"name": blas.get("name", "unknown"),
+                        "version": str(blas.get("version", "unknown"))}
+    except Exception:
+        # Older numpy without dict-mode show_config, or an unexpected
+        # metadata layout: the numpy version alone is still useful.
+        pass
+    return info
 
 
 def _json_safe(value: Any) -> Any:
@@ -82,6 +104,7 @@ def build_manifest(
         "platform": platform.platform(),
         "workers": workers,
         "cache_enabled": cache_enabled,
+        "environment": environment_info(),
         "started_at": started_at,
         "wall_seconds": wall_seconds,
         "phases": dict(registry.timers),

@@ -108,6 +108,19 @@ class MetricsRegistry:
             return None
         return files / elapsed
 
+    def kernel_throughput(self) -> Optional[float]:
+        """Kernel lanes evaluated per second of batch wall time.
+
+        Defined when the vectorized kernels recorded both the
+        ``kernels.batch_size`` counter (total lanes across batches)
+        and the ``kernels.batch`` timer.
+        """
+        lanes = self.counters.get("kernels.batch_size", 0)
+        elapsed = self.timers.get("kernels.batch", 0.0)
+        if lanes <= 0 or elapsed <= 0.0:
+            return None
+        return lanes / elapsed
+
     def format_footer(self,
                       extra: Optional[Mapping[str, int]] = None) -> str:
         """The ``--stats`` footer: wall time, cache traffic, counters.
@@ -120,6 +133,7 @@ class MetricsRegistry:
         hit_rate = self.cache_hit_rate()
         throughput = self.task_throughput()
         lint_rate = self.lint_throughput()
+        kernel_rate = self.kernel_throughput()
         names = list(self.timers) + list(self.counters) + list(extra)
         if hit_rate is not None:
             names.append("cache hit rate")
@@ -127,6 +141,8 @@ class MetricsRegistry:
             names.append("parallel.throughput")
         if lint_rate is not None:
             names.append("lint.throughput")
+        if kernel_rate is not None:
+            names.append("kernels.throughput")
         width = max([_FOOTER_MIN_WIDTH] + [len(name) for name in names])
 
         lines = ["-- runtime stats --"]
@@ -140,6 +156,10 @@ class MetricsRegistry:
             lines.append(
                 f"  {'lint.throughput':<{width}} "
                 f"{lint_rate:9.1f} files/s")
+        if kernel_rate is not None:
+            lines.append(
+                f"  {'kernels.throughput':<{width}} "
+                f"{kernel_rate:9.1f} lanes/s")
         if hit_rate is not None:
             lines.append(
                 f"  {'cache hit rate':<{width}} {hit_rate * 100:8.1f} % "

@@ -159,19 +159,20 @@ def two_pole_delay(m1: float, m2: float) -> float:
     if m2 <= 0:
         return math.log(2.0) * m1
 
-    # Single dominant pole when m2 ~ m1^2 (the ratio for 1 pole).
+    # Single dominant pole when m2 ~ m1^2: for a physical RC tree
+    # m2/m1^2 <= 1 always (Cauchy-Schwarz over the pole residues), with
+    # equality exactly in the one-pole limit — e.g. the degenerate
+    # single-segment tree, one R driving one C.  The multi-pole case is
+    # therefore ratio *below* 1, not above.
     ratio = m2 / (m1 * m1)
-    if ratio <= 1.0 + 1e-9:
+    if ratio >= 1.0 - 1e-9:
         return math.log(2.0) * m1
 
     # Two-pole fit: match b1 = m1, b2 = m1^2 - m2 of
-    # H(s) = 1 / (1 + b1 s + b2 s^2).  Poles real when b1^2 >= 4 b2.
+    # H(s) = 1 / (1 + b1 s + b2 s^2).  ratio < 1 makes b2 positive;
+    # the poles are real when b1^2 >= 4 b2, i.e. ratio > 3/4.
     b1 = m1
     b2 = m1 * m1 - m2
-    if b2 <= 0:
-        # Strongly non-single-pole response; fall back to the
-        # distributed-line empirical coefficient.
-        return 0.69 * m1
 
     disc = b1 * b1 - 4.0 * b2
     if disc <= 0:

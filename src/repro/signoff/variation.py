@@ -18,6 +18,19 @@ Determinism contract: every Monte-Carlo draw owns an independent RNG
 stream spawned from the root seed (``SeedSequence(seed).spawn``), so
 the sample vector is bit-identical for any ``workers`` count — the
 serial loop and a process pool walk the very same streams.
+
+Three evaluation engines share that contract:
+
+* ``"golden"`` (default) — the nonlinear transient simulator, one
+  stage simulation per perturbed repeater; the reference.
+* ``"model"`` — the closed-form proposed model, with variation mapped
+  into an effective transition width through the alpha-power law
+  (:func:`_effective_width`); one scalar stage chain per draw.
+* ``"kernel"`` — the same closed-form mapping evaluated by
+  :func:`repro.kernels.variation.line_delay_batch`: all draws become
+  lanes of one batched call.  Factor matrices are drawn from the very
+  same spawned streams, so the sample vector is bit-identical to the
+  ``"model"`` engine for any ``workers`` count.
 """
 
 from __future__ import annotations
@@ -28,6 +41,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.models.wire import effective_load_capacitance, wire_delay
 from repro.runtime import METRICS, parallel_map, span, \
     spawn_seed_sequences
 from repro.signoff.extraction import ExtractedLine
@@ -38,6 +52,12 @@ from repro.tech.parameters import DeviceParameters, \
 #: Default within-die sigmas (fraction of nominal).
 DEFAULT_DRIVE_SIGMA = 0.05
 DEFAULT_VTH_SIGMA = 0.03
+
+#: Evaluation engines accepted by :func:`monte_carlo_line_delay`.
+ENGINES = ("golden", "model", "kernel")
+
+#: Minimum gate overdrive under perturbation, as a fraction of vdd.
+OVERDRIVE_FLOOR = 0.05
 
 
 @dataclass(frozen=True)
@@ -153,6 +173,164 @@ def _sample_task(task: "Tuple[ExtractedLine, float, VariationModel, "
                                  np.random.default_rng(seed_sequence))
 
 
+def _clip_drive(factor: float) -> float:
+    """Clip a drive-strength draw to physical values (golden's rule)."""
+    return max(factor, 0.5)
+
+
+def _clip_vth(factor: float) -> float:
+    """Clip a threshold-voltage draw to physical values."""
+    return min(max(factor, 0.5), 1.5)
+
+
+def _effective_width(device: DeviceParameters, width: float, vdd: float,
+                     drive_factor: float, vth_factor: float) -> float:
+    """Effective transition width (m) of a perturbed device.
+
+    Maps the multiplicative (drive, vth) perturbations into the
+    closed-form model's width argument via the alpha-power law: drive
+    current is linear in width, and the vth shift scales the gate
+    overdrive (floored at ``OVERDRIVE_FLOOR * vdd``).  The batched
+    mirror is :func:`repro.kernels.variation.effective_widths`.
+    """
+    overdrive = max(vdd - device.vth * vth_factor, OVERDRIVE_FLOOR * vdd)
+    nominal_overdrive = vdd - device.vth
+    # np.power rather than the builtin ** so this stays bit-identical
+    # to the batched kernel (libm pow can differ in the last ulp).
+    return (width * drive_factor
+            * float(np.power(overdrive / nominal_overdrive,
+                             device.alpha)))
+
+
+def _uniform_geometry(line: ExtractedLine) -> "Tuple[int, float]":
+    """(num_repeaters, repeater_size) of a uniformly sized line.
+
+    The closed-form engines evaluate the model's uniform-line formula,
+    so every stage must share one driver size.
+    """
+    sizes = {stage.driver_size for stage in line.stages}
+    if len(sizes) != 1:
+        raise ValueError(
+            "model/kernel engines need a uniformly sized line, got "
+            f"driver sizes {sorted(sizes)}")
+    return line.num_repeaters, line.stages[0].driver_size
+
+
+def _model_sample_line_delay(
+    model,
+    line: ExtractedLine,
+    input_slew: float,
+    variation: VariationModel,
+    rng: np.random.Generator,
+) -> float:
+    """One closed-form Monte-Carlo draw (seconds).
+
+    Draws the four per-stage factors in the golden sampler's order
+    (nMOS drive, nMOS vth, pMOS drive, pMOS vth) so the random stream
+    stays comparable, then evaluates the perturbed closed-form stage
+    chain.  This is the scalar golden reference for the batched
+    ``"kernel"`` engine.
+    """
+    count, size = _uniform_geometry(line)
+    segment = line.length / count
+    repeater = model.repeater_model()
+    input_cap = repeater.input_capacitance(size)
+    wn, wp = model.tech.inverter_widths(size)
+    slew = input_slew
+    rising = True
+    total = 0.0
+    inverting = model.calibration.kind.inverting
+    for stage in range(count):
+        n_drive = _clip_drive(float(rng.normal(1.0,
+                                               variation.drive_sigma)))
+        n_vth = _clip_vth(float(rng.normal(1.0, variation.vth_sigma)))
+        p_drive = _clip_drive(float(rng.normal(1.0,
+                                               variation.drive_sigma)))
+        p_vth = _clip_vth(float(rng.normal(1.0, variation.vth_sigma)))
+        next_cap = input_cap if stage + 1 < count else line.receiver_cap
+        load = effective_load_capacitance(model.config, segment,
+                                          next_cap)
+        d_wire = wire_delay(model.config, segment, next_cap)
+        direction = model.calibration.direction(rising)
+        if rising:
+            device, width = model.tech.pmos, wp
+            drive_factor, vth_factor = p_drive, p_vth
+        else:
+            device, width = model.tech.nmos, wn
+            drive_factor, vth_factor = n_drive, n_vth
+        wr = _effective_width(device, width, model.tech.vdd,
+                              drive_factor, vth_factor)
+        total += direction.delay(slew, wr, load) + d_wire
+        slew = direction.output_slew(load, slew, wr)
+        if inverting:
+            rising = not rising
+    return total
+
+
+def _model_sample_task(task) -> float:
+    """One closed-form draw on its own spawned stream (pool-safe)."""
+    model, line, input_slew, variation, seed_sequence = task
+    METRICS.count("variation.samples")
+    with METRICS.timer("variation.sample"):
+        return _model_sample_line_delay(
+            model, line, input_slew, variation,
+            np.random.default_rng(seed_sequence))
+
+
+def _kernel_monte_carlo(
+    model,
+    line: ExtractedLine,
+    input_slew: float,
+    variation: VariationModel,
+    streams: "List[np.random.SeedSequence]",
+) -> "Tuple[float, List[float]]":
+    """(nominal, draws) via one batched kernel call.
+
+    Walks exactly the streams the scalar engines walk: stream ``i``'s
+    generator emits the same ``4 * stages`` normal draws (vectorized
+    draws from one generator are bit-identical to sequential scalar
+    draws), so the factor matrix — and therefore the sample vector —
+    matches the ``"model"`` engine bit-for-bit.
+    """
+    from repro.kernels.variation import line_delay_batch
+
+    count, size = _uniform_geometry(line)
+    sigma_tile = np.tile([variation.drive_sigma, variation.vth_sigma,
+                          variation.drive_sigma, variation.vth_sigma],
+                         count)
+    factors = np.empty((len(streams), 4 * count))
+    for index, stream in enumerate(streams):
+        factors[index] = np.random.default_rng(stream) \
+            .standard_normal(4 * count)
+    # Generator.normal(loc, scale) computes loc + scale * z in exactly
+    # this order, so scaling the stacked raw draws outside the loop
+    # keeps every factor bit-identical to per-stream normal() calls
+    # (and the clips are elementwise, so batching them is free).
+    factors *= sigma_tile
+    factors += 1.0
+    factors[0] = 1.0  # stream 0 is the nominal: sigma-0 draws are 1.0
+    factors = factors.reshape(len(streams), count, 4)
+    factors[:, :, 0::2] = np.maximum(factors[:, :, 0::2], 0.5)
+    factors[:, :, 1::2] = np.clip(factors[:, :, 1::2], 0.5, 1.5)
+    METRICS.count("variation.samples", len(streams))
+    delays = line_delay_batch(model, line.length, count, size,
+                              line.receiver_cap, input_slew, factors)
+    return float(delays[0]), [float(d) for d in delays[1:]]
+
+
+def _require_closed_form_model(model) -> None:
+    from repro.kernels.line import supports_model
+    if model is None:
+        raise ValueError(
+            "engines 'model' and 'kernel' need the closed-form model; "
+            "pass model=BufferedInterconnectModel(...)")
+    if not supports_model(model):
+        raise TypeError(
+            "engines 'model' and 'kernel' evaluate the plain "
+            "BufferedInterconnectModel formula; got "
+            f"{type(model).__name__}")
+
+
 def monte_carlo_line_delay(
     line: ExtractedLine,
     input_slew: float,
@@ -160,6 +338,8 @@ def monte_carlo_line_delay(
     variation: Optional[VariationModel] = None,
     seed: int = 2010,
     workers: Optional[int] = None,
+    engine: str = "golden",
+    model=None,
 ) -> VariationResult:
     """Monte-Carlo delay distribution of a buffered line driven with
     a ramp of ``input_slew`` seconds.
@@ -168,21 +348,44 @@ def monte_carlo_line_delay(
     stream 0 of the spawned root sequence computes the nominal delay
     (variation disabled, sigma 0, sharing the same flow) and stream
     ``i`` computes draw ``i``, whether it runs here or in a pool.
+
+    ``engine`` selects the evaluator (see the module docstring);
+    ``"model"`` and ``"kernel"`` require the matching closed-form
+    ``model`` and a uniformly sized ``line``, and produce identical
+    sample vectors to each other.
     """
     if samples < 2:
         raise ValueError("need at least two samples")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of "
+                         f"{ENGINES}")
+    if engine != "golden":
+        _require_closed_form_model(model)
     if variation is None:
         variation = VariationModel()
     streams = spawn_seed_sequences(seed, samples + 1)
 
     with span("signoff.monte_carlo", samples=samples, seed=seed,
-              stages=len(line.stages)) as batch:
-        nominal = _sample_task((line, input_slew,
-                                VariationModel(0.0, 0.0), streams[0]))
-        tasks = [(line, input_slew, variation, stream)
-                 for stream in streams[1:]]
-        draws: List[float] = parallel_map(_sample_task, tasks,
-                                          workers=workers)
+              stages=len(line.stages), engine=engine) as batch:
+        if engine == "golden":
+            nominal = _sample_task((line, input_slew,
+                                    VariationModel(0.0, 0.0),
+                                    streams[0]))
+            tasks = [(line, input_slew, variation, stream)
+                     for stream in streams[1:]]
+            draws: List[float] = parallel_map(_sample_task, tasks,
+                                              workers=workers)
+        elif engine == "model":
+            nominal = _model_sample_task(
+                (model, line, input_slew, VariationModel(0.0, 0.0),
+                 streams[0]))
+            tasks = [(model, line, input_slew, variation, stream)
+                     for stream in streams[1:]]
+            draws = parallel_map(_model_sample_task, tasks,
+                                 workers=workers)
+        else:
+            nominal, draws = _kernel_monte_carlo(
+                model, line, input_slew, variation, streams)
         batch.annotate(nominal_delay=nominal)
     return VariationResult(samples=tuple(draws),
                            nominal_delay=nominal)

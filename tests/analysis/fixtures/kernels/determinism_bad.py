@@ -1,0 +1,10 @@
+"""Kernels module drawing its own randomness: three violations."""
+
+import numpy as np
+from numpy.random import default_rng   # banned in kernels, even seeded
+
+
+def noisy_delay_batch(sizes):
+    rng = np.random.default_rng(1234)  # seeded, still banned here
+    noise = np.random.normal(0.0, 1.0, sizes.shape)  # module-level RNG
+    return sizes + noise + rng.normal(0.0, 1.0)

@@ -12,6 +12,7 @@ FIXTURES = Path(__file__).resolve().parent / "fixtures"
 BAD_FIXTURES = {
     "models/units_bad.py": ("units", 2),
     "determinism_bad.py": ("determinism", 6),
+    "kernels/determinism_bad.py": ("determinism", 3),
     "worker_safety_bad.py": ("worker-safety", 2),
     "cache_purity_bad.py": ("cache-purity", 2),
     "span_hygiene_bad.py": ("span-hygiene", 1),
@@ -20,6 +21,7 @@ BAD_FIXTURES = {
 CLEAN_FIXTURES = (
     "models/units_clean.py",
     "determinism_clean.py",
+    "kernels/determinism_clean.py",
     "worker_safety_clean.py",
     "cache_purity_clean.py",
     "span_hygiene_clean.py",

@@ -1,0 +1,144 @@
+"""Kernel batch evaluation vs the scalar golden reference.
+
+The contract is ≤ 1e-9 relative; the kernels mirror the scalar
+operation order, so in practice every field lands bit-exact.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.characterization import RepeaterKind
+from repro.kernels import evaluate_line_batch, supports_model
+from repro.models.extensions import SlewAwareInterconnectModel
+from repro.models.interconnect import BufferedInterconnectModel
+from repro.units import mm, ps
+
+RTOL = 1e-9
+
+
+def _slew_aware(suite90):
+    return SlewAwareInterconnectModel(suite90.tech,
+                                      suite90.proposed.calibration,
+                                      suite90.proposed.config)
+
+
+@pytest.fixture(scope="module")
+def model(suite90):
+    return suite90.proposed
+
+
+class TestSupportsModel:
+    def test_plain_model_supported(self, model):
+        assert supports_model(model)
+
+    def test_subclass_rejected(self, suite90):
+        slew_aware = _slew_aware(suite90)
+        # The subclass overrides stage composition, so the kernels'
+        # mirrored arithmetic would silently diverge from it.
+        assert isinstance(slew_aware, BufferedInterconnectModel)
+        assert not supports_model(slew_aware)
+
+    def test_non_model_rejected(self):
+        assert not supports_model(object())
+
+
+class TestBatchMatchesScalar:
+    def test_every_field_over_size_sweep(self, model):
+        sizes = np.linspace(1.0, 128.0, 64)
+        batch = evaluate_line_batch(model, mm(5), 8, sizes, ps(100))
+        for index, size in enumerate(sizes):
+            estimate = model.evaluate(mm(5), 8, float(size), ps(100))
+            assert batch.delay[index] == pytest.approx(
+                estimate.delay, rel=RTOL)
+            assert batch.output_slew[index] == pytest.approx(
+                estimate.output_slew, rel=RTOL)
+            assert batch.dynamic_power[index] == pytest.approx(
+                estimate.dynamic_power, rel=RTOL)
+            assert batch.leakage_power[index] == pytest.approx(
+                estimate.leakage_power, rel=RTOL)
+            assert batch.repeater_area[index] == pytest.approx(
+                estimate.repeater_area, rel=RTOL)
+            assert batch.wire_area[index] == pytest.approx(
+                estimate.wire_area, rel=RTOL)
+            assert batch.total_power[index] == pytest.approx(
+                estimate.total_power, rel=RTOL)
+
+    def test_count_axis_and_broadcasting(self, model):
+        counts = np.array([1, 2, 4, 8, 16])
+        batch = evaluate_line_batch(model, mm(5), counts, 32.0, ps(100))
+        assert batch.delay.shape == counts.shape
+        for index, count in enumerate(counts):
+            estimate = model.evaluate(mm(5), int(count), 32.0, ps(100))
+            assert batch.delay[index] == pytest.approx(
+                estimate.delay, rel=RTOL)
+
+    def test_length_axis(self, model):
+        lengths = np.array([mm(1), mm(3), mm(7)])
+        batch = evaluate_line_batch(model, lengths, 6, 40.0, ps(100))
+        for index, length in enumerate(lengths):
+            estimate = model.evaluate(float(length), 6, 40.0, ps(100))
+            assert batch.delay[index] == pytest.approx(
+                estimate.delay, rel=RTOL)
+            assert batch.total_power[index] == pytest.approx(
+                estimate.total_power, rel=RTOL)
+
+    def test_bus_width_and_receiver_cap(self, model):
+        receiver = model.repeater_model().input_capacitance(64.0)
+        batch = evaluate_line_batch(model, mm(4), 5, 24.0, ps(100),
+                                    bus_width=128,
+                                    receiver_cap=receiver)
+        estimate = model.evaluate(mm(4), 5, 24.0, ps(100),
+                                  bus_width=128, receiver_cap=receiver)
+        assert batch.delay[0] == pytest.approx(estimate.delay, rel=RTOL)
+        assert batch.leakage_power[0] == pytest.approx(
+            estimate.leakage_power, rel=RTOL)
+
+    def test_buffer_kind_input_cap_branch(self, suite90):
+        """BUFFER calibrations hit the first-stage max() branch."""
+        from repro.models.calibration import load_calibration
+        calibration = load_calibration(suite90.tech, RepeaterKind.BUFFER)
+        model = BufferedInterconnectModel(suite90.tech, calibration,
+                                          suite90.proposed.config)
+        sizes = np.array([1.0, 2.0, 8.0, 64.0])
+        batch = evaluate_line_batch(model, mm(3), 4, sizes, ps(100))
+        for index, size in enumerate(sizes):
+            estimate = model.evaluate(mm(3), 4, float(size), ps(100))
+            assert batch.delay[index] == pytest.approx(
+                estimate.delay, rel=RTOL)
+
+
+class TestValidation:
+    def test_rejects_unsupported_model(self, suite90):
+        slew_aware = _slew_aware(suite90)
+        with pytest.raises(TypeError):
+            evaluate_line_batch(slew_aware, mm(5), 8, 32.0, ps(100))
+
+    def test_rejects_nonpositive_inputs(self, model):
+        with pytest.raises(ValueError):
+            evaluate_line_batch(model, 0.0, 8, 32.0, ps(100))
+        with pytest.raises(ValueError):
+            evaluate_line_batch(model, mm(5), 0, 32.0, ps(100))
+        with pytest.raises(ValueError):
+            evaluate_line_batch(model, mm(5), 8, 0.0, ps(100))
+
+    def test_metrics_record_batch_size(self, model):
+        from repro.runtime.metrics import METRICS
+        before = METRICS.counters.get("kernels.batch_size", 0)
+        evaluate_line_batch(model, mm(5), 8,
+                            np.linspace(1.0, 64.0, 17), ps(100))
+        assert METRICS.counters["kernels.batch_size"] == before + 17
+
+
+class TestLineBatchDataclass:
+    def test_total_power_is_dynamic_plus_leakage(self, model):
+        batch = evaluate_line_batch(model, mm(5), 8,
+                                    np.array([8.0, 32.0]), ps(100))
+        np.testing.assert_array_equal(
+            batch.total_power, batch.dynamic_power + batch.leakage_power)
+
+    def test_frozen(self, model):
+        batch = evaluate_line_batch(model, mm(5), 8, 32.0, ps(100))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            batch.delay = None

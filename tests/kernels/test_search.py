@@ -1,0 +1,98 @@
+"""Batched buffering searches vs the scalar optimizer.
+
+The lockstep searches follow the scalar trajectory operation-for-
+operation, so pure delay / pure power objectives must return the
+*identical* solution object contents; the fractional weighted product
+may differ by one ulp of ``pow`` and gets the 1e-9 contract.
+"""
+
+import pytest
+
+from repro.buffering.optimizer import (
+    max_feasible_length,
+    minimize_power_under_delay,
+    optimize_buffering,
+)
+from repro.units import mm, ps
+
+RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def model(suite90):
+    return suite90.proposed
+
+
+class TestOptimizeBuffering:
+    @pytest.mark.parametrize("weight", [1.0, 0.0])
+    def test_pure_objectives_bit_equal(self, model, weight):
+        scalar = optimize_buffering(model, mm(5), delay_weight=weight,
+                                    use_kernels=False)
+        kernel = optimize_buffering(model, mm(5), delay_weight=weight,
+                                    use_kernels=True)
+        assert scalar == kernel
+
+    def test_weighted_objective_within_tolerance(self, model):
+        scalar = optimize_buffering(model, mm(5), delay_weight=0.5,
+                                    use_kernels=False)
+        kernel = optimize_buffering(model, mm(5), delay_weight=0.5,
+                                    use_kernels=True)
+        assert kernel.num_repeaters == scalar.num_repeaters
+        assert kernel.repeater_size == pytest.approx(
+            scalar.repeater_size, rel=RTOL)
+        assert kernel.objective == pytest.approx(
+            scalar.objective, rel=RTOL)
+
+    def test_auto_dispatch_matches_explicit(self, model):
+        auto = optimize_buffering(model, mm(3))
+        explicit = optimize_buffering(model, mm(3), use_kernels=True)
+        assert auto == explicit
+
+
+class TestMinimizePowerUnderDelay:
+    @pytest.mark.parametrize("max_delay_ps", [300.0, 500.0, 1000.0])
+    def test_feasible_bounds_bit_equal(self, model, max_delay_ps):
+        scalar = minimize_power_under_delay(model, mm(5),
+                                            ps(max_delay_ps),
+                                            use_kernels=False)
+        kernel = minimize_power_under_delay(model, mm(5),
+                                            ps(max_delay_ps),
+                                            use_kernels=True)
+        assert scalar is not None
+        assert scalar == kernel
+
+    def test_infeasible_bound_is_none_for_both(self, model):
+        scalar = minimize_power_under_delay(model, mm(5), ps(150),
+                                            use_kernels=False)
+        kernel = minimize_power_under_delay(model, mm(5), ps(150),
+                                            use_kernels=True)
+        assert scalar is None
+        assert kernel is None
+
+
+class TestMaxFeasibleLength:
+    def test_kernel_and_scalar_agree(self, model, suite90):
+        max_delay = suite90.tech.clock_period()
+        scalar = max_feasible_length(model, max_delay,
+                                     use_kernels=False)
+        kernel = max_feasible_length(model, max_delay,
+                                     use_kernels=True)
+        assert kernel == scalar
+
+
+class TestDispatchValidation:
+    def test_forcing_kernels_on_unsupported_model_raises(self, suite90):
+        from repro.models.extensions import SlewAwareInterconnectModel
+        slew_aware = SlewAwareInterconnectModel(
+            suite90.tech, suite90.proposed.calibration,
+            suite90.proposed.config)
+        with pytest.raises(ValueError):
+            optimize_buffering(slew_aware, mm(5), use_kernels=True)
+
+    def test_unsupported_model_auto_falls_back(self, suite90):
+        from repro.models.extensions import SlewAwareInterconnectModel
+        slew_aware = SlewAwareInterconnectModel(
+            suite90.tech, suite90.proposed.calibration,
+            suite90.proposed.config)
+        solution = optimize_buffering(slew_aware, mm(5))
+        assert solution.num_repeaters >= 1

@@ -1,0 +1,80 @@
+"""The variation kernel: alpha-power width mapping + batched MC."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.variation import (
+    OVERDRIVE_FLOOR,
+    effective_widths,
+    line_delay_batch,
+)
+from repro.units import mm, ps
+
+
+@pytest.fixture(scope="module")
+def model(suite90):
+    return suite90.proposed
+
+
+class TestEffectiveWidths:
+    def test_unit_factors_are_identity(self, tech90):
+        width = tech90.min_nmos_width * 8
+        ones = np.ones(5)
+        out = effective_widths(tech90.nmos, width, tech90.vdd, ones,
+                               ones)
+        np.testing.assert_array_equal(out, np.full(5, width))
+
+    def test_drive_factor_scales_linearly(self, tech90):
+        width = tech90.min_nmos_width * 8
+        drives = np.array([0.5, 1.0, 2.0])
+        out = effective_widths(tech90.nmos, width, tech90.vdd, drives,
+                               np.ones(3))
+        np.testing.assert_allclose(out, width * drives)
+
+    def test_higher_vth_weakens_the_device(self, tech90):
+        width = tech90.min_nmos_width * 8
+        out = effective_widths(tech90.nmos, width, tech90.vdd,
+                               np.ones(2), np.array([1.0, 1.3]))
+        assert out[1] < out[0]
+
+    def test_overdrive_floor_engages(self, tech90):
+        """A vth draw large enough to kill the overdrive is floored,
+        not driven negative."""
+        width = tech90.min_nmos_width * 8
+        huge_vth = np.array([tech90.vdd / tech90.nmos.vth * 2.0])
+        out = effective_widths(tech90.nmos, width, tech90.vdd,
+                               np.ones(1), huge_vth)
+        nominal_overdrive = tech90.vdd - tech90.nmos.vth
+        floor_ratio = OVERDRIVE_FLOOR * tech90.vdd / nominal_overdrive
+        expected = width * floor_ratio ** tech90.nmos.alpha
+        assert out[0] == pytest.approx(expected)
+        assert out[0] > 0
+
+
+class TestLineDelayBatch:
+    def test_all_ones_row_is_the_nominal_delay(self, model):
+        receiver = model.repeater_model().input_capacitance(40.0)
+        factors = np.ones((3, 6, 4))
+        delays = line_delay_batch(model, mm(3), 6, 40.0, receiver,
+                                  ps(100), factors)
+        estimate = model.evaluate(mm(3), 6, 40.0, ps(100),
+                                  receiver_cap=receiver)
+        assert delays.shape == (3,)
+        np.testing.assert_allclose(delays, estimate.delay, rtol=1e-9)
+
+    def test_perturbed_rows_differ_from_nominal(self, model):
+        receiver = model.repeater_model().input_capacitance(40.0)
+        factors = np.ones((2, 6, 4))
+        factors[1, :, :] = 1.2
+        delays = line_delay_batch(model, mm(3), 6, 40.0, receiver,
+                                  ps(100), factors)
+        assert delays[1] != delays[0]
+
+    def test_factor_shape_validated(self, model):
+        receiver = model.repeater_model().input_capacitance(40.0)
+        with pytest.raises(ValueError):
+            line_delay_batch(model, mm(3), 6, 40.0, receiver, ps(100),
+                             np.ones((4, 5, 4)))
+        with pytest.raises(ValueError):
+            line_delay_batch(model, mm(3), 6, 40.0, receiver, ps(100),
+                             np.ones((4, 6)))

@@ -112,6 +112,39 @@ class TestQuantizationEdges:
         assert designer.design(past) is None
 
 
+class TestBatchedScorerBoundaries:
+    """`design_batch` feeds the kernel-backed scorer; the quantization
+    edges must behave exactly as one-at-a-time `design` calls."""
+
+    def test_edge_exactly_at_max_feasible_length(self, designer):
+        edge = designer.max_length()
+        batch = designer.design_batch([mm(1), edge])
+        assert batch[0] is not None
+        assert batch[1] is not None
+        assert batch[1] == designer.design(edge)
+
+    def test_past_edge_yields_none_in_batch(self, designer):
+        past = designer.max_length() * (1 + 1e-9)
+        batch = designer.design_batch([mm(2), past])
+        assert batch[0] is not None
+        assert batch[1] is None
+
+    def test_zero_length_link_rejected(self, designer):
+        with pytest.raises(ValueError):
+            designer.design_batch([mm(1), 0.0])
+        with pytest.raises(ValueError):
+            designer.design_batch([-mm(1)])
+
+    def test_batch_elements_are_the_memoized_designs(self, designer):
+        lengths = [mm(1.5), mm(2.5)]
+        batch = designer.design_batch(lengths)
+        for length, design in zip(lengths, batch):
+            assert designer.design(length) is design
+
+    def test_empty_batch(self, designer):
+        assert designer.design_batch([]) == []
+
+
 class TestPersistentRoundTrip:
     def test_payload_round_trip_is_lossless(self, designer):
         design = designer.design(mm(3))

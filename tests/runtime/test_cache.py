@@ -127,6 +127,44 @@ class TestRobustness:
         assert cache.get({"k": 1}) is None
 
 
+class TestEnvironmentSalt:
+    """Entries are salted with the numeric environment (numpy version)
+    so a library upgrade that shifts ulps cannot serve stale floats."""
+
+    def test_default_salt_carries_numpy_version(self):
+        import numpy
+
+        from repro.runtime.cache import environment_salt
+        assert environment_salt()["numpy"] == numpy.__version__
+        assert DiskCache("ns").salt == environment_salt()
+
+    def test_salt_mismatch_is_a_miss(self):
+        old = DiskCache("ns", salt={"numpy": "1.26.0"})
+        new = DiskCache("ns", salt={"numpy": "2.1.0"})
+        key = {"k": 1}
+        old.put(key, "old-numpy-floats")
+        assert new.get(key) is None
+        new.put(key, "fresh")
+        assert new.get(key) == "fresh"
+
+    def test_same_salt_round_trips(self):
+        a = DiskCache("ns", salt={"numpy": "2.1.0"})
+        b = DiskCache("ns", salt={"numpy": "2.1.0"})
+        a.put({"k": 2}, "shared")
+        assert b.get({"k": 2}) == "shared"
+
+    def test_pre_salt_envelope_is_a_miss(self):
+        """Envelopes written before salting existed lack the field and
+        must be treated as cold."""
+        cache = DiskCache("ns")
+        key = {"k": 3}
+        cache.put(key, "value")
+        envelope = json.loads(cache.path_for(key).read_text())
+        del envelope["salt"]
+        cache.path_for(key).write_text(json.dumps(envelope))
+        assert cache.get(key) is None
+
+
 class TestDisabling:
     def test_no_cache_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_NO_CACHE", "1")

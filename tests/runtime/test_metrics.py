@@ -103,3 +103,25 @@ class TestFooter:
         registry = MetricsRegistry()
         footer = registry.format_footer(extra={"workers": 4})
         assert re.search(r"workers\s+4", footer)
+
+
+class TestKernelThroughput:
+    def test_none_before_any_batch(self):
+        registry = MetricsRegistry()
+        assert registry.kernel_throughput() is None
+        assert "kernels.throughput" not in registry.format_footer()
+
+    def test_lanes_per_second(self):
+        registry = MetricsRegistry()
+        registry.count("kernels.batch_size", 1000)
+        registry.add_time("kernels.batch", 2.0)
+        assert registry.kernel_throughput() == 500.0
+        footer = registry.format_footer()
+        assert "kernels.throughput" in footer
+        assert "500.0 lanes/s" in footer
+
+    def test_absent_without_timer(self):
+        registry = MetricsRegistry()
+        registry.count("kernels.batch_size", 1000)
+        assert registry.kernel_throughput() is None
+        assert "kernels.throughput" not in registry.format_footer()

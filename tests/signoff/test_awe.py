@@ -99,6 +99,50 @@ class TestTwoPoleDelay:
         assert delay == pytest.approx(0.76 * m1[n], rel=0.1)
 
 
+class TestDegenerateTreeRegression:
+    """One R driving one C has m2 = m1^2 exactly — the one-pole limit.
+
+    The two-pole fit must not engage there (its b2 coefficient is zero,
+    so the pole formula divides by zero); the single-pole branch has to
+    catch the ratio-==-1 case."""
+
+    def test_single_segment_tree_is_exactly_single_pole(self):
+        tree = RCTree.chain([150.0], [2e-15])
+        m1, m2 = rc_tree_moments(tree)
+        assert m2[1] == pytest.approx(m1[1] ** 2, rel=1e-12)
+        delay = tree_delay(tree, 1)
+        assert math.isfinite(delay)
+        assert delay == pytest.approx(math.log(2.0) * m1[1], rel=1e-12)
+
+    def test_single_segment_with_driver_resistance(self):
+        tree = RCTree.chain([150.0], [2e-15])
+        delay = tree_delay(tree, 1, driver_resistance=500.0)
+        assert math.isfinite(delay)
+        assert delay == pytest.approx(math.log(2.0) * 650.0 * 2e-15,
+                                      rel=1e-12)
+
+    def test_two_segment_ladder_exact_two_pole_value(self):
+        """R1=R2, C1=C2: moments (3RC, 8R^2C^2), ratio 8/9, so the
+        two-pole branch engages; its 50% point is 2.224919... RC
+        (independently computed), not the single-pole ln(2)*3RC."""
+        r, c = 100.0, 1e-15
+        tree = RCTree.chain([r, r], [c, c])
+        m1, m2 = rc_tree_moments(tree)
+        assert m1[2] == pytest.approx(3 * r * c, rel=1e-12)
+        assert m2[2] == pytest.approx(8 * (r * c) ** 2, rel=1e-12)
+        delay = tree_delay(tree, 2)
+        assert delay == pytest.approx(2.22491916272872 * r * c,
+                                      rel=1e-9)
+        single_pole = math.log(2.0) * m1[2]
+        assert abs(delay - single_pole) > 0.01 * single_pole
+
+    def test_all_chain_lengths_finite(self):
+        for segments in range(1, 6):
+            tree = RCTree.chain([100.0] * segments, [1e-15] * segments)
+            delay = tree_delay(tree, segments)
+            assert math.isfinite(delay) and delay > 0
+
+
 class TestAgainstSimulator:
     @settings(max_examples=10, deadline=None)
     @given(st.integers(min_value=2, max_value=8),

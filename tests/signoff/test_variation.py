@@ -77,6 +77,85 @@ class TestMonteCarlo:
         assert "sigma" in result.format()
 
 
+class TestClosedFormEngines:
+    """The "model" (scalar) and "kernel" (batched) engines: bit-equal
+    to each other, deterministic, and workers-invariant."""
+
+    @pytest.fixture(scope="class")
+    def model90(self, suite90):
+        return suite90.proposed
+
+    @pytest.fixture(scope="class")
+    def line90(self, suite90):
+        model = suite90.proposed
+        return extract_buffered_line(model.tech, model.config, mm(5),
+                                     10, 40.0)
+
+    def test_model_nominal_is_the_closed_form_delay(self, model90,
+                                                    line90):
+        result = monte_carlo_line_delay(line90, ps(100), samples=5,
+                                        seed=1, engine="model",
+                                        model=model90)
+        estimate = model90.evaluate(line90.length, 10, 40.0, ps(100))
+        assert result.nominal_delay == estimate.delay
+
+    def test_kernel_bit_equal_to_model_engine(self, model90, line90):
+        scalar = monte_carlo_line_delay(line90, ps(100), samples=64,
+                                        seed=9, engine="model",
+                                        model=model90)
+        kernel = monte_carlo_line_delay(line90, ps(100), samples=64,
+                                        seed=9, engine="kernel",
+                                        model=model90)
+        assert kernel.samples == scalar.samples
+        assert kernel.nominal_delay == scalar.nominal_delay
+
+    def test_model_engine_workers_invariant(self, model90, line90):
+        serial = monte_carlo_line_delay(line90, ps(100), samples=8,
+                                        seed=4, workers=1,
+                                        engine="model", model=model90)
+        pooled = monte_carlo_line_delay(line90, ps(100), samples=8,
+                                        seed=4, workers=2,
+                                        engine="model", model=model90)
+        assert serial.samples == pooled.samples
+
+    def test_kernel_engine_deterministic(self, model90, line90):
+        a = monte_carlo_line_delay(line90, ps(100), samples=16, seed=2,
+                                   engine="kernel", model=model90)
+        b = monte_carlo_line_delay(line90, ps(100), samples=16, seed=2,
+                                   engine="kernel", model=model90)
+        assert a.samples == b.samples
+
+    def test_unknown_engine_rejected(self, line90, model90):
+        with pytest.raises(ValueError):
+            monte_carlo_line_delay(line90, ps(100), samples=4,
+                                   engine="spice", model=model90)
+
+    def test_closed_form_engines_require_a_model(self, line90):
+        with pytest.raises(ValueError):
+            monte_carlo_line_delay(line90, ps(100), samples=4,
+                                   engine="kernel")
+
+    def test_subclassed_model_rejected(self, suite90, line90):
+        from repro.models.extensions import SlewAwareInterconnectModel
+        slew_aware = SlewAwareInterconnectModel(
+            suite90.tech, suite90.proposed.calibration,
+            suite90.proposed.config)
+        with pytest.raises(TypeError):
+            monte_carlo_line_delay(line90, ps(100), samples=4,
+                                   engine="model", model=slew_aware)
+
+    def test_non_uniform_line_rejected(self, model90, tech90, swss90):
+        from dataclasses import replace
+        line = extract_buffered_line(tech90, swss90, mm(2), 2, 24.0)
+        stages = list(line.stages)
+        stages[1] = replace(stages[1],
+                            driver_size=stages[1].driver_size * 2)
+        uneven = replace(line, stages=tuple(stages))
+        with pytest.raises(ValueError):
+            monte_carlo_line_delay(uneven, ps(100), samples=4,
+                                   engine="kernel", model=model90)
+
+
 class TestAveragingEffect:
     def test_longer_chains_have_smaller_relative_sigma(self, tech90,
                                                        swss90):
