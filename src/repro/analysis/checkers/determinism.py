@@ -12,7 +12,10 @@ The runtime's contract is bit-equal results for any ``--workers N``
 * **Wall clocks in results** — ``time.time()`` / ``datetime.now()``
   make output depend on when it ran.  They are legitimate only in the
   observability layer (``runtime/trace.py``, ``runtime/manifest.py``),
-  whose entire job is timestamping.
+  whose entire job is timestamping, and in the fault-injection harness
+  (``runtime/faults.py``) — the one sanctioned nondeterminism hook,
+  whose injected delays and crashes are site-addressed and therefore
+  reproducible even though they model timing faults.
 
 * **Unordered iteration into ordered machinery** — a ``set`` fed to
   ``parallel_map`` or into a cache key iterates in hash order, which
@@ -34,10 +37,14 @@ from typing import Dict, Optional, Tuple
 
 from repro.analysis.core import Checker, FileContext
 
-#: Files (path suffixes) allowed to read wall clocks.
+#: Files (path suffixes) allowed to read wall clocks: the
+#: observability layer (timestamping is its job) and the
+#: fault-injection harness (deterministic, site-addressed injection
+#: points are the only sanctioned nondeterminism hooks).
 CLOCK_ALLOWED_SUFFIXES: Tuple[str, ...] = (
     "runtime/trace.py",
     "runtime/manifest.py",
+    "runtime/faults.py",
 )
 
 #: np.random attributes that are part of the sanctioned seeded API.

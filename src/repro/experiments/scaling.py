@@ -116,5 +116,5 @@ def run(nodes: Sequence[str] = DEFAULT_NODES,
     with span("experiment.scaling", nodes=len(nodes)):
         rows: List[ScalingRow] = parallel_map(
             _node_row, [(node, length) for node in nodes],
-            workers=workers, chunk=1)
+            workers=workers, chunk=1, label="scaling.node")
     return ScalingResult(length=length, rows=tuple(rows))

@@ -170,7 +170,8 @@ def run(
              for length in lengths]
     with span("experiment.table2", cells=len(tasks)):
         rows: List[Table2Row] = parallel_map(_evaluate_task, tasks,
-                                             workers=workers)
+                                             workers=workers,
+                                             label="table2.cell")
     return Table2Result(rows=tuple(rows))
 
 

@@ -114,7 +114,8 @@ def run_case(design_name: str, spec_factory: SpecFactory, node: str,
         tasks = [(spec_factory, node, model_name, config)
                  for model_name in ("bakoglu", "proposed")]
         original_topology, proposed_topology = parallel_map(
-            _synthesis_task, tasks, workers=workers, chunk=1)
+            _synthesis_task, tasks, workers=workers, chunk=1,
+            label="table3.synthesis")
 
         suite = ModelSuite.for_node(node)
         return Table3Case(
@@ -153,7 +154,8 @@ def run(
              for node in nodes]
     with span("experiment.table3", cells=len(tasks)):
         cases: List[Table3Case] = parallel_map(_case_task, tasks,
-                                               workers=workers, chunk=1)
+                                               workers=workers, chunk=1,
+                                               label="table3.case")
     return Table3Result(cases=tuple(cases))
 
 

@@ -167,5 +167,6 @@ def explore_widths(
     with span("experiment.widths", design=spec.name,
               widths=len(widths)):
         points: List[WidthDesignPoint] = parallel_map(
-            _explore_one, tasks, workers=workers, chunk=1)
+            _explore_one, tasks, workers=workers, chunk=1,
+            label="noc.width_point")
     return WidthExploration(points=tuple(points))

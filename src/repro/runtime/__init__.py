@@ -26,8 +26,13 @@ while provably preserving their serial results:
 
 Configuration resolves in this order: explicit function arguments,
 :func:`configure` (what the CLI flags set), environment variables
-(``REPRO_WORKERS``, ``REPRO_CACHE_DIR``, ``REPRO_NO_CACHE``), then the
-defaults (serial execution, cache enabled).
+(``REPRO_WORKERS``, ``REPRO_CACHE_DIR``, ``REPRO_NO_CACHE``,
+``REPRO_MAX_RETRIES``, ``REPRO_FAULTS``), then the defaults (serial
+execution, cache enabled, no pool retries, no faults).  All
+environment values go through one pair of parsers — :func:`env_int`
+and :func:`env_flag` — so every variable shares the same whitespace
+and truthiness rules and misconfigurations fail loudly instead of
+silently flipping behaviour.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from __future__ import annotations
 import os
 from typing import Optional
 
+from repro.runtime import faults
 from repro.runtime.cache import (
     CACHE_VERSION,
     DiskCache,
@@ -50,7 +56,9 @@ from repro.runtime.manifest import (
 )
 from repro.runtime.metrics import METRICS, MetricsRegistry
 from repro.runtime.parallel import (
+    TaskError,
     parallel_map,
+    resolve_max_retries,
     resolve_workers,
     spawn_generators,
     spawn_seed_sequences,
@@ -78,18 +86,24 @@ __all__ = [
     "STATS",
     "SpanCollector",
     "TRACER",
+    "TaskError",
     "Tracer",
     "build_manifest",
     "cache_dir",
     "cache_enabled",
     "configure",
+    "configured_max_retries",
     "configured_workers",
     "current_span",
+    "env_flag",
+    "env_int",
     "export_chrome_trace",
+    "faults",
     "fingerprint",
     "manifest_path_for",
     "parallel_map",
     "reset_configuration",
+    "resolve_max_retries",
     "resolve_workers",
     "span",
     "spawn_generators",
@@ -102,25 +116,83 @@ __all__ = [
 #: Process-wide overrides set by :func:`configure` (the CLI flags).
 _WORKERS_OVERRIDE: Optional[int] = None
 _CACHE_OVERRIDE: Optional[bool] = None
+_MAX_RETRIES_OVERRIDE: Optional[int] = None
+
+#: The spellings :func:`env_flag` accepts (after strip + lower).
+_FLAG_TRUE = frozenset({"1", "true", "yes", "on"})
+_FLAG_FALSE = frozenset({"0", "false", "no", "off"})
+
+
+def env_int(name: str) -> Optional[int]:
+    """The integer value of an environment variable, or ``None``.
+
+    Unset and whitespace-only values mean "not configured"; anything
+    else must parse as an integer or the misconfiguration is raised
+    loudly — a typo in ``REPRO_WORKERS`` or ``REPRO_MAX_RETRIES`` must
+    never silently fall back to a default.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    value = raw.strip()
+    if not value:
+        return None
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise ValueError(
+            f"{name} must be an integer, got {raw!r}") from exc
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """The boolean value of an environment variable.
+
+    Accepts ``1/true/yes/on`` and ``0/false/no/off`` (any case,
+    surrounding whitespace ignored); unset or empty means ``default``.
+    Every boolean variable shares this one truthiness rule — before it
+    existed, ``REPRO_NO_CACHE="0 "`` (note the space) silently
+    disabled the cache while ``REPRO_WORKERS`` was stripped and
+    validated, an inconsistency this helper removes.  Unrecognized
+    spellings raise :class:`ValueError` rather than guessing.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if not value:
+        return default
+    if value in _FLAG_TRUE:
+        return True
+    if value in _FLAG_FALSE:
+        return False
+    raise ValueError(
+        f"{name} must be one of 1/0/true/false/yes/no/on/off, "
+        f"got {raw!r}")
 
 
 def configure(workers: Optional[int] = None,
-              cache_enabled: Optional[bool] = None) -> None:
+              cache_enabled: Optional[bool] = None,
+              max_retries: Optional[int] = None) -> None:
     """Set process-wide runtime defaults (``None`` leaves one as-is)."""
-    global _WORKERS_OVERRIDE, _CACHE_OVERRIDE
+    global _WORKERS_OVERRIDE, _CACHE_OVERRIDE, _MAX_RETRIES_OVERRIDE
     if workers is not None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         _WORKERS_OVERRIDE = workers
     if cache_enabled is not None:
         _CACHE_OVERRIDE = cache_enabled
+    if max_retries is not None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        _MAX_RETRIES_OVERRIDE = max_retries
 
 
 def reset_configuration() -> None:
     """Drop all :func:`configure` overrides (mainly for tests)."""
-    global _WORKERS_OVERRIDE, _CACHE_OVERRIDE
+    global _WORKERS_OVERRIDE, _CACHE_OVERRIDE, _MAX_RETRIES_OVERRIDE
     _WORKERS_OVERRIDE = None
     _CACHE_OVERRIDE = None
+    _MAX_RETRIES_OVERRIDE = None
 
 
 def configured_workers() -> Optional[int]:
@@ -128,8 +200,13 @@ def configured_workers() -> Optional[int]:
     return _WORKERS_OVERRIDE
 
 
+def configured_max_retries() -> Optional[int]:
+    """The crash-retry budget set via :func:`configure`, if any."""
+    return _MAX_RETRIES_OVERRIDE
+
+
 def cache_enabled() -> bool:
     """Whether the persistent disk cache should be consulted."""
     if _CACHE_OVERRIDE is not None:
         return _CACHE_OVERRIDE
-    return os.environ.get("REPRO_NO_CACHE", "") in ("", "0")
+    return not env_flag("REPRO_NO_CACHE", default=False)

@@ -15,11 +15,21 @@ them as small JSON files:
   technology, model coefficients or wire configuration changes the key.
 * **Versioned envelope** — every file records the cache schema version,
   an environment salt (:func:`environment_salt`, e.g. the numpy
-  version) and the full key; a version/salt mismatch, key-hash
-  collision or corrupt file is treated as a miss and silently
-  rewritten, never an error.
+  version) and the full key; a version/salt mismatch or key-hash
+  collision is treated as a miss and rewritten by the next ``put``,
+  never an error.
+* **Quarantine, not silence** — an *undecodable* entry (garbage bytes,
+  a truncated write, a non-envelope document) is evidence of a crash
+  or disk fault, so it is set aside as ``<key hash>.quarantine`` for
+  post-mortems and counted under ``faults.cache_quarantined``; the
+  lookup reports a miss and the recomputed value is written freshly.
 * **Atomic writes** — payloads land via ``os.replace`` of a temp file,
-  so concurrent workers can share one cache directory.
+  so concurrent workers can share one cache directory; a failed write
+  removes its temp file instead of littering the cache root.
+* **Degraded mode** — a disk-full or read-only root disables writes
+  for the rest of the process (one :class:`RuntimeWarning`, a
+  ``faults.cache_degraded`` count); computations proceed cache-less
+  instead of failing or retrying a dead disk on every put.
 
 Lookups honour the global kill switches (``--no-cache`` via
 :func:`repro.runtime.configure`, or ``REPRO_NO_CACHE=1``): when the
@@ -30,18 +40,56 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import errno
 import hashlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.runtime import faults
 from repro.runtime.metrics import METRICS
 
 #: Bump when the on-disk payload schema changes; older files are then
 #: ignored and transparently rewritten.
 CACHE_VERSION = 1
+
+#: Write failures with these errnos mean the *root* is unusable (full
+#: or read-only), not that one entry hiccuped — they degrade the cache
+#: to read-only for the rest of the process.
+_DEGRADE_ERRNOS = frozenset(
+    code for code in (errno.ENOSPC, errno.EROFS, errno.EACCES,
+                      errno.EPERM, getattr(errno, "EDQUOT", None))
+    if code is not None)
+
+#: True once a degrading write failure disabled writes process-wide.
+_WRITES_DISABLED = False
+
+
+def writes_disabled() -> bool:
+    """Whether a disk-full/read-only root has disabled cache writes."""
+    return _WRITES_DISABLED
+
+
+def reset_degradation() -> None:
+    """Re-enable cache writes (tests; a real process stays degraded)."""
+    global _WRITES_DISABLED
+    _WRITES_DISABLED = False
+
+
+def _note_write_failure(exc: OSError) -> None:
+    """Count a failed write; degrade the cache on root-level faults."""
+    global _WRITES_DISABLED
+    METRICS.count("cache.write_failed")
+    if exc.errno in _DEGRADE_ERRNOS and not _WRITES_DISABLED:
+        _WRITES_DISABLED = True
+        METRICS.count("faults.cache_degraded")
+        warnings.warn(
+            f"disk cache degraded to read-only for this process "
+            f"({exc}); computations continue uncached",
+            RuntimeWarning, stacklevel=4)
 
 
 def environment_salt() -> "dict[str, str]":
@@ -138,15 +186,34 @@ class DiskCache:
                   else self.namespace)
         METRICS.count(f"cache.{outcome}.{suffix}")
 
+    def _quarantine(self, path: Path) -> None:
+        """Set a corrupt entry aside as ``*.quarantine`` for forensics.
+
+        Renaming (never deleting) keeps the evidence of what went
+        wrong on disk while guaranteeing the poisoned bytes cannot be
+        decoded again; the recomputed payload lands on the original
+        path.  A root where even the rename fails simply keeps the
+        entry — it stays a miss either way.
+        """
+        try:
+            os.replace(path, path.with_suffix(".quarantine"))
+        except OSError:
+            return
+        METRICS.count("faults.cache_quarantined")
+        METRICS.count(f"faults.cache_quarantined.{self.namespace}")
+
     # -- access -----------------------------------------------------------
 
     def get(self, key: Any, kind: Optional[str] = None) -> Optional[Any]:
         """The cached payload for ``key``, or ``None`` on any miss.
 
-        Unreadable, corrupt, version-mismatched or colliding entries
-        are all reported as misses; the next ``put`` rewrites them.
-        ``kind`` labels the key population (e.g. ``"design"`` vs
-        ``"max_length"``) in the attributed hit/miss counters.
+        A version/salt mismatch or key collision is an expected miss
+        (the next ``put`` rewrites the entry).  An *undecodable* entry
+        — unparseable bytes, a non-envelope document, a truncated
+        envelope — is quarantined (see :meth:`_quarantine`) before the
+        miss is reported.  ``kind`` labels the key population (e.g.
+        ``"design"`` vs ``"max_length"``) in the attributed hit/miss
+        counters.
         """
         if not self._enabled():
             return None
@@ -154,21 +221,37 @@ class DiskCache:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 envelope = json.load(handle)
-            if (envelope.get("version") != self.version
-                    or envelope.get("salt") != self.salt
-                    or envelope.get("key") != _canonical(key)):
-                raise ValueError("stale or colliding cache entry")
-            payload = envelope["payload"]
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
+            self._count("miss", kind)
+            return None
+        except (ValueError, UnicodeDecodeError):
+            # Garbage bytes or malformed JSON: a crashed writer or a
+            # disk fault, not a schema evolution.
+            self._quarantine(path)
+            self._count("miss", kind)
+            return None
+        if not isinstance(envelope, dict):
+            self._quarantine(path)
+            self._count("miss", kind)
+            return None
+        if (envelope.get("version") != self.version
+                or envelope.get("salt") != self.salt
+                or envelope.get("key") != _canonical(key)):
+            self._count("miss", kind)
+            return None
+        if "payload" not in envelope:
+            # Version, salt and key all match but the payload is gone:
+            # a truncated write, not a stale schema.
+            self._quarantine(path)
             self._count("miss", kind)
             return None
         self._count("hit", kind)
-        return payload
+        return envelope["payload"]
 
     def put(self, key: Any, payload: Any,
             kind: Optional[str] = None) -> None:
         """Persist ``payload`` under ``key`` (atomic, best-effort)."""
-        if not self._enabled():
+        if not self._enabled() or _WRITES_DISABLED:
             return
         envelope = {
             "version": self.version,
@@ -182,11 +265,26 @@ class DiskCache:
             handle = tempfile.NamedTemporaryFile(
                 "w", encoding="utf-8", dir=directory,
                 suffix=".tmp", delete=False)
-            with handle:
-                json.dump(envelope, handle)
-            os.replace(handle.name, self.path_for(key))
-            self._count("write", kind)
-        except OSError:
+        except OSError as exc:
             # A read-only or full cache directory must never fail the
             # computation that produced the payload.
-            METRICS.count("cache.write_failed")
+            _note_write_failure(exc)
+            return
+        target = self.path_for(key)
+        try:
+            with handle:
+                json.dump(envelope, handle)
+            os.replace(handle.name, target)
+        except BaseException as exc:
+            # Whatever went wrong, the temp file must not stay behind
+            # in the shared cache directory.
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            if isinstance(exc, OSError):
+                _note_write_failure(exc)
+                return
+            raise  # caller bugs (e.g. unserializable payload) stay loud
+        self._count("write", kind)
+        faults.maybe_corrupt_write(target)

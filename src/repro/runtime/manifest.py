@@ -8,6 +8,12 @@ which decide the kernels' code paths), the effective worker count and
 cache state, the RNG seed when the workload has one, and the per-phase
 wall-time and counter totals accumulated by the metrics registry.
 
+Runs that survived faults carry a dedicated ``faults`` block — the
+``faults.*`` counter family (worker crashes recovered, cache entries
+quarantined, injected faults fired; see :mod:`repro.runtime.faults`) —
+so an artifact produced by a degraded run is distinguishable from a
+clean one without diffing the full counter map.
+
 The schema is versioned (:data:`MANIFEST_SCHEMA`); consumers should
 treat unknown fields as forward-compatible additions.
 """
@@ -110,6 +116,9 @@ def build_manifest(
         "phases": dict(registry.timers),
         "counters": dict(registry.counters),
     }
+    fault_counters = registry.fault_counters()
+    if fault_counters:
+        manifest["faults"] = fault_counters
     if "seed" in safe_config:
         manifest["seed"] = safe_config["seed"]
     if trace_file is not None:

@@ -83,6 +83,17 @@ class MetricsRegistry:
             return None
         return hits / total
 
+    def fault_counters(self) -> Dict[str, int]:
+        """The ``faults.*`` family: injections, crashes, recoveries.
+
+        Sorted by name so manifests and reports render stably.  Empty
+        for a clean run — the common case — which lets callers elide
+        the whole block.
+        """
+        return {name: self.counters[name]
+                for name in sorted(self.counters)
+                if name.startswith("faults.")}
+
     def task_throughput(self) -> Optional[float]:
         """Parallel tasks per second of map wall time, if measurable.
 

@@ -8,9 +8,21 @@ Its contract:
   whose boundaries depend only on ``len(items)``, ``workers`` and
   ``chunk``, never on scheduling.
 * **Serial fallback** — ``workers=1`` (or ``REPRO_WORKERS=1``, or a
-  single item) runs the plain list comprehension in-process, and any
-  environment where a process pool cannot start degrades to the same
-  path rather than crashing.
+  single item) runs the plain in-process loop, and any environment
+  where a process pool cannot start degrades to the same path rather
+  than crashing.
+* **Crash recovery** — a worker that dies mid-run (segfault, OOM kill,
+  an injected ``worker_crash`` fault) surfaces as a
+  ``BrokenProcessPool``; instead of aborting the workload, the
+  unfinished chunks are re-run — on a rebuilt pool while ``--max-
+  retries`` attempts remain, then on the serial path — so the result
+  list is bit-identical to a clean run.  Recoveries are counted under
+  the ``faults.*`` metrics family (``faults.worker_crash``,
+  ``faults.pool_retry``, ``faults.recovered_chunks/tasks``).
+* **Diagnosable failures** — an exception raised by ``fn`` for one
+  item is wrapped in :class:`TaskError` naming the workload label, the
+  item index and the chunk it ran in, so one bad draw out of 10k is
+  locatable from the traceback alone.
 * **Observability round-trip** — each worker records into its own
   metrics registry (and, when the parent is tracing, its own span
   collector); the payloads ride back with the results, metrics merge
@@ -30,24 +42,56 @@ Randomness: workloads never share one generator across tasks.  Instead
 :func:`spawn_seed_sequences` derives one independent
 :class:`numpy.random.SeedSequence` child per task, so each task's
 stream is identical whether it runs serially, or on any worker of any
-pool — the determinism contract the equivalence tests pin down.
+pool — the determinism contract the equivalence tests pin down.  The
+same property is what makes crash recovery exact: re-running a chunk
+walks the very streams the dead worker would have walked.
 """
 
 from __future__ import annotations
 
 import math
-import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.runtime import trace
+from repro.runtime import faults, trace
 from repro.runtime.metrics import METRICS
 
 #: True inside a pool worker — makes nested parallelism collapse to
 #: the serial path instead of spawning pools from pool workers.
 _IN_WORKER = False
+
+
+class TaskError(RuntimeError):
+    """One item of a :func:`parallel_map` workload failed.
+
+    Carries enough context to locate the failure in a large sweep:
+    the workload ``label`` (callers pass one; the callable's name
+    otherwise), the ``item_index`` into the original sequence, and the
+    ``chunk_index`` it was dispatched in (``None`` on the serial
+    path).  The original exception is summarized in ``cause_summary``
+    and chained as ``__cause__`` within the raising process; the
+    summary survives the pickle across the pool boundary, where
+    ``__cause__`` does not.
+    """
+
+    def __init__(self, label: str, item_index: int,
+                 chunk_index: Optional[int], cause_summary: str):
+        # Positional args keep the default exception pickling
+        # (``(cls, self.args)``) working across the pool boundary.
+        super().__init__(label, item_index, chunk_index, cause_summary)
+        self.label = label
+        self.item_index = item_index
+        self.chunk_index = chunk_index
+        self.cause_summary = cause_summary
+
+    def __str__(self) -> str:
+        where = ("the serial path" if self.chunk_index is None
+                 else f"chunk {self.chunk_index}")
+        return (f"item {self.item_index} of {self.label!r} failed on "
+                f"{where}: {self.cause_summary}")
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -69,20 +113,63 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     configured = runtime.configured_workers()
     if configured is not None:
         return configured
-    env = os.environ.get("REPRO_WORKERS", "").strip()
-    if env:
-        try:
-            value = int(env)
-        except ValueError as exc:
-            raise ValueError(
-                f"REPRO_WORKERS must be an integer, got {env!r}") from exc
-        if value < 1:
+    env = runtime.env_int("REPRO_WORKERS")
+    if env is not None:
+        if env < 1:
             raise ValueError("REPRO_WORKERS must be >= 1")
-        return value
+        return env
     return 1
 
 
-_ChunkPayload = Tuple[Callable[[Any], Any], List[Any], bool]
+def resolve_max_retries(max_retries: Optional[int] = None) -> int:
+    """Pool rebuild attempts after a mid-run worker crash.
+
+    Resolution order: the explicit argument, the :func:`configure`
+    override (CLI ``--max-retries``), the ``REPRO_MAX_RETRIES``
+    environment variable, then 0 — by default a crash degrades
+    straight to the deterministic serial re-run of the unfinished
+    chunks.
+    """
+    if max_retries is not None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        return max_retries
+    from repro import runtime
+    configured = runtime.configured_max_retries()
+    if configured is not None:
+        return configured
+    env = runtime.env_int("REPRO_MAX_RETRIES")
+    if env is not None:
+        if env < 0:
+            raise ValueError("REPRO_MAX_RETRIES must be >= 0")
+        return env
+    return 0
+
+
+def _apply_items(fn: Callable[[Any], Any], items: Sequence[Any], *,
+                 label: str, start: int,
+                 chunk_index: Optional[int]) -> List[Any]:
+    """``[fn(x) for x in items]`` with :class:`TaskError` wrapping.
+
+    ``start`` is the offset of ``items[0]`` in the original sequence,
+    so the wrapped error names the global item index.
+    """
+    results: List[Any] = []
+    for offset, item in enumerate(items):
+        try:
+            results.append(fn(item))
+        except TaskError:
+            raise  # nested parallel_map already attributed it
+        except Exception as exc:
+            raise TaskError(label, start + offset, chunk_index,
+                            f"{type(exc).__name__}: {exc}") from exc
+    return results
+
+
+#: (fn, chunk items, capture trace?, chunk index, start offset,
+#:  workload label, worker-side fault specs)
+_ChunkPayload = Tuple[Callable[[Any], Any], List[Any], bool, int, int,
+                      str, Tuple[faults.FaultSpec, ...]]
 _ChunkResult = Tuple[List[Any], dict, List[trace.Event]]
 
 
@@ -92,20 +179,40 @@ def _run_chunk(payload: _ChunkPayload) -> _ChunkResult:
     The worker's registry is reset first (pool workers are reused
     across chunks and, under ``fork``, inherit the parent's totals),
     so the returned payload is exactly this chunk's contribution.
+    Trace capture ends in the ``finally`` block: a chunk whose ``fn``
+    raises must not leave the reused worker in capture mode, or every
+    later chunk on that worker would leak its spans into a dead
+    collector.
     """
     global _IN_WORKER
-    fn, chunk, capture_trace = payload
+    fn, chunk, capture_trace, chunk_index, start, label, specs \
+        = payload
     _IN_WORKER = True
     METRICS.reset()
     collector = trace.begin_worker_capture() if capture_trace else None
+    events: List[trace.Event] = []
     try:
-        with trace.span("parallel.chunk", items=len(chunk)):
-            results = [fn(item) for item in chunk]
+        faults.fire_chunk_faults(specs, chunk_index)
+        with trace.span("parallel.chunk", items=len(chunk),
+                        chunk=chunk_index):
+            results = _apply_items(fn, chunk, label=label, start=start,
+                                   chunk_index=chunk_index)
     finally:
         _IN_WORKER = False
-    events = (trace.end_worker_capture(collector)
-              if collector is not None else [])
+        if collector is not None:
+            events = trace.end_worker_capture(collector)
     return results, METRICS.to_payload(), events
+
+
+def _new_pool(workers: int, chunks: int
+              ) -> Optional[ProcessPoolExecutor]:
+    """A pool sized for ``chunks``, or ``None`` where pools cannot
+    start (restricted environments: no /dev/shm, no fork)."""
+    try:
+        return ProcessPoolExecutor(max_workers=min(workers, chunks))
+    except (OSError, PermissionError, NotImplementedError):
+        METRICS.count("parallel.pool_unavailable")
+        return None
 
 
 def parallel_map(
@@ -114,6 +221,8 @@ def parallel_map(
     *,
     workers: Optional[int] = None,
     chunk: Optional[int] = None,
+    label: Optional[str] = None,
+    max_retries: Optional[int] = None,
 ) -> List[Any]:
     """``[fn(x) for x in items]``, possibly across worker processes.
 
@@ -121,41 +230,94 @@ def parallel_map(
     default the items are split evenly, one chunk per worker.  The
     chunking (and therefore any chunk-indexed seeding done by the
     caller) is a pure function of the inputs.
+
+    ``label`` names the workload in :class:`TaskError` diagnostics
+    (defaults to the callable's name).  ``max_retries`` bounds pool
+    rebuilds after a mid-run worker death before the remaining chunks
+    re-run serially (see :func:`resolve_max_retries`); either way the
+    results are bit-identical to a clean run.
     """
     items = list(items)
     workers = resolve_workers(workers)
+    max_retries = resolve_max_retries(max_retries)
     if chunk is not None and chunk < 1:
         raise ValueError("chunk must be >= 1")
+    if label is None:
+        label = getattr(fn, "__qualname__", None) or repr(fn)
+    # Parse (and thereby validate) any armed fault spec up front: a
+    # malformed REPRO_FAULTS must fail loudly even on the serial
+    # path, never silently disable the chaos that was asked for.
+    worker_specs = faults.worker_faults()
     METRICS.count("parallel.tasks", len(items))
     if workers <= 1 or len(items) <= 1:
         with METRICS.timer("parallel.serial"):
-            return [fn(item) for item in items]
+            return _apply_items(fn, items, label=label, start=0,
+                                chunk_index=None)
 
     if chunk is None:
         chunk = max(1, math.ceil(len(items) / workers))
-    chunks = [items[start:start + chunk]
-              for start in range(0, len(items), chunk)]
-    try:
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
-    except (OSError, PermissionError, NotImplementedError):
-        # Restricted environments (no /dev/shm, no fork) fall back to
-        # the serial path instead of failing the workload.
-        METRICS.count("parallel.pool_unavailable")
+    starts = list(range(0, len(items), chunk))
+    chunks = [items[start:start + chunk] for start in starts]
+    pool = _new_pool(workers, len(chunks))
+    if pool is None:
+        # Restricted environments fall back to the serial path
+        # instead of failing the workload.
         with METRICS.timer("parallel.serial"):
-            return [fn(item) for item in items]
+            return _apply_items(fn, items, label=label, start=0,
+                                chunk_index=None)
 
     capture_trace = trace.TRACER.enabled
-    payloads = [(fn, part, capture_trace) for part in chunks]
     results: List[Any] = []
+    done = 0        # chunks fully collected, in order
+    retries = 0
     with trace.span("parallel.map", tasks=len(items), workers=workers,
                     chunks=len(chunks)) as dispatch, \
-            METRICS.timer("parallel.pool"), pool:
-        for chunk_results, metrics_payload, events \
-                in pool.map(_run_chunk, payloads):
-            results.extend(chunk_results)
-            METRICS.merge_payload(metrics_payload)
-            trace.TRACER.splice_payload(events,
-                                        parent_id=dispatch.span_id)
+            METRICS.timer("parallel.pool"):
+        while pool is not None:
+            payloads = [(fn, chunks[index], capture_trace, index,
+                         starts[index], label, worker_specs)
+                        for index in range(done, len(chunks))]
+            try:
+                with pool:
+                    for chunk_results, metrics_payload, events \
+                            in pool.map(_run_chunk, payloads):
+                        results.extend(chunk_results)
+                        METRICS.merge_payload(metrics_payload)
+                        trace.TRACER.splice_payload(
+                            events, parent_id=dispatch.span_id)
+                        done += 1
+                pool = None
+            except BrokenProcessPool:
+                # A worker died mid-run (segfault, OOM kill, injected
+                # crash).  Everything already collected is in order;
+                # re-dispatch the rest on a fresh pool while retries
+                # remain, then degrade to the serial path below.
+                METRICS.count("faults.worker_crash")
+                dispatch.count("worker_crashes")
+                if retries < max_retries:
+                    retries += 1
+                    METRICS.count("faults.pool_retry")
+                    pool = _new_pool(workers, len(chunks) - done)
+                else:
+                    pool = None
+        if done < len(chunks):
+            METRICS.count("faults.recovered_chunks",
+                          len(chunks) - done)
+            METRICS.count("faults.recovered_tasks",
+                          sum(len(part) for part in chunks[done:]))
+            dispatch.annotate(recovered_chunks=len(chunks) - done)
+            for index in range(done, len(chunks)):
+                # Deterministic re-run: fn is pure per item and any
+                # RNG stream is task-owned, so the serial replay of an
+                # unfinished chunk reproduces the dead worker's
+                # results bit-for-bit.  Injection points never fire
+                # here (fire_chunk_faults is worker-only).
+                with trace.span("parallel.recover",
+                                chunk=index,
+                                items=len(chunks[index])):
+                    results.extend(_apply_items(
+                        fn, chunks[index], label=label,
+                        start=starts[index], chunk_index=index))
     return results
 
 

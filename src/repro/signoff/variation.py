@@ -353,6 +353,13 @@ def monte_carlo_line_delay(
     ``"model"`` and ``"kernel"`` require the matching closed-form
     ``model`` and a uniformly sized ``line``, and produce identical
     sample vectors to each other.
+
+    Fault tolerance: because every draw owns its stream, a worker
+    that dies mid-sweep is survived — ``parallel_map`` re-runs the
+    unfinished draws and the distribution is bit-identical to an
+    undisturbed run (``faults.worker_crash`` counts the recovery). A
+    draw that *fails* raises :class:`repro.runtime.TaskError` naming
+    the draw's task index under the ``variation.*`` labels above.
     """
     if samples < 2:
         raise ValueError("need at least two samples")
@@ -373,8 +380,11 @@ def monte_carlo_line_delay(
                                     streams[0]))
             tasks = [(line, input_slew, variation, stream)
                      for stream in streams[1:]]
-            draws: List[float] = parallel_map(_sample_task, tasks,
-                                              workers=workers)
+            # The label puts the draw index in any TaskError, so one
+            # diverging sample out of 10k names itself in the traceback.
+            draws: List[float] = parallel_map(
+                _sample_task, tasks, workers=workers,
+                label="variation.golden_draw")
         elif engine == "model":
             nominal = _model_sample_task(
                 (model, line, input_slew, VariationModel(0.0, 0.0),
@@ -382,7 +392,8 @@ def monte_carlo_line_delay(
             tasks = [(model, line, input_slew, variation, stream)
                      for stream in streams[1:]]
             draws = parallel_map(_model_sample_task, tasks,
-                                 workers=workers)
+                                 workers=workers,
+                                 label="variation.model_draw")
         else:
             nominal, draws = _kernel_monte_carlo(
                 model, line, input_slew, variation, streams)

@@ -1,0 +1,9 @@
+"""Seeded violation: a wall clock in runtime code that is *not* the
+fault harness — only the ``runtime/faults.py`` suffix (and the
+observability layer) is sanctioned, not the whole runtime package."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

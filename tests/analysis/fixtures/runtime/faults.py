@@ -1,0 +1,17 @@
+"""Clean fixture: the fault-injection harness is path-sanctioned.
+
+This file's path ends with ``runtime/faults.py``, the one suffix
+besides the observability layer that the ``determinism`` rule allows
+to touch wall clocks — injection points (straggler delays, crash
+sites) are the only sanctioned nondeterminism hooks.  The identical
+calls anywhere else under ``runtime/`` are violations (see
+``runtime/clock_bad.py``).
+"""
+
+import time
+
+
+def straggle(delay: float) -> float:
+    started = time.time()
+    time.sleep(delay)
+    return time.time() - started

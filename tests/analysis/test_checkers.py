@@ -13,6 +13,7 @@ BAD_FIXTURES = {
     "models/units_bad.py": ("units", 2),
     "determinism_bad.py": ("determinism", 6),
     "kernels/determinism_bad.py": ("determinism", 3),
+    "runtime/clock_bad.py": ("determinism", 1),
     "worker_safety_bad.py": ("worker-safety", 2),
     "cache_purity_bad.py": ("cache-purity", 2),
     "span_hygiene_bad.py": ("span-hygiene", 1),
@@ -22,6 +23,9 @@ CLEAN_FIXTURES = (
     "models/units_clean.py",
     "determinism_clean.py",
     "kernels/determinism_clean.py",
+    # The fault-injection harness path suffix is the one sanctioned
+    # nondeterminism hook: clocks allowed in runtime/faults.py only.
+    "runtime/faults.py",
     "worker_safety_clean.py",
     "cache_purity_clean.py",
     "span_hygiene_clean.py",

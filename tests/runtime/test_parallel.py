@@ -5,6 +5,7 @@ import pytest
 
 from repro import runtime
 from repro.runtime import (
+    TaskError,
     parallel_map,
     resolve_workers,
     spawn_generators,
@@ -85,9 +86,13 @@ class TestParallelMap:
         with pytest.raises(ValueError):
             parallel_map(_square, [1, 2], workers=2, chunk=0)
 
-    def test_worker_exception_propagates(self):
-        with pytest.raises(ValueError):
+    def test_worker_exception_propagates_with_context(self):
+        """A failing item aborts the workload as a TaskError that
+        names the item, with the original exception summarized."""
+        with pytest.raises(TaskError) as info:
             parallel_map(_fail_on_three, [1, 2, 3, 4], workers=2)
+        assert info.value.item_index == 2
+        assert "ValueError" in str(info.value)
 
     def test_env_serial_fallback(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "1")
