@@ -12,6 +12,9 @@ Installed as the ``repro`` console script::
     repro report trace.jsonl            # summarize a recorded trace
     repro lint src tests                # project-specific AST lint
     repro bench --quick                 # scalar-vs-kernel benchmarks
+    repro bench yield --quick           # tail-yield estimator bench
+    repro mc 90nm --estimator importance --samples 200
+                                        # variance-reduced Monte Carlo
 
 Every subcommand prints the same artifacts the benchmark suite saves.
 
@@ -238,17 +241,60 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import run_bench
-    status, report = run_bench(node=args.node, quick=args.quick,
-                               samples=args.samples,
-                               output=args.output)
+    if args.suite == "yield":
+        from repro.bench_yield import run_yield_bench
+        output = args.output or "BENCH_yield.json"
+        status, report = run_yield_bench(node=args.node,
+                                         quick=args.quick,
+                                         samples=args.samples,
+                                         output=output)
+        error = ("importance sampling needed more golden evals than "
+                 "plain MC for the reference tail")
+    else:
+        from repro.bench import run_bench
+        output = args.output or "BENCH_kernels.json"
+        status, report = run_bench(node=args.node, quick=args.quick,
+                                   samples=args.samples,
+                                   output=output)
+        error = "kernel/scalar equivalence drifted beyond tolerance"
     for line in report["formatted"]:
         print(line)
-    print(f"report written to {args.output}")
+    print(f"report written to {output}")
     if status != 0:
-        print("error: kernel/scalar equivalence drifted beyond "
-              "tolerance", file=sys.stderr)
+        print(f"error: {error}", file=sys.stderr)
     return status
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    from repro.experiments.suite import ModelSuite
+    from repro.signoff.extraction import extract_buffered_line
+    from repro.signoff.variation import monte_carlo_line_delay
+    suite = ModelSuite.for_node(args.node)
+    model = suite.proposed
+    line = extract_buffered_line(suite.tech, model.config,
+                                 mm(args.length_mm), args.repeaters,
+                                 args.size)
+    critical = ps(args.critical_ps) if args.critical_ps else None
+    target = ps(args.target_ci) if args.target_ci else None
+    result = monte_carlo_line_delay(
+        line, ps(args.slew_ps), samples=args.samples, seed=args.seed,
+        engine=args.engine, model=model, estimator=args.estimator,
+        critical_delay=critical, target_ci=target, lanes=args.lanes,
+        beta=args.beta, prepass_samples=args.prepass)
+    print(f"{args.length_mm:g} mm line @ {args.node}, "
+          f"{args.repeaters} repeaters of size x{args.size:g} "
+          f"({args.engine} engine, {args.estimator} estimator):")
+    print("  " + result.format())
+    if result.report is not None:
+        print("  " + result.report.format())
+    threshold = critical
+    if threshold is None and result.report is not None \
+            and result.report.critical_delay:
+        threshold = result.report.critical_delay
+    if threshold is None:
+        threshold = result.mean + 3.0 * result.sigma
+    print("  " + result.tail_probability(threshold).format())
+    return 0
 
 
 def _cmd_widths(args: argparse.Namespace) -> int:
@@ -412,18 +458,68 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.set_defaults(func=_cmd_lint)
 
     bench_cmd = add_parser(
-        "bench", help="time scalar vs vectorized-kernel paths")
-    bench_cmd.add_argument("node", nargs="?", default="90nm")
+        "bench", help="tracked benchmark suites")
+    bench_cmd.add_argument("suite", nargs="?", default="kernels",
+                           choices=["kernels", "yield"],
+                           help="'kernels' times scalar vs vectorized "
+                                "paths; 'yield' compares tail-yield "
+                                "estimators on the golden engine")
+    bench_cmd.add_argument("--node", default="90nm",
+                           help="technology node (default 90nm)")
     bench_cmd.add_argument("--quick", action="store_true",
                            help="smaller sample counts (CI smoke)")
     bench_cmd.add_argument("--samples", type=int, default=None,
                            metavar="N",
-                           help="Monte-Carlo draws (default 10000, "
-                                "2000 with --quick)")
-    bench_cmd.add_argument("--output", default="BENCH_kernels.json",
-                           metavar="FILE",
-                           help="benchmark report destination")
+                           help="Monte-Carlo draws (kernels: default "
+                                "10000, 2000 with --quick; yield: "
+                                "256, 64 with --quick)")
+    bench_cmd.add_argument("--output", default=None, metavar="FILE",
+                           help="benchmark report destination "
+                                "(default BENCH_<suite>.json)")
     bench_cmd.set_defaults(func=_cmd_bench)
+
+    mc_cmd = add_parser(
+        "mc", help="Monte-Carlo line delay under process variation")
+    mc_cmd.add_argument("node", nargs="?", default="90nm")
+    mc_cmd.add_argument("--length-mm", type=float, default=2.0,
+                        help="line length in millimeters")
+    mc_cmd.add_argument("--repeaters", type=int, default=2,
+                        help="repeater count")
+    mc_cmd.add_argument("--size", type=float, default=24.0,
+                        help="repeater size (multiple of minimum)")
+    mc_cmd.add_argument("--slew-ps", type=float, default=100.0,
+                        help="input slew in picoseconds")
+    mc_cmd.add_argument("--samples", type=int, default=64,
+                        metavar="N", help="Monte-Carlo draws")
+    mc_cmd.add_argument("--seed", type=int, default=2010)
+    mc_cmd.add_argument("--engine", default="kernel",
+                        choices=["golden", "model", "kernel"])
+    mc_cmd.add_argument("--estimator", default="plain",
+                        choices=["plain", "importance",
+                                 "importance-sn", "qmc",
+                                 "control-variate"],
+                        help="sampling strategy (see "
+                             "docs/yield-estimation.md)")
+    mc_cmd.add_argument("--critical-ps", type=float, default=None,
+                        metavar="PS",
+                        help="critical delay (ps) the tail estimate "
+                             "and the importance shift target "
+                             "(default: mean + 3 sigma)")
+    mc_cmd.add_argument("--target-ci", type=float, default=None,
+                        metavar="PS",
+                        help="keep doubling draws until the 95%% CI "
+                             "half-width on the mean is below PS "
+                             "picoseconds")
+    mc_cmd.add_argument("--lanes", type=int, default=8,
+                        help="scrambled-Sobol lanes (qmc estimator)")
+    mc_cmd.add_argument("--beta", type=float, default=None,
+                        help="control-variate coefficient (default: "
+                             "estimated online)")
+    mc_cmd.add_argument("--prepass", type=int, default=4096,
+                        metavar="N",
+                        help="cheap kernel draws for the pre-pass of "
+                             "the model-backed estimators")
+    mc_cmd.set_defaults(func=_cmd_mc)
 
     return parser
 

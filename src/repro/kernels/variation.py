@@ -50,6 +50,17 @@ def effective_widths(device, width: float, vdd: float,
             * (overdrive / nominal_overdrive) ** device.alpha)
 
 
+def clip_factor_matrix(factors: np.ndarray) -> np.ndarray:
+    """Clip a ``(samples, stages, 4)`` factor matrix to physical
+    values, in place: drive factors floored at 0.5, vth factors into
+    [0.5, 1.5] — the batched mirror of the scalar sampler's per-draw
+    clips (``_clip_drive`` / ``_clip_vth``).  Returns ``factors``.
+    """
+    factors[:, :, 0::2] = np.maximum(factors[:, :, 0::2], 0.5)
+    factors[:, :, 1::2] = np.clip(factors[:, :, 1::2], 0.5, 1.5)
+    return factors
+
+
 def line_delay_batch(
     model: BufferedInterconnectModel,
     length: float,

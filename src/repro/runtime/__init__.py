@@ -61,6 +61,7 @@ from repro.runtime.parallel import (
     resolve_max_retries,
     resolve_workers,
     spawn_generators,
+    spawn_labeled_sequences,
     spawn_seed_sequences,
 )
 from repro.runtime.stats import STATS, RuntimeStats
@@ -107,6 +108,7 @@ __all__ = [
     "resolve_workers",
     "span",
     "spawn_generators",
+    "spawn_labeled_sequences",
     "spawn_seed_sequences",
     "summarize_trace",
     "utc_timestamp",

@@ -50,6 +50,7 @@ walks the very streams the dead worker would have walked.
 from __future__ import annotations
 
 import math
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple
@@ -339,3 +340,23 @@ def spawn_generators(seed: int, count: int
     """One independent :class:`numpy.random.Generator` per task."""
     return [np.random.default_rng(seq)
             for seq in spawn_seed_sequences(seed, count)]
+
+
+def spawn_labeled_sequences(seed: int, label: str, count: int
+                            ) -> List[np.random.SeedSequence]:
+    """``count`` child sequences of a *labeled* root seed.
+
+    A workload that needs auxiliary streams next to its per-task
+    streams (a model-engine pre-pass, per-lane Sobol scrambling keys)
+    must not consume children of the plain ``SeedSequence(seed)`` root
+    — that root's child ``i`` is contractually the stream of task
+    ``i``.  Deriving the root entropy as ``(seed, crc32(label))``
+    keeps every labeled family independent of the task streams and of
+    each other, while staying a pure function of ``(seed, label)`` so
+    the determinism contract (any ``workers`` count, crash recovery)
+    holds for the auxiliary draws too.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    key = zlib.crc32(label.encode("utf-8"))
+    return list(np.random.SeedSequence([seed, key]).spawn(count))

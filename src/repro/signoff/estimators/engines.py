@@ -1,0 +1,217 @@
+"""Factor-matrix sampling shared by every variance-reduction estimator.
+
+The estimators all work in *z-space*: a draw is a vector of
+``4 * stages`` standard normals (per-stage nMOS drive, nMOS vth, pMOS
+drive, pMOS vth — the scalar sampler's draw order), mapped to
+multiplicative perturbation factors by :func:`factor_matrix` with
+exactly the operation sequence of the ``"kernel"`` engine — multiply by
+the tiled sigmas, add one, clip to physical ranges — so a zero-shift
+factor matrix built from the task streams is bit-identical to what the
+plain engines draw.  Working in z-space is what makes the estimators
+composable: an importance shift is a vector addition, a likelihood
+ratio is a Gaussian density ratio, and a Sobol lane is just another
+source of z rows.
+
+:func:`evaluate_factors` then evaluates a factor matrix on any engine:
+one :func:`repro.kernels.variation.line_delay_batch` call for
+``"kernel"``, an order-preserving :func:`repro.runtime.parallel_map`
+over per-row tasks for ``"model"`` and ``"golden"``.  The golden rows
+apply the factors through the same ``dataclasses.replace`` the
+variation model itself performs, so a ones row reproduces the nominal
+delay bit-for-bit and zero-shift rows reproduce the plain golden draws.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.models.wire import effective_load_capacitance, wire_delay
+from repro.runtime import METRICS, parallel_map
+from repro.signoff import variation as _variation
+from repro.signoff.extraction import ExtractedLine
+from repro.signoff.golden import simulate_stage
+
+
+def sigma_vector(variation: "_variation.VariationModel",
+                 stages: int) -> np.ndarray:
+    """The per-column sigmas of the factor matrix (dimensionless),
+    tiled over ``stages`` in the scalar sampler's draw order."""
+    return np.tile([variation.drive_sigma, variation.vth_sigma,
+                    variation.drive_sigma, variation.vth_sigma],
+                   stages)
+
+
+def standard_normal_rows(streams: Sequence[np.random.SeedSequence],
+                         dimensions: int) -> np.ndarray:
+    """One row of ``dimensions`` standard normals per stream.
+
+    Row ``i`` is exactly the draw sequence stream ``i``'s generator
+    would emit scalar-by-scalar — the bit-compatibility the kernel
+    engine's equivalence tests pin down.
+    """
+    rows = np.empty((len(streams), dimensions))
+    for index, stream in enumerate(streams):
+        rows[index] = np.random.default_rng(stream) \
+            .standard_normal(dimensions)
+    return rows
+
+
+def factor_matrix(z: np.ndarray,
+                  variation: "_variation.VariationModel",
+                  stages: int,
+                  shift: Optional[np.ndarray] = None,
+                  nominal_first: bool = False) -> np.ndarray:
+    """Map z rows to a clipped ``(rows, stages, 4)`` factor matrix.
+
+    Replicates the ``"kernel"`` engine's operation order bit-for-bit:
+    scale by the tiled sigmas, add 1.0, then clip drives to >= 0.5 and
+    vth factors into [0.5, 1.5] (all factors dimensionless).  ``shift``
+    (an importance-sampling mean shift in z-space) is added to ``z``
+    *before* scaling, so a ``None``/zero shift changes nothing.  With
+    ``nominal_first`` row 0 is forced to the all-ones nominal row
+    after scaling, exactly as the kernel engine treats stream 0.
+    """
+    z = np.asarray(z, dtype=float)
+    if shift is not None:
+        z = z + shift
+    factors = z * sigma_vector(variation, stages)
+    factors += 1.0
+    if nominal_first:
+        factors[0] = 1.0
+    factors = factors.reshape(z.shape[0], stages, 4)
+    from repro.kernels.variation import clip_factor_matrix
+    return clip_factor_matrix(factors)
+
+
+def nominal_factors(stages: int) -> np.ndarray:
+    """The single all-ones (nominal, factor == 1.0) row."""
+    return np.ones((1, stages, 4))
+
+
+def _golden_factor_task(task) -> float:
+    """One golden evaluation of an explicit factor row (seconds).
+
+    Applies each stage's four factors through the same
+    ``dataclasses.replace`` that ``VariationModel.perturb_device``
+    performs, then simulates the stage chain exactly like
+    :func:`repro.signoff.variation.sample_line_delay` — same flow,
+    factors supplied instead of drawn.
+    """
+    line, input_slew, row = task
+    METRICS.count("variation.samples")
+    with METRICS.timer("variation.sample"):
+        factors = np.asarray(row)
+        slew = input_slew
+        rising = True
+        total = 0.0
+        for index, stage in enumerate(line.stages):
+            n_drive, n_vth, p_drive, p_vth = factors[index]
+            perturbed = dataclasses.replace(
+                line.tech,
+                nmos=dataclasses.replace(
+                    line.tech.nmos,
+                    k_sat=line.tech.nmos.k_sat * n_drive,
+                    vth=line.tech.nmos.vth * n_vth),
+                pmos=dataclasses.replace(
+                    line.tech.pmos,
+                    k_sat=line.tech.pmos.k_sat * p_drive,
+                    vth=line.tech.pmos.vth * p_vth),
+            )
+            timing = simulate_stage(
+                perturbed,
+                stage.driver_size,
+                stage.wire.resistance,
+                stage.wire.total_cap(line.config.delay_miller),
+                line.stage_load_cap(index),
+                slew,
+                rising,
+            )
+            total += timing.delay
+            slew = timing.output_slew
+            rising = not rising
+        return total
+
+
+def _model_factor_task(task) -> float:
+    """One closed-form evaluation of an explicit factor row (seconds).
+
+    The factor-driven mirror of
+    ``repro.signoff.variation._model_sample_line_delay``: identical
+    stage chain, factors supplied instead of drawn.
+    """
+    model, line, input_slew, row = task
+    METRICS.count("variation.samples")
+    with METRICS.timer("variation.sample"):
+        factors = np.asarray(row)
+        count, size = _variation._uniform_geometry(line)
+        segment = line.length / count
+        repeater = model.repeater_model()
+        input_cap = repeater.input_capacitance(size)
+        wn, wp = model.tech.inverter_widths(size)
+        slew = input_slew
+        rising = True
+        total = 0.0
+        inverting = model.calibration.kind.inverting
+        for stage in range(count):
+            n_drive, n_vth, p_drive, p_vth = factors[stage]
+            next_cap = (input_cap if stage + 1 < count
+                        else line.receiver_cap)
+            load = effective_load_capacitance(model.config, segment,
+                                              next_cap)
+            d_wire = wire_delay(model.config, segment, next_cap)
+            direction = model.calibration.direction(rising)
+            if rising:
+                device, width = model.tech.pmos, wp
+                drive_factor, vth_factor = p_drive, p_vth
+            else:
+                device, width = model.tech.nmos, wn
+                drive_factor, vth_factor = n_drive, n_vth
+            wr = _variation._effective_width(
+                device, width, model.tech.vdd, drive_factor,
+                vth_factor)
+            total += direction.delay(slew, wr, load) + d_wire
+            slew = direction.output_slew(load, slew, wr)
+            if inverting:
+                rising = not rising
+        return total
+
+
+def evaluate_factors(
+    engine: str,
+    model,
+    line: ExtractedLine,
+    input_slew: float,
+    factors: np.ndarray,
+    workers: Optional[int] = None,
+) -> np.ndarray:
+    """Line delay (seconds) of every factor row, on the chosen engine.
+
+    ``"kernel"`` evaluates all rows in one batched call; ``"model"``
+    and ``"golden"`` map the rows through :func:`parallel_map` under
+    the engines' usual ``variation.*`` task labels, preserving the
+    order and therefore the determinism contract for any ``workers``
+    count.  ``input_slew`` is in seconds.
+    """
+    factors = np.asarray(factors, dtype=float)
+    if engine == "kernel":
+        from repro.kernels.variation import line_delay_batch
+        count, size = _variation._uniform_geometry(line)
+        METRICS.count("variation.samples", factors.shape[0])
+        return np.asarray(line_delay_batch(
+            model, line.length, count, size, line.receiver_cap,
+            input_slew, factors))
+    if engine == "model":
+        tasks: List = [(model, line, input_slew, row)
+                       for row in factors]
+        delays = parallel_map(_model_factor_task, tasks,
+                              workers=workers,
+                              label="variation.model_draw")
+    else:
+        tasks = [(line, input_slew, row) for row in factors]
+        delays = parallel_map(_golden_factor_task, tasks,
+                              workers=workers,
+                              label="variation.golden_draw")
+    return np.asarray(delays)

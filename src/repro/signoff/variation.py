@@ -31,6 +31,13 @@ Three evaluation engines share that contract:
   lanes of one batched call.  Factor matrices are drawn from the very
   same spawned streams, so the sample vector is bit-identical to the
   ``"model"`` engine for any ``workers`` count.
+
+Orthogonally to the engine, the ``estimator`` argument picks the
+sampling strategy (:mod:`repro.signoff.estimators`): plain Monte
+Carlo, model-steered importance sampling, scrambled-Sobol
+quasi-Monte Carlo, or a model control variate — all returning the
+same result type extended with a standard-error/ESS report, all
+honoring the determinism contract above.
 """
 
 from __future__ import annotations
@@ -42,8 +49,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.models.wire import effective_load_capacitance, wire_delay
-from repro.runtime import METRICS, parallel_map, span, \
-    spawn_seed_sequences
+from repro.runtime import METRICS, span
 from repro.signoff.extraction import ExtractedLine
 from repro.signoff.golden import simulate_stage
 from repro.tech.parameters import DeviceParameters, \
@@ -293,25 +299,19 @@ def _kernel_monte_carlo(
     matches the ``"model"`` engine bit-for-bit.
     """
     from repro.kernels.variation import line_delay_batch
+    from repro.signoff.estimators.engines import (
+        factor_matrix,
+        standard_normal_rows,
+    )
 
     count, size = _uniform_geometry(line)
-    sigma_tile = np.tile([variation.drive_sigma, variation.vth_sigma,
-                          variation.drive_sigma, variation.vth_sigma],
-                         count)
-    factors = np.empty((len(streams), 4 * count))
-    for index, stream in enumerate(streams):
-        factors[index] = np.random.default_rng(stream) \
-            .standard_normal(4 * count)
     # Generator.normal(loc, scale) computes loc + scale * z in exactly
-    # this order, so scaling the stacked raw draws outside the loop
-    # keeps every factor bit-identical to per-stream normal() calls
-    # (and the clips are elementwise, so batching them is free).
-    factors *= sigma_tile
-    factors += 1.0
-    factors[0] = 1.0  # stream 0 is the nominal: sigma-0 draws are 1.0
-    factors = factors.reshape(len(streams), count, 4)
-    factors[:, :, 0::2] = np.maximum(factors[:, :, 0::2], 0.5)
-    factors[:, :, 1::2] = np.clip(factors[:, :, 1::2], 0.5, 1.5)
+    # the order factor_matrix applies, so building the factor matrix
+    # from the stacked raw draws keeps every factor bit-identical to
+    # per-stream normal() calls.  Stream 0 is the nominal: the
+    # nominal_first row is forced to 1.0 (a sigma-0 draw).
+    z = standard_normal_rows(streams, 4 * count)
+    factors = factor_matrix(z, variation, count, nominal_first=True)
     METRICS.count("variation.samples", len(streams))
     delays = line_delay_batch(model, line.length, count, size,
                               line.receiver_cap, input_slew, factors)
@@ -322,13 +322,20 @@ def _require_closed_form_model(model) -> None:
     from repro.kernels.line import supports_model
     if model is None:
         raise ValueError(
-            "engines 'model' and 'kernel' need the closed-form model; "
-            "pass model=BufferedInterconnectModel(...)")
+            "the 'model'/'kernel' engines and the model-backed "
+            "estimators (importance sampling, control variates) need "
+            "the closed-form model; pass "
+            "model=BufferedInterconnectModel(...)")
     if not supports_model(model):
         raise TypeError(
-            "engines 'model' and 'kernel' evaluate the plain "
-            "BufferedInterconnectModel formula; got "
+            "the closed-form engines and estimators evaluate the "
+            "plain BufferedInterconnectModel formula; got "
             f"{type(model).__name__}")
+
+
+#: Sample-doubling rounds a ``target_ci`` request may spend before
+#: returning the best interval reached so far.
+MAX_TARGET_ROUNDS = 6
 
 
 def monte_carlo_line_delay(
@@ -340,6 +347,12 @@ def monte_carlo_line_delay(
     workers: Optional[int] = None,
     engine: str = "golden",
     model=None,
+    estimator: str = "plain",
+    critical_delay: Optional[float] = None,
+    target_ci: Optional[float] = None,
+    lanes: int = 8,
+    beta: Optional[float] = None,
+    prepass_samples: int = 4096,
 ) -> VariationResult:
     """Monte-Carlo delay distribution of a buffered line driven with
     a ramp of ``input_slew`` seconds.
@@ -354,6 +367,25 @@ def monte_carlo_line_delay(
     ``model`` and a uniformly sized ``line``, and produce identical
     sample vectors to each other.
 
+    ``estimator`` selects the sampling strategy (see
+    :mod:`repro.signoff.estimators`): ``"plain"`` reproduces the
+    historical flow bit-for-bit; ``"importance"``/``"importance-sn"``
+    shift the draws toward delays beyond ``critical_delay`` seconds
+    (default: the model's mean + 3 sigma) with likelihood-ratio
+    reweighting; ``"qmc"`` spreads ``lanes`` scrambled-Sobol lanes;
+    ``"control-variate"`` corrects the mean by the model's known
+    expectation with coefficient ``beta`` (``None`` = estimated).
+    The model-backed estimators spend ``prepass_samples`` cheap
+    kernel draws and therefore need ``model`` even on the golden
+    engine.  The result is a :class:`VariationResult` extended with a
+    standard-error / effective-sample-size report.
+
+    ``target_ci`` (seconds) asks for a 95% confidence interval on the
+    mean no wider than ``2 * target_ci``: the run doubles ``samples``
+    (up to ``MAX_TARGET_ROUNDS`` times) until the half-width reaches
+    the target.  Doubling re-spawns a stream prefix, so the escalation
+    is as deterministic as a single run.
+
     Fault tolerance: because every draw owns its stream, a worker
     that dies mid-sweep is survived — ``parallel_map`` re-runs the
     unfinished draws and the distribution is bit-identical to an
@@ -361,42 +393,59 @@ def monte_carlo_line_delay(
     draw that *fails* raises :class:`repro.runtime.TaskError` naming
     the draw's task index under the ``variation.*`` labels above.
     """
-    if samples < 2:
-        raise ValueError("need at least two samples")
+    # Validate the requested names before anything touches the line
+    # geometry or the model: a typo'd estimator on a non-uniform line
+    # must name the typo, not the geometry.
+    from repro.signoff.estimators import (
+        ESTIMATORS,
+        EstimationRequest,
+        MODEL_BACKED,
+        get_estimator,
+    )
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of "
                          f"{ENGINES}")
-    if engine != "golden":
+    if estimator not in ESTIMATORS:
+        raise ValueError(f"unknown estimator {estimator!r}; expected "
+                         f"one of {ESTIMATORS}")
+    if samples < 2:
+        raise ValueError("need at least two samples")
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    if prepass_samples < 2:
+        raise ValueError("prepass_samples must be >= 2")
+    if target_ci is not None and target_ci <= 0:
+        raise ValueError("target_ci must be positive")
+    if engine != "golden" or estimator in MODEL_BACKED:
         _require_closed_form_model(model)
     if variation is None:
         variation = VariationModel()
-    streams = spawn_seed_sequences(seed, samples + 1)
 
+    run = get_estimator(estimator)
+    request = EstimationRequest(
+        line=line, input_slew=input_slew, samples=samples,
+        variation=variation, seed=seed, workers=workers,
+        engine=engine, model=model, critical_delay=critical_delay,
+        lanes=lanes, beta=beta, prepass_samples=prepass_samples)
     with span("signoff.monte_carlo", samples=samples, seed=seed,
-              stages=len(line.stages), engine=engine) as batch:
-        if engine == "golden":
-            nominal = _sample_task((line, input_slew,
-                                    VariationModel(0.0, 0.0),
-                                    streams[0]))
-            tasks = [(line, input_slew, variation, stream)
-                     for stream in streams[1:]]
-            # The label puts the draw index in any TaskError, so one
-            # diverging sample out of 10k names itself in the traceback.
-            draws: List[float] = parallel_map(
-                _sample_task, tasks, workers=workers,
-                label="variation.golden_draw")
-        elif engine == "model":
-            nominal = _model_sample_task(
-                (model, line, input_slew, VariationModel(0.0, 0.0),
-                 streams[0]))
-            tasks = [(model, line, input_slew, variation, stream)
-                     for stream in streams[1:]]
-            draws = parallel_map(_model_sample_task, tasks,
-                                 workers=workers,
-                                 label="variation.model_draw")
-        else:
-            nominal, draws = _kernel_monte_carlo(
-                model, line, input_slew, variation, streams)
-        batch.annotate(nominal_delay=nominal)
-    return VariationResult(samples=tuple(draws),
-                           nominal_delay=nominal)
+              stages=len(line.stages), engine=engine,
+              estimator=estimator) as batch:
+        result = run(request)
+        from repro.signoff.estimators import CI_Z
+        while (target_ci is not None
+               and request.samples < samples * 2 ** MAX_TARGET_ROUNDS
+               and CI_Z * result.standard_error > target_ci):
+            request = dataclasses.replace(request,
+                                          samples=request.samples * 2)
+            METRICS.count("mc.target_rounds")
+            result = run(request)
+        METRICS.count(f"mc.estimator.{estimator}")
+        report = result.report
+        batch.annotate(nominal_delay=result.nominal_delay)
+        if report is not None:
+            METRICS.count("mc.ess", int(round(report.ess)))
+            METRICS.count("mc.golden_evals", report.golden_evals)
+            METRICS.count("mc.model_evals", report.model_evals)
+            batch.annotate(standard_error=report.standard_error,
+                           ess=report.ess)
+    return result

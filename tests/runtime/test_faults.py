@@ -496,6 +496,31 @@ class TestMonteCarloCrashEquivalence:
         assert METRICS.counters["faults.worker_crash"] >= 1
         assert METRICS.counters["faults.cache_quarantined"] >= 1
 
+    def test_importance_estimator_survives_crash_bit_identically(
+            self, line, suite90):
+        """The variance-reduction estimators inherit the recovery
+        contract: an importance-sampled sweep whose pool dies mid-run
+        re-runs the unfinished draws and lands on the very same
+        samples, weights and corrected estimate."""
+        from repro.signoff.variation import monte_carlo_line_delay
+        from repro.units import ps
+        kwargs = dict(samples=8, seed=77, engine="model",
+                      model=suite90.proposed, estimator="importance",
+                      prepass_samples=64)
+        clean = monte_carlo_line_delay(line, ps(100), workers=1,
+                                       **kwargs)
+        METRICS.reset()
+        with faults.inject("worker_crash", at=0):
+            survived = monte_carlo_line_delay(line, ps(100),
+                                              workers=4, **kwargs)
+        if _pool_was_unavailable():
+            pytest.skip("no process pools in this environment")
+        assert survived.samples == clean.samples
+        assert survived.weights == clean.weights
+        assert survived.mean == clean.mean
+        assert survived.report.ess == clean.report.ess
+        assert METRICS.counters["faults.worker_crash"] >= 1
+
     def test_recovery_lands_in_stats_and_manifest(self, line):
         from repro.runtime import build_manifest
         from repro.signoff.variation import monte_carlo_line_delay

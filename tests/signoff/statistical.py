@@ -1,0 +1,87 @@
+"""Statistical assertion helpers for estimator validation.
+
+Estimator correctness is statistical, not bit-exact: an unbiased
+estimator is allowed to miss the truth on any single run, just not
+systematically.  :func:`assert_unbiased` turns that into a testable
+contract — repeat the estimator over independent fixed seeds, z-test
+the replication mean against an analytic or brute-force reference, and
+fail only when the deviation is statistically significant at ``alpha``.
+
+With ``alpha = 0.01`` a *correct* estimator fails one run in a
+hundred per assertion; the fixed replication seeds make any given test
+run deterministic (it either always passes or always fails for a given
+code state), so a failure is evidence of real bias, not flakiness.
+
+``REPRO_STAT_REPS`` caps the replication count (the CI smoke job runs
+reduced reps); the cap widens the detection threshold but never
+changes which estimates are drawn for a given rep index.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List
+
+import numpy as np
+
+#: Two-sided critical z values per significance level.
+Z_CRITICAL: Dict[float, float] = {0.05: 1.960, 0.01: 2.576,
+                                  0.001: 3.291}
+
+
+def stat_reps(default: int) -> int:
+    """The replication count to use: ``default``, capped by the
+    ``REPRO_STAT_REPS`` environment variable (CI smoke mode)."""
+    raw = os.environ.get("REPRO_STAT_REPS", "").strip()
+    if not raw:
+        return default
+    cap = int(raw)
+    if cap < 3:
+        raise ValueError("REPRO_STAT_REPS must be >= 3")
+    return min(default, cap)
+
+
+def replication_seeds(root: int, count: int) -> List[int]:
+    """``count`` distinct deterministic seeds for independent
+    replications — a pure function of ``(root, count)`` so every test
+    run draws the identical estimates."""
+    return [root + 7919 * index for index in range(count)]
+
+
+def assert_unbiased(estimator: Callable[[int], float], truth: float,
+                    *, n_reps: int, alpha: float = 0.01,
+                    truth_se: float = 0.0, seed: int = 90210,
+                    label: str = "estimator") -> float:
+    """Assert ``estimator(seed_i)`` is an unbiased estimate of
+    ``truth`` via a two-sided z-test; returns the z score
+    (dimensionless).
+
+    ``estimator`` maps a seed to one independent estimate; it runs
+    once per replication seed.  ``truth`` and ``truth_se`` are in the
+    estimator's own output unit — ``truth_se`` is the standard error
+    of the reference itself (non-zero for a brute-force Monte-Carlo
+    truth), folded into the test in quadrature.  ``alpha`` is the
+    significance level, a probability.
+    """
+    if alpha not in Z_CRITICAL:
+        raise ValueError(f"alpha must be one of "
+                         f"{sorted(Z_CRITICAL)}, got {alpha}")
+    seeds = replication_seeds(seed, n_reps)
+    estimates = np.asarray([float(estimator(value))
+                            for value in seeds])
+    mean = float(np.mean(estimates))
+    spread = float(np.std(estimates, ddof=1))
+    total_se = float(np.sqrt(spread ** 2 / n_reps + truth_se ** 2))
+    if total_se == 0.0:
+        assert mean == truth, (
+            f"{label}: zero-variance estimates {mean!r} != truth "
+            f"{truth!r}")
+        return 0.0
+    z = (mean - truth) / total_se
+    critical = Z_CRITICAL[alpha]
+    assert abs(z) <= critical, (
+        f"{label}: biased at alpha={alpha}: replication mean "
+        f"{mean:.6e} vs truth {truth:.6e} gives |z| = {abs(z):.2f} "
+        f"> {critical:.2f} ({n_reps} reps, replication sd "
+        f"{spread:.2e}, truth se {truth_se:.2e})")
+    return z

@@ -159,3 +159,40 @@ class TestRuntimeFlags:
     def test_workers_validation(self):
         with pytest.raises(ValueError):
             main(["nodes", "--workers", "0"])
+
+
+class TestMonteCarlo:
+    def test_plain_kernel_run(self, capsys):
+        assert main(["mc", "90nm", "--samples", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "kernel engine, plain estimator" in output
+        assert "estimator plain" in output
+        assert "P(delay >" in output
+
+    def test_importance_reports_shift_and_budget(self, capsys):
+        assert main(["mc", "90nm", "--samples", "16",
+                     "--estimator", "importance",
+                     "--prepass", "256", "--stats"]) == 0
+        output = capsys.readouterr().out
+        assert "estimator importance" in output
+        assert "shift" in output
+        assert "mc.estimator.importance" in output
+        assert "mc.ess" in output
+
+    def test_qmc_lane_report(self, capsys):
+        assert main(["mc", "90nm", "--samples", "16",
+                     "--estimator", "qmc", "--lanes", "4"]) == 0
+        assert "4 lanes x" in capsys.readouterr().out
+
+    def test_target_ci_flag_escalates(self, capsys):
+        assert main(["mc", "90nm", "--samples", "8",
+                     "--target-ci", "0.4"]) == 0
+        # 8 draws cannot reach a 0.4 ps half-width; the run doubles
+        # deterministically until the interval is met (128 for this
+        # seed).
+        output = capsys.readouterr().out
+        assert "128 samples" in output
+
+    def test_bad_estimator_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mc", "--estimator", "bogus"])

@@ -154,6 +154,96 @@ class TestDeterminism:
 
 
 # ---------------------------------------------------------------------------
+# Estimator invariants
+# ---------------------------------------------------------------------------
+
+class TestEstimatorInvariants:
+    """Structural laws of the variance-reduction estimators that hold
+    for *every* seed, checked over hypothesis-drawn seeds."""
+
+    @pytest.fixture(scope="class")
+    def est_line(self, suite90):
+        from repro.signoff.extraction import extract_buffered_line
+        model = suite90.proposed
+        return extract_buffered_line(model.tech, model.config, mm(2),
+                                     2, 24.0)
+
+    @staticmethod
+    def _run(line, model, seed, estimator, **kwargs):
+        from repro.signoff.variation import monte_carlo_line_delay
+        return monte_carlo_line_delay(
+            line, ps(100), samples=kwargs.pop("samples", 64),
+            seed=seed, workers=1, engine="kernel", model=model,
+            estimator=estimator, **kwargs)
+
+    @pytest.fixture(scope="class")
+    def mild_threshold(self, suite90, est_line):
+        """A 1-sigma tail threshold (seconds): mild enough that the
+        importance weights stay light-tailed and their sample mean is
+        a trustworthy estimate of E[w] = 1."""
+        plain = self._run(est_line, suite90.proposed, 2010, "plain",
+                          samples=256)
+        return plain.mean + float(np.std(plain.samples, ddof=1))
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    def test_likelihood_weights_positive_mean_one(self, suite90,
+                                                  est_line,
+                                                  mild_threshold,
+                                                  seed):
+        """LR weights are strictly positive and average to 1 under
+        the nominal measure (E[w] = 1 exactly; the sample mean must
+        sit within 5 standard errors — a z-bound loose enough never
+        to fire on a correct implementation)."""
+        result = self._run(est_line, suite90.proposed, seed,
+                           "importance", samples=256,
+                           prepass_samples=512,
+                           critical_delay=mild_threshold)
+        weights = np.asarray(result.weights)
+        assert np.all(weights > 0.0)
+        spread = float(np.std(weights, ddof=1))
+        margin = 5.0 * spread / np.sqrt(len(weights))
+        assert abs(float(np.mean(weights)) - 1.0) <= margin
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    def test_control_variate_beta_zero_is_plain(self, suite90,
+                                                est_line, seed):
+        """With beta pinned to 0 the control-variate correction
+        vanishes and the estimate is bit-for-bit the plain mean."""
+        plain = self._run(est_line, suite90.proposed, seed, "plain")
+        control = self._run(est_line, suite90.proposed, seed,
+                            "control-variate", beta=0.0)
+        assert control.samples == plain.samples
+        assert control.mean == plain.mean
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    def test_qmc_single_lane_degenerates_to_kernel(self, suite90,
+                                                   est_line, seed):
+        """One Sobol lane has no between-lane error estimate, so it
+        must fall back to the existing kernel engine bit-for-bit."""
+        plain = self._run(est_line, suite90.proposed, seed, "plain")
+        qmc = self._run(est_line, suite90.proposed, seed, "qmc",
+                        lanes=1)
+        assert qmc.samples == plain.samples
+        assert qmc.mean == plain.mean
+        assert qmc.nominal_delay == plain.nominal_delay
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    def test_effective_sample_size_never_exceeds_draws(self, suite90,
+                                                       est_line,
+                                                       seed):
+        """Kong's ESS = (sum w)^2 / sum w^2 is at most N by
+        Cauchy-Schwarz, for every seed and shift."""
+        result = self._run(est_line, suite90.proposed, seed,
+                           "importance", samples=32,
+                           prepass_samples=256)
+        assert 0.0 < result.ess <= len(result.samples) + 1e-9
+
+
+# ---------------------------------------------------------------------------
 # Failure injection
 # ---------------------------------------------------------------------------
 
