@@ -13,6 +13,14 @@ sanctioned positions are as a ``with`` item (possibly inside one
 combined ``with a, b:``), handed to ``ExitStack.enter_context``, or
 directly ``return``-ed (a delegating factory — the caller enters it,
 as :func:`repro.runtime.trace.span` itself does).
+
+The rule also guards the histogram-metric namespace: the first
+argument of ``METRICS.observe(...)`` / ``METRICS.observed(...)`` must
+be a string literal or an ``UPPER_CASE`` constant.  A dynamically
+built metric name (``METRICS.observe(f"cache.{kind}", ...)``) makes
+the exported series set unbounded and non-enumerable; the sanctioned
+door for per-key series is ``METRICS.observe_keyed(base, key, value)``
+which keeps the base name static and greppable.
 """
 
 from __future__ import annotations
@@ -24,6 +32,13 @@ from repro.analysis.core import Checker, FileContext
 
 #: Module-ish receivers whose ``.span`` attribute is the tracer API.
 _SPAN_RECEIVERS = frozenset({"trace", "rt", "runtime", "tracer"})
+
+#: Registry receivers whose ``observe``/``observed`` methods take a
+#: metric name as their first argument.
+_METRIC_RECEIVERS = frozenset({"metrics", "registry", "stats"})
+
+#: The registry methods whose first argument names a metric series.
+_OBSERVE_ATTRS = frozenset({"observe", "observed"})
 
 
 class SpanHygieneChecker(Checker):
@@ -78,6 +93,30 @@ class SpanHygieneChecker(Checker):
         if isinstance(node.value, ast.Call):
             self._sanctioned.add(id(node.value))
 
+    def _is_observe_call(self, node: ast.Call) -> bool:
+        func = node.func
+        if not isinstance(func, ast.Attribute) \
+                or func.attr not in _OBSERVE_ATTRS:
+            return False
+        value = func.value
+        if isinstance(value, ast.Name):
+            return value.id in ("METRICS", "STATS") \
+                or value.id.lower() in _METRIC_RECEIVERS
+        if isinstance(value, ast.Attribute):
+            return value.attr in ("METRICS", "STATS")
+        return False
+
+    @staticmethod
+    def _metric_name_ok(arg: ast.expr) -> bool:
+        """Whether a metric-name argument is statically enumerable."""
+        if isinstance(arg, ast.Constant):
+            return isinstance(arg.value, str)
+        if isinstance(arg, ast.Name):
+            return arg.id == arg.id.upper()
+        if isinstance(arg, ast.Attribute):
+            return arg.attr == arg.attr.upper()
+        return False
+
     def visit_Call(self, node: ast.Call) -> None:
         # ExitStack.enter_context(span(...)) is sanctioned too.
         func = node.func
@@ -86,6 +125,14 @@ class SpanHygieneChecker(Checker):
             for arg in node.args:
                 if isinstance(arg, ast.Call):
                     self._sanctioned.add(id(arg))
+        if self._is_observe_call(node) and node.args \
+                and not self._metric_name_ok(node.args[0]):
+            self.report(node, "metric name passed to observe()/"
+                              "observed() must be a string literal "
+                              "or UPPER_CASE constant so the "
+                              "exported series stay enumerable; "
+                              "dynamic names go through "
+                              "observe_keyed(base, key, value)")
         if not self._is_span_call(node):
             return
         if id(node) in self._sanctioned:

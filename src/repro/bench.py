@@ -58,13 +58,22 @@ QUICK_SWEEP_LENGTHS_MM = (1.0, 3.0, 5.0)
 
 @dataclass(frozen=True)
 class BenchResult:
-    """One scalar-vs-kernel timing comparison."""
+    """One scalar-vs-kernel timing comparison.
+
+    With ``reps > 1`` the wall times are means over the repetitions
+    and the ``*_wall_se`` fields carry the standard error of those
+    means (from the per-rep timing histograms), which is what makes
+    ``repro bench diff``'s noise gate meaningful.
+    """
 
     op: str
     n: int
     scalar_wall_s: float
     kernel_wall_s: float
     max_rel_diff: float
+    scalar_wall_se: float = 0.0
+    kernel_wall_se: float = 0.0
+    reps: int = 1
 
     @property
     def speedup(self) -> float:
@@ -82,6 +91,9 @@ class BenchResult:
             "n": self.n,
             "wall_s": {"scalar": self.scalar_wall_s,
                        "kernel": self.kernel_wall_s},
+            "wall_se": {"scalar": self.scalar_wall_se,
+                        "kernel": self.kernel_wall_se},
+            "reps": self.reps,
             "speedup": self.speedup,
             "max_rel_diff": self.max_rel_diff,
             "equivalent": self.equivalent,
@@ -105,16 +117,20 @@ def _max_rel_diff(reference: np.ndarray, candidate: np.ndarray) -> float:
 
 def run_monte_carlo_bench(node: str = "90nm",
                           samples: int = DEFAULT_SAMPLES,
-                          seed: int = 2010) -> BenchResult:
+                          seed: int = 2010,
+                          reps: int = 1) -> BenchResult:
     """Time the closed-form Monte-Carlo at ``workers=1``, both paths.
 
     The scalar path is the ``"model"`` engine (one Python stage chain
     per draw); the kernel path evaluates the same factor matrix in one
     batched call.  Both walk identical RNG streams, so the sample
     vectors must match bit-for-bit — any drift beyond
-    :data:`EQUIVALENCE_RTOL` is a correctness failure.
+    :data:`EQUIVALENCE_RTOL` is a correctness failure.  ``reps``
+    repeats each timing; means and standard errors come from the
+    per-rep histograms.
     """
     from repro.experiments.suite import ModelSuite
+    from repro.runtime.metrics import METRICS, Histogram
     from repro.signoff.extraction import extract_buffered_line
     from repro.signoff.variation import monte_carlo_line_delay
 
@@ -125,31 +141,42 @@ def run_monte_carlo_bench(node: str = "90nm",
     line = extract_buffered_line(model.tech, model.config, mm(10), 20,
                                  40.0)
 
-    started = time.perf_counter()
-    scalar = monte_carlo_line_delay(line, ps(100), samples=samples,
-                                    seed=seed, workers=1,
-                                    engine="model", model=model)
-    scalar_wall = time.perf_counter() - started
+    scalar_walls = Histogram()
+    kernel_walls = Histogram()
+    scalar = kernel = None
+    for _ in range(max(1, reps)):
+        started = time.perf_counter()
+        scalar = monte_carlo_line_delay(line, ps(100), samples=samples,
+                                        seed=seed, workers=1,
+                                        engine="model", model=model)
+        elapsed = time.perf_counter() - started
+        scalar_walls.observe(elapsed)
+        METRICS.observe("bench.monte_carlo.scalar_seconds", elapsed)
 
-    started = time.perf_counter()
-    kernel = monte_carlo_line_delay(line, ps(100), samples=samples,
-                                    seed=seed, workers=1,
-                                    engine="kernel", model=model)
-    kernel_wall = time.perf_counter() - started
+        started = time.perf_counter()
+        kernel = monte_carlo_line_delay(line, ps(100), samples=samples,
+                                        seed=seed, workers=1,
+                                        engine="kernel", model=model)
+        elapsed = time.perf_counter() - started
+        kernel_walls.observe(elapsed)
+        METRICS.observe("bench.monte_carlo.kernel_seconds", elapsed)
 
     diff = _max_rel_diff(np.array(scalar.samples),
                          np.array(kernel.samples))
     diff = max(diff, _max_rel_diff(scalar.nominal_delay,
                                    kernel.nominal_delay))
     return BenchResult(op="monte_carlo", n=samples,
-                       scalar_wall_s=scalar_wall,
-                       kernel_wall_s=kernel_wall,
-                       max_rel_diff=diff)
+                       scalar_wall_s=scalar_walls.mean,
+                       kernel_wall_s=kernel_walls.mean,
+                       max_rel_diff=diff,
+                       scalar_wall_se=scalar_walls.standard_error(),
+                       kernel_wall_se=kernel_walls.standard_error(),
+                       reps=scalar_walls.count)
 
 
 def run_link_sweep_bench(node: str = "90nm",
-                         lengths_mm: Tuple[float, ...] = SWEEP_LENGTHS_MM
-                         ) -> BenchResult:
+                         lengths_mm: Tuple[float, ...] = SWEEP_LENGTHS_MM,
+                         reps: int = 1) -> BenchResult:
     """Time the min-power link design sweep, scalar vs kernel search.
 
     Both paths follow the same search trajectory by construction, so
@@ -159,22 +186,33 @@ def run_link_sweep_bench(node: str = "90nm",
     """
     from repro.buffering.optimizer import minimize_power_under_delay
     from repro.experiments.suite import ModelSuite
+    from repro.runtime.metrics import METRICS, Histogram
 
     suite = ModelSuite.for_node(node)
     model = suite.proposed
     max_delay = suite.tech.clock_period()
 
-    started = time.perf_counter()
-    scalar = [minimize_power_under_delay(model, mm(length), max_delay,
-                                         use_kernels=False)
-              for length in lengths_mm]
-    scalar_wall = time.perf_counter() - started
+    scalar_walls = Histogram()
+    kernel_walls = Histogram()
+    scalar = kernel = None
+    for _ in range(max(1, reps)):
+        started = time.perf_counter()
+        scalar = [minimize_power_under_delay(model, mm(length),
+                                             max_delay,
+                                             use_kernels=False)
+                  for length in lengths_mm]
+        elapsed = time.perf_counter() - started
+        scalar_walls.observe(elapsed)
+        METRICS.observe("bench.link_sweep.scalar_seconds", elapsed)
 
-    started = time.perf_counter()
-    kernel = [minimize_power_under_delay(model, mm(length), max_delay,
-                                         use_kernels=True)
-              for length in lengths_mm]
-    kernel_wall = time.perf_counter() - started
+        started = time.perf_counter()
+        kernel = [minimize_power_under_delay(model, mm(length),
+                                             max_delay,
+                                             use_kernels=True)
+                  for length in lengths_mm]
+        elapsed = time.perf_counter() - started
+        kernel_walls.observe(elapsed)
+        METRICS.observe("bench.link_sweep.kernel_seconds", elapsed)
 
     diff = 0.0
     for reference, candidate in zip(scalar, kernel):
@@ -190,49 +228,68 @@ def run_link_sweep_bench(node: str = "90nm",
         diff = max(diff, _max_rel_diff(reference.delay, candidate.delay))
         diff = max(diff, _max_rel_diff(reference.power, candidate.power))
     return BenchResult(op="link_sweep", n=len(lengths_mm),
-                       scalar_wall_s=scalar_wall,
-                       kernel_wall_s=kernel_wall,
-                       max_rel_diff=diff)
+                       scalar_wall_s=scalar_walls.mean,
+                       kernel_wall_s=kernel_walls.mean,
+                       max_rel_diff=diff,
+                       scalar_wall_se=scalar_walls.standard_error(),
+                       kernel_wall_se=kernel_walls.standard_error(),
+                       reps=scalar_walls.count)
 
 
 def run_bench(node: str = "90nm", quick: bool = False,
               samples: Optional[int] = None,
-              output: str = "BENCH_kernels.json"
+              output: str = "BENCH_kernels.json",
+              reps: int = 1,
+              history: Optional[str] = None
               ) -> "Tuple[int, Dict[str, Any]]":
     """Run every benchmark, write ``output``, return (status, report).
 
     Status is 0 when every comparison stayed within
     :data:`EQUIVALENCE_RTOL` and 1 on drift — the bench doubles as the
-    CI equivalence gate.
+    CI equivalence gate.  Besides the snapshot ``output``, the run
+    appends one record to the benchmark registry history (``history``
+    overrides the default ``benchmarks/results/history.jsonl``) for
+    ``repro bench diff`` to gate on.
     """
-    from repro.runtime.manifest import environment_info, utc_timestamp
-    import platform
-    import sys
+    from repro import bench_registry
+    from repro.runtime.manifest import run_environment, utc_timestamp
 
     if samples is None:
         samples = QUICK_SAMPLES if quick else DEFAULT_SAMPLES
     lengths = QUICK_SWEEP_LENGTHS_MM if quick else SWEEP_LENGTHS_MM
 
     results: List[BenchResult] = [
-        run_monte_carlo_bench(node, samples=samples),
-        run_link_sweep_bench(node, lengths_mm=lengths),
+        run_monte_carlo_bench(node, samples=samples, reps=reps),
+        run_link_sweep_bench(node, lengths_mm=lengths, reps=reps),
     ]
     report: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "generated_at": utc_timestamp(),
         "node": node,
         "quick": quick,
-        "env": {
-            "python": sys.version.split()[0],
-            "platform": platform.platform(),
-            **environment_info(),
-        },
+        "env": run_environment(),
         "results": [result.to_payload() for result in results],
     }
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    record = bench_registry.build_record(
+        "kernels", node=node, quick=quick,
+        config={"node": node, "quick": quick, "samples": samples,
+                "lengths_mm": list(lengths), "reps": reps},
+        samples=[bench_registry.BenchSample(
+            name=f"{result.op}.{variant}",
+            value=wall, se=se, n=result.n)
+            for result in results
+            for variant, wall, se in (
+                ("scalar", result.scalar_wall_s,
+                 result.scalar_wall_se),
+                ("kernel", result.kernel_wall_s,
+                 result.kernel_wall_se))],
+        generated_at=report["generated_at"])
+    history_path = bench_registry.append_record(record, history)
     # Human-readable lines for the CLI; not part of the JSON artifact.
     report["formatted"] = [result.format() for result in results]
+    report["history_path"] = str(history_path)
     status = 0 if all(result.equivalent for result in results) else 1
     return status, report

@@ -137,20 +137,20 @@ def _bench_entry(estimator: str, line, model, draws: int,
 
 def run_yield_bench(node: str = "90nm", quick: bool = False,
                     samples: Optional[int] = None, seed: int = 2010,
-                    output: str = "BENCH_yield.json"
+                    output: str = "BENCH_yield.json",
+                    history: Optional[str] = None
                     ) -> "Tuple[int, Dict[str, Any]]":
     """Run the tail-yield bench, write ``output``, return
     ``(status, report)``.
 
     Status is 0 when the importance-sampling estimator achieves at
     least :data:`MIN_IMPORTANCE_SAVING` plain-equivalent draws per
-    golden evaluation, 1 otherwise.
+    golden evaluation, 1 otherwise.  Like the kernels bench, the run
+    appends one record to the benchmark registry history.
     """
-    import platform
-    import sys
-
+    from repro import bench_registry
     from repro.experiments.suite import ModelSuite
-    from repro.runtime.manifest import environment_info, utc_timestamp
+    from repro.runtime.manifest import run_environment, utc_timestamp
     from repro.signoff.extraction import extract_buffered_line
     from repro.signoff.variation import monte_carlo_line_delay
     from repro.units import mm, ps
@@ -204,16 +204,22 @@ def run_yield_bench(node: str = "90nm", quick: bool = False,
         },
         "threshold_ps": threshold * 1e12,
         "seed": seed,
-        "env": {
-            "python": sys.version.split()[0],
-            "platform": platform.platform(),
-            **environment_info(),
-        },
+        "env": run_environment(),
         "results": [entry.to_payload() for entry in entries],
     }
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    record = bench_registry.build_record(
+        "yield", node=node, quick=quick,
+        config={"node": node, "quick": quick, "samples": samples,
+                "seed": seed},
+        samples=[bench_registry.BenchSample(
+            name=f"{entry.estimator}.wall", value=entry.wall_s,
+            se=0.0, n=entry.draws) for entry in entries],
+        generated_at=report["generated_at"])
+    history_path = bench_registry.append_record(record, history)
+    report["history_path"] = str(history_path)
     # Human-readable lines for the CLI; not part of the JSON artifact.
     report["formatted"] = [
         f"3-sigma tail threshold: {threshold * 1e12:.1f} ps "

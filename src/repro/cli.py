@@ -26,9 +26,15 @@ Every subcommand also accepts the shared runtime flags:
     --max-retries N rebuild a crashed worker pool up to N times before
                     finishing the sweep serially (results identical)
     --stats         print a wall-time / cache-hit footer afterwards
+                    (histogram metrics add p50/p95/p99 rows)
     --trace FILE    record a hierarchical span trace (JSONL) of the
                     run — including spans from worker processes — and
                     write a provenance manifest.json next to it
+    --profile MODE  span-attributed profiling: 'time' prints a
+                    self/total table per span path, 'memory' annotates
+                    tracemalloc deltas onto spans, 'all' does both
+    --metrics FILE  export the metrics registry (counters, timers,
+                    histograms) in OpenMetrics text format
 """
 
 from __future__ import annotations
@@ -184,6 +190,7 @@ def _cmd_mesh(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.runtime.profile import write_flamegraph
     from repro.runtime.trace import (
         export_chrome_trace,
         read_trace,
@@ -200,6 +207,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
         export_chrome_trace(events, args.chrome)
         print(f"chrome trace written to {args.chrome} "
               f"(open in chrome://tracing or ui.perfetto.dev)")
+    if args.flamegraph:
+        lines = write_flamegraph(events, args.flamegraph)
+        print(f"flamegraph written to {args.flamegraph} "
+              f"({lines} collapsed stacks; render with flamegraph.pl "
+              f"or speedscope)")
     return 0 if summary.well_formed else 1
 
 
@@ -241,13 +253,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.suite == "diff":
+        return _cmd_bench_diff(args)
     if args.suite == "yield":
         from repro.bench_yield import run_yield_bench
         output = args.output or "BENCH_yield.json"
         status, report = run_yield_bench(node=args.node,
                                          quick=args.quick,
                                          samples=args.samples,
-                                         output=output)
+                                         output=output,
+                                         history=args.history)
         error = ("importance sampling needed more golden evals than "
                  "plain MC for the reference tail")
     else:
@@ -255,14 +270,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         output = args.output or "BENCH_kernels.json"
         status, report = run_bench(node=args.node, quick=args.quick,
                                    samples=args.samples,
-                                   output=output)
+                                   output=output, reps=args.reps,
+                                   history=args.history)
         error = "kernel/scalar equivalence drifted beyond tolerance"
     for line in report["formatted"]:
         print(line)
     print(f"report written to {output}")
+    print(f"history record appended to {report['history_path']}")
     if status != 0:
         print(f"error: {error}", file=sys.stderr)
     return status
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    """``repro bench diff``: gate the latest history records.
+
+    Diffs every requested suite's newest history record against the
+    committed ``BENCH_*.json`` baseline (or, with ``--against
+    previous``, the preceding same-environment record).  Exits 1 on
+    any regression unless ``--warn-only``; exits 2 when nothing was
+    comparable at all — a gate that silently gates nothing is a
+    misconfiguration, not a pass.
+    """
+    from repro import bench_registry
+
+    suites = ([args.diff_suite] if args.diff_suite
+              else ["kernels", "yield"])
+    reports = []
+    for suite in suites:
+        report = bench_registry.diff_latest(
+            suite,
+            history=args.history,
+            baseline=args.baseline,
+            against=args.against,
+            rel_threshold=args.threshold / 100.0)
+        if report is None:
+            print(f"bench diff: no {suite} history record or no "
+                  f"{args.against} reference to compare against")
+            continue
+        print(report.format())
+        reports.append(report)
+    if not reports:
+        print("error: nothing to diff (run 'repro bench' first)",
+              file=sys.stderr)
+        return 2
+    regressions = sum(len(report.regressions) for report in reports)
+    if regressions and args.warn_only:
+        print(f"warning: {regressions} regression(s) "
+              f"(--warn-only, not failing)")
+        return 0
+    return 1 if regressions else 0
 
 
 def _cmd_mc(args: argparse.Namespace) -> int:
@@ -334,6 +391,16 @@ def _runtime_options() -> argparse.ArgumentParser:
     group.add_argument("--trace", default=None, metavar="FILE",
                        help="write a JSONL span trace of the run and "
                             "a manifest.json next to it")
+    group.add_argument("--profile", default="off",
+                       choices=["off", "time", "memory", "all"],
+                       help="span-attributed profiling: print a "
+                            "self/total time table per span path; "
+                            "'memory'/'all' add tracemalloc net/peak "
+                            "bytes per span")
+    group.add_argument("--metrics", default=None, metavar="FILE",
+                       help="export the metrics registry (counters, "
+                            "timers, histograms) to FILE in "
+                            "OpenMetrics text format")
     return parent
 
 
@@ -429,6 +496,11 @@ def build_parser() -> argparse.ArgumentParser:
     report_cmd.add_argument("trace_file")
     report_cmd.add_argument("--chrome", default=None, metavar="OUT",
                             help="also export a chrome://tracing JSON")
+    report_cmd.add_argument("--flamegraph", default=None,
+                            metavar="OUT",
+                            help="also export a Brendan-Gregg "
+                                 "collapsed-stack file (self-time "
+                                 "weights in microseconds)")
     report_cmd.set_defaults(func=_cmd_report)
 
     lint_cmd = add_parser(
@@ -460,10 +532,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd = add_parser(
         "bench", help="tracked benchmark suites")
     bench_cmd.add_argument("suite", nargs="?", default="kernels",
-                           choices=["kernels", "yield"],
+                           choices=["kernels", "yield", "diff"],
                            help="'kernels' times scalar vs vectorized "
                                 "paths; 'yield' compares tail-yield "
-                                "estimators on the golden engine")
+                                "estimators on the golden engine; "
+                                "'diff' gates the latest history "
+                                "record against a reference")
     bench_cmd.add_argument("--node", default="90nm",
                            help="technology node (default 90nm)")
     bench_cmd.add_argument("--quick", action="store_true",
@@ -473,9 +547,35 @@ def build_parser() -> argparse.ArgumentParser:
                            help="Monte-Carlo draws (kernels: default "
                                 "10000, 2000 with --quick; yield: "
                                 "256, 64 with --quick)")
+    bench_cmd.add_argument("--reps", type=int, default=1, metavar="N",
+                           help="timing repetitions per kernels-suite "
+                                "comparison; >1 records standard "
+                                "errors for the diff's noise gate")
     bench_cmd.add_argument("--output", default=None, metavar="FILE",
                            help="benchmark report destination "
                                 "(default BENCH_<suite>.json)")
+    bench_cmd.add_argument("--history", default=None, metavar="FILE",
+                           help="registry history file (default "
+                                "benchmarks/results/history.jsonl)")
+    bench_cmd.add_argument("--suite", dest="diff_suite", default=None,
+                           choices=["kernels", "yield"],
+                           help="(diff) restrict to one suite "
+                                "(default: both)")
+    bench_cmd.add_argument("--baseline", default=None, metavar="FILE",
+                           help="(diff) reference report (default "
+                                "BENCH_<suite>.json)")
+    bench_cmd.add_argument("--against", default="baseline",
+                           choices=["baseline", "previous"],
+                           help="(diff) compare against the committed "
+                                "baseline or the previous "
+                                "same-environment history record")
+    bench_cmd.add_argument("--threshold", type=float, default=20.0,
+                           metavar="PCT",
+                           help="(diff) regression threshold in "
+                                "percent (default 20)")
+    bench_cmd.add_argument("--warn-only", action="store_true",
+                           help="(diff) report regressions but "
+                                "exit 0")
     bench_cmd.set_defaults(func=_cmd_bench)
 
     mc_cmd = add_parser(
@@ -544,6 +644,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if trace_path:
         sink = rt.JsonlSink(trace_path)
         rt.TRACER.add_sink(sink)
+    # Span-attributed profiling: collect the run's spans in memory and
+    # (for 'memory'/'all') attach the tracemalloc profiler so every
+    # span gets net/peak byte annotations at its boundaries.
+    profile_mode = getattr(args, "profile", "off") or "off"
+    profile_memory = profile_mode in ("memory", "all")
+    collector = None
+    if profile_mode != "off":
+        collector = rt.SpanCollector()
+        rt.TRACER.add_sink(collector)
+        if profile_memory:
+            import tracemalloc
+            tracemalloc.start()
+            rt.TRACER.set_profiler(rt.MemoryProfiler())
     started_at = rt.utc_timestamp()
     started = time.perf_counter()
     try:
@@ -555,6 +668,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if sink is not None:
             rt.TRACER.remove_sink(sink)
             sink.close()
+        if collector is not None:
+            rt.TRACER.remove_sink(collector)
+            if profile_memory:
+                import tracemalloc
+                rt.TRACER.set_profiler(None)
+                tracemalloc.stop()
         if trace_path:
             config = {key: value for key, value in vars(args).items()
                       if key not in ("func",)}
@@ -568,6 +687,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             rt.write_manifest(rt.manifest_path_for(trace_path),
                               manifest)
+        if collector is not None:
+            profile = rt.build_profile(collector.events)
+            print(profile.format(memory=profile_memory))
+        metrics_path = getattr(args, "metrics", None)
+        if metrics_path:
+            with open(metrics_path, "w", encoding="utf-8") as handle:
+                handle.write(rt.METRICS.to_openmetrics())
         if args.stats:
             workers = rt.resolve_workers()
             print(rt.METRICS.format_footer(

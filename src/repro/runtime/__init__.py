@@ -51,10 +51,11 @@ from repro.runtime.manifest import (
     MANIFEST_SCHEMA,
     build_manifest,
     manifest_path_for,
+    run_environment,
     utc_timestamp,
     write_manifest,
 )
-from repro.runtime.metrics import METRICS, MetricsRegistry
+from repro.runtime.metrics import METRICS, Histogram, MetricsRegistry
 from repro.runtime.parallel import (
     TaskError,
     parallel_map,
@@ -63,6 +64,13 @@ from repro.runtime.parallel import (
     spawn_generators,
     spawn_labeled_sequences,
     spawn_seed_sequences,
+)
+from repro.runtime.profile import (
+    MemoryProfiler,
+    PROFILE_MODES,
+    build_profile,
+    collapse_stacks,
+    write_flamegraph,
 )
 from repro.runtime.stats import STATS, RuntimeStats
 from repro.runtime.trace import (
@@ -73,16 +81,20 @@ from repro.runtime.trace import (
     current_span,
     export_chrome_trace,
     span,
+    summarize_events,
     summarize_trace,
 )
 
 __all__ = [
     "CACHE_VERSION",
     "DiskCache",
+    "Histogram",
     "JsonlSink",
     "MANIFEST_SCHEMA",
     "METRICS",
+    "MemoryProfiler",
     "MetricsRegistry",
+    "PROFILE_MODES",
     "RuntimeStats",
     "STATS",
     "SpanCollector",
@@ -90,6 +102,8 @@ __all__ = [
     "TaskError",
     "Tracer",
     "build_manifest",
+    "build_profile",
+    "collapse_stacks",
     "cache_dir",
     "cache_enabled",
     "configure",
@@ -106,12 +120,15 @@ __all__ = [
     "reset_configuration",
     "resolve_max_retries",
     "resolve_workers",
+    "run_environment",
     "span",
     "spawn_generators",
     "spawn_labeled_sequences",
     "spawn_seed_sequences",
+    "summarize_events",
     "summarize_trace",
     "utc_timestamp",
+    "write_flamegraph",
     "write_manifest",
 ]
 

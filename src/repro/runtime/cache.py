@@ -45,6 +45,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 import warnings
 from pathlib import Path
 from typing import Any, Optional
@@ -213,10 +214,21 @@ class DiskCache:
         envelope — is quarantined (see :meth:`_quarantine`) before the
         miss is reported.  ``kind`` labels the key population (e.g.
         ``"design"`` vs ``"max_length"``) in the attributed hit/miss
-        counters.
+        counters.  Lookup wall time (hit or miss) feeds the per-kind
+        ``cache.lookup_seconds.<namespace>[.<kind>]`` histograms.
         """
         if not self._enabled():
             return None
+        started = time.perf_counter()
+        try:
+            return self._lookup(key, kind)
+        finally:
+            suffix = (f"{self.namespace}.{kind}" if kind
+                      else self.namespace)
+            METRICS.observe_keyed("cache.lookup_seconds", suffix,
+                                  time.perf_counter() - started)
+
+    def _lookup(self, key: Any, kind: Optional[str]) -> Optional[Any]:
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:

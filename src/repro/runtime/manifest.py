@@ -65,6 +65,21 @@ def environment_info() -> Dict[str, Any]:
     return info
 
 
+def run_environment() -> Dict[str, Any]:
+    """The full environment block benchmark records embed.
+
+    Python and platform identity on top of :func:`environment_info` —
+    the one shape ``BENCH_kernels.json``, ``BENCH_yield.json`` and the
+    benchmark registry history all share, so records are comparable
+    (and env-keyable) across every writer.
+    """
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        **environment_info(),
+    }
+
+
 def _json_safe(value: Any) -> Any:
     """Arguments as JSON values; anything exotic degrades to ``repr``."""
     if isinstance(value, (str, int, float, bool)) or value is None:
@@ -119,6 +134,9 @@ def build_manifest(
     fault_counters = registry.fault_counters()
     if fault_counters:
         manifest["faults"] = fault_counters
+    histograms = registry.histogram_summaries()
+    if histograms:
+        manifest["histograms"] = histograms
     if "seed" in safe_config:
         manifest["seed"] = safe_config["seed"]
     if trace_file is not None:

@@ -1,0 +1,227 @@
+"""Span-attributed profiling and flamegraph export.
+
+The tracer already records when every span begins and ends; this
+module turns that event stream into profiler artifacts without any
+external tooling:
+
+* :func:`build_profile` aggregates self/cumulative time per *span
+  path* (the root-to-span name chain), so ``--profile time`` answers
+  "where did the wall clock go" at call-tree resolution;
+* :class:`MemoryProfiler` hooks the tracer (``Tracer.set_profiler``)
+  and annotates every span's end event with ``tracemalloc`` deltas —
+  ``mem_net_bytes`` (allocated minus freed while the span was open)
+  and ``mem_peak_bytes`` (peak traced usage above the level at entry,
+  including peaks reached inside child spans);
+* :func:`collapse_stacks` / :func:`write_flamegraph` render the span
+  tree in the Brendan Gregg collapsed-stack format
+  (``root;child;leaf <weight>``, one line per unique path, weights in
+  integer microseconds of *self* time), which flamegraph.pl, speedscope
+  and d3-flame-graph all consume directly.
+
+Self time is ``duration - sum(child durations)`` clamped at zero; for
+a serial trace the clamp never engages and the total collapsed weight
+equals the root span's duration exactly (up to microsecond rounding).
+Spliced worker spans overlap in wall time under their dispatching
+``parallel.map`` span, so a parallel trace's total weight legitimately
+exceeds the root duration — the flamegraph then shows CPU time, not
+wall time.
+
+The CLI wires this up as ``--profile {off,time,memory,all}`` on every
+subcommand and ``repro report TRACE --flamegraph OUT`` for recorded
+traces.
+"""
+
+from __future__ import annotations
+
+import re
+import tracemalloc
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, Dict, Iterable, Iterator, List, Tuple,
+                    Union)
+
+from repro.runtime.trace import Event
+
+#: The ``--profile`` CLI modes.
+PROFILE_MODES = ("off", "time", "memory", "all")
+
+#: Collapsed-stack weights are integer microseconds of self time.
+_WEIGHT_SCALE = 1e6
+
+#: Frame separators the collapsed format reserves.
+_FRAME_UNSAFE = re.compile(r"[;\s]")
+
+
+def _frame(name: str) -> str:
+    """A span name as a legal collapsed-stack frame."""
+    return _FRAME_UNSAFE.sub("_", name)
+
+
+def _completed_spans(events: Iterable[Event]
+                     ) -> Iterator[Tuple[Tuple[str, ...], float, float,
+                                         Dict[str, Any]]]:
+    """Yield ``(path, duration, self_seconds, end_args)`` per span.
+
+    Walks the B/E stream the same way ``summarize_events`` does, but
+    keyed by the full root-to-span name path instead of the bare name.
+    Structural problems (duplicate begins, orphan ends, unclosed
+    spans) are skipped silently here — ``repro report`` surfaces them
+    through the summary's warnings.
+    """
+    # span id -> [name, parent id, begin ts, child time, path]
+    open_spans: Dict[Any, List[Any]] = {}
+    for event in events:
+        phase = event.get("ph")
+        span_id = event.get("span")
+        if phase == "B":
+            if span_id in open_spans:
+                continue
+            parent = event.get("parent")
+            parent_entry = open_spans.get(parent)
+            name = _frame(event.get("name", "?"))
+            path = (parent_entry[4] + (name,) if parent_entry
+                    else (name,))
+            open_spans[span_id] = [name, parent, event.get("ts", 0.0),
+                                   0.0, path]
+        elif phase == "E":
+            entry = open_spans.pop(span_id, None)
+            if entry is None:
+                continue
+            _name, parent, begin_ts, child_time, path = entry
+            duration = max(0.0, event.get("ts", begin_ts) - begin_ts)
+            if parent in open_spans:
+                open_spans[parent][3] += duration
+            yield (path, duration, max(0.0, duration - child_time),
+                   event.get("args") or {})
+
+
+@dataclass
+class PathProfile:
+    """Accumulated cost of every span sharing one call path."""
+
+    path: Tuple[str, ...]
+    calls: int = 0
+    total: float = 0.0          # s, inclusive of children
+    self_seconds: float = 0.0   # s, exclusive
+    mem_net_bytes: int = 0      # summed over calls
+    mem_peak_bytes: int = 0     # max over calls
+
+
+@dataclass
+class ProfileReport:
+    """Per-path rollup of one span event stream."""
+
+    paths: Dict[Tuple[str, ...], PathProfile] = field(
+        default_factory=dict)
+
+    @property
+    def total_self(self) -> float:
+        return sum(entry.self_seconds for entry in self.paths.values())
+
+    def format(self, memory: bool = False) -> str:
+        """A self-time-sorted profile table (``--profile`` output)."""
+        header = f"{'self s':>10} {'total s':>10} {'calls':>7}"
+        if memory:
+            header += f" {'net KiB':>10} {'peak KiB':>10}"
+        lines = [f"-- profile ({'all' if memory else 'time'}) --",
+                 header + "  span path"]
+        ordered = sorted(self.paths.values(),
+                         key=lambda entry: (-entry.self_seconds,
+                                            entry.path))
+        for entry in ordered:
+            row = (f"{entry.self_seconds:10.3f} {entry.total:10.3f} "
+                   f"{entry.calls:7d}")
+            if memory:
+                row += (f" {entry.mem_net_bytes / 1024:10.1f}"
+                        f" {entry.mem_peak_bytes / 1024:10.1f}")
+            lines.append(row + "  " + ";".join(entry.path))
+        lines.append(f"{len(self.paths)} span paths, "
+                     f"total self {self.total_self:.3f} s")
+        return "\n".join(lines)
+
+
+def build_profile(events: Iterable[Event]) -> ProfileReport:
+    """Aggregate an event stream into a per-path profile."""
+    report = ProfileReport()
+    for path, duration, self_seconds, args in _completed_spans(events):
+        entry = report.paths.get(path)
+        if entry is None:
+            entry = report.paths[path] = PathProfile(path=path)
+        entry.calls += 1
+        entry.total += duration
+        entry.self_seconds += self_seconds
+        entry.mem_net_bytes += int(args.get("mem_net_bytes", 0))
+        entry.mem_peak_bytes = max(entry.mem_peak_bytes,
+                                   int(args.get("mem_peak_bytes", 0)))
+    return report
+
+
+def collapse_stacks(events: Iterable[Event]) -> List[str]:
+    """The event stream as collapsed-stack lines, sorted by path.
+
+    One ``a;b;c <microseconds>`` line per unique span path, weighted
+    by accumulated self time; sub-microsecond paths are dropped after
+    rounding (zero-weight lines carry no information for a renderer).
+    """
+    weights: Dict[Tuple[str, ...], float] = {}
+    for path, _duration, self_seconds, _args \
+            in _completed_spans(events):
+        weights[path] = weights.get(path, 0.0) + self_seconds
+    lines = []
+    for path in sorted(weights):
+        weight = int(round(weights[path] * _WEIGHT_SCALE))
+        if weight <= 0:
+            continue
+        lines.append(";".join(path) + f" {weight}")
+    return lines
+
+
+def write_flamegraph(events: Iterable[Event],
+                     path: Union[str, Path]) -> int:
+    """Write the collapsed-stack file; returns the line count."""
+    lines = collapse_stacks(events)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+class MemoryProfiler:
+    """Annotates spans with tracemalloc net/peak byte deltas.
+
+    Attach with ``TRACER.set_profiler(MemoryProfiler())`` *after*
+    ``tracemalloc.start()``; every span's end event then carries
+    ``mem_net_bytes`` and ``mem_peak_bytes``.  The profiler keeps its
+    own entry stack (``Span.__slots__`` leaves no room to stash state
+    on spans) and mirrors the tracer's tolerance for mis-nested exits.
+    Peaks observed inside a child span propagate to the parent, so a
+    parent's peak is never smaller than its children's.
+    """
+
+    def __init__(self) -> None:
+        # [span, traced bytes at entry, running peak inside the span]
+        self._stack: List[List[Any]] = []
+
+    def on_enter(self, span: Any) -> None:
+        if not tracemalloc.is_tracing():
+            return
+        current, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        self._stack.append([span, current, current])
+
+    def on_exit(self, span: Any) -> None:
+        if not tracemalloc.is_tracing() or not self._stack:
+            return
+        current, peak = tracemalloc.get_traced_memory()
+        while self._stack and self._stack[-1][0] is not span:
+            self._stack.pop()
+        if not self._stack:
+            return
+        _span, entered, running_peak = self._stack.pop()
+        span_peak = max(running_peak, peak)
+        span.annotate(mem_net_bytes=current - entered,
+                      mem_peak_bytes=max(0, span_peak - entered))
+        if self._stack:
+            parent = self._stack[-1]
+            parent[2] = max(parent[2], span_peak)
+        tracemalloc.reset_peak()

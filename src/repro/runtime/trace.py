@@ -178,6 +178,7 @@ class Tracer:
         self._sinks: List[Any] = []
         self._stack: List[Span] = []
         self._next_id = 1
+        self._profiler: Optional[Any] = None
 
     # -- sink management --------------------------------------------------
 
@@ -192,20 +193,33 @@ class Tracer:
         if sink in self._sinks:
             self._sinks.remove(sink)
 
+    def set_profiler(self, profiler: Optional[Any]) -> None:
+        """Attach (or with ``None`` detach) a span profiler.
+
+        A profiler receives ``on_enter(span)`` / ``on_exit(span)``
+        callbacks around every live span — ``on_exit`` fires *before*
+        the end event is built, so attributes the profiler annotates
+        (e.g. tracemalloc deltas) land on the span's E event.  Spans
+        are live whenever a profiler is attached, even with no sink.
+        """
+        self._profiler = profiler
+
     def clear(self) -> None:
-        """Drop all sinks and any dangling stack (tests, workers)."""
+        """Drop sinks, profiler and any dangling stack (tests,
+        workers)."""
         self._sinks = []
         self._stack = []
+        self._profiler = None
 
     # -- spans ------------------------------------------------------------
 
     def span(self, name: str, **attributes: Any):
         """A context manager for one traced region.
 
-        With no sink attached this returns a shared no-op object —
-        the disabled path allocates nothing.
+        With no sink and no profiler attached this returns a shared
+        no-op object — the disabled path allocates nothing.
         """
-        if not self._sinks:
+        if not self._sinks and self._profiler is None:
             return _NULL_CONTEXT
         return Span(self, name, attributes)
 
@@ -231,8 +245,12 @@ class Tracer:
         self._emit({"ph": "B", "name": span.name, "span": span.span_id,
                     "parent": span.parent_id, "pid": os.getpid(),
                     "ts": span.started, "args": dict(span.args)})
+        if self._profiler is not None:
+            self._profiler.on_enter(span)
 
     def _exit(self, span: Span) -> None:
+        if self._profiler is not None:
+            self._profiler.on_exit(span)
         if span in self._stack:
             # Tolerate mis-nested exits instead of corrupting the stack.
             while self._stack and self._stack[-1] is not span:

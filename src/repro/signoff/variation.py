@@ -430,7 +430,8 @@ def monte_carlo_line_delay(
     with span("signoff.monte_carlo", samples=samples, seed=seed,
               stages=len(line.stages), engine=engine,
               estimator=estimator) as batch:
-        result = run(request)
+        with METRICS.observed("mc.batch_seconds"):
+            result = run(request)
         from repro.signoff.estimators import CI_Z
         while (target_ci is not None
                and request.samples < samples * 2 ** MAX_TARGET_ROUNDS
@@ -438,7 +439,8 @@ def monte_carlo_line_delay(
             request = dataclasses.replace(request,
                                           samples=request.samples * 2)
             METRICS.count("mc.target_rounds")
-            result = run(request)
+            with METRICS.observed("mc.batch_seconds"):
+                result = run(request)
         METRICS.count(f"mc.estimator.{estimator}")
         report = result.report
         batch.annotate(nominal_delay=result.nominal_delay)

@@ -1,8 +1,23 @@
-"""Seeded ``span-hygiene`` violation: a span that never begins."""
+"""Seeded ``span-hygiene`` violations: a span that never begins and
+dynamically named histogram metrics."""
 
+from repro.runtime.metrics import METRICS
 from repro.runtime.trace import span
 
 
 def timed(work):
     span("fixture-phase")
     return work()
+
+
+def dynamic_observe(kind, elapsed):
+    METRICS.observe(f"cache.lookup_seconds.{kind}", elapsed)
+
+
+def variable_observe(metric_name, elapsed):
+    METRICS.observe(metric_name, elapsed)
+
+
+def concatenated_observed(suffix):
+    with METRICS.observed("batch." + suffix):
+        pass

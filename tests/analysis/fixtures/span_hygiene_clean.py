@@ -1,8 +1,12 @@
-"""Clean fixture: every span is entered as a context manager."""
+"""Clean fixture: every span is entered as a context manager and
+every histogram metric name is statically enumerable."""
 
 from contextlib import ExitStack
 
+from repro.runtime.metrics import METRICS
 from repro.runtime.trace import span
+
+_BATCH_METRIC = "fixture.batch_seconds"
 
 
 def timed(work):
@@ -18,3 +22,22 @@ def stacked(work):
 
 def delegating():
     return span("fixture-delegated")
+
+
+def literal_observe(elapsed):
+    METRICS.observe("fixture.task_seconds", elapsed)
+
+
+def constant_observe(elapsed):
+    METRICS.observe(_BATCH_METRIC, elapsed)
+
+
+def keyed_observe(kind, elapsed):
+    # observe_keyed is the sanctioned door for per-key series: the
+    # base name stays a static literal.
+    METRICS.observe_keyed("fixture.lookup_seconds", kind, elapsed)
+
+
+def timed_block(work):
+    with METRICS.observed("fixture.block_seconds"):
+        return work()

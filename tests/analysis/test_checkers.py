@@ -16,7 +16,7 @@ BAD_FIXTURES = {
     "runtime/clock_bad.py": ("determinism", 1),
     "worker_safety_bad.py": ("worker-safety", 2),
     "cache_purity_bad.py": ("cache-purity", 2),
-    "span_hygiene_bad.py": ("span-hygiene", 1),
+    "span_hygiene_bad.py": ("span-hygiene", 4),
 }
 
 CLEAN_FIXTURES = (

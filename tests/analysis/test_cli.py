@@ -28,7 +28,7 @@ class TestExitCodes:
         assert _lint(tmp_path, BAD) == 1
         output = capsys.readouterr().out
         assert "span-hygiene" in output
-        assert "1 finding" in output
+        assert "4 findings" in output
 
     def test_missing_path_is_usage_error(self, tmp_path, capsys):
         assert _lint(tmp_path, str(tmp_path / "nope")) == 2
@@ -55,7 +55,7 @@ class TestOutputs:
     def test_json_format_is_parseable(self, tmp_path, capsys):
         assert _lint(tmp_path, BAD, "--format", "json") == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["counts_by_rule"] == {"span-hygiene": 1}
+        assert payload["counts_by_rule"] == {"span-hygiene": 4}
         assert payload["findings"][0]["rule"] == "span-hygiene"
 
     def test_report_writes_the_json_artifact(self, tmp_path, capsys):
@@ -63,7 +63,7 @@ class TestOutputs:
         assert _lint(tmp_path, BAD, "--report", str(report)) == 1
         payload = json.loads(report.read_text())
         assert payload["files_scanned"] == 1
-        assert payload["counts_by_rule"] == {"span-hygiene": 1}
+        assert payload["counts_by_rule"] == {"span-hygiene": 4}
 
     def test_stats_footer_reports_throughput(self, tmp_path, capsys):
         assert _lint(tmp_path, CLEAN, "--stats") == 0
@@ -78,7 +78,7 @@ class TestBaselineWorkflow:
         assert "grandfathered" in capsys.readouterr().out
         # The same finding is now baselined, so the gate passes ...
         assert _lint(tmp_path, BAD) == 0
-        assert "1 baselined" in capsys.readouterr().out
+        assert "4 baselined" in capsys.readouterr().out
         # ... but a different file's findings are still new.
         bad_elsewhere = str(FIXTURES / "worker_safety_bad.py")
         assert _lint(tmp_path, bad_elsewhere) == 1

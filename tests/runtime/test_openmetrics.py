@@ -1,0 +1,129 @@
+"""The OpenMetrics exporter: exposition grammar and worker invariance.
+
+Two properties matter for a scrape-able exporter: every line obeys the
+OpenMetrics text exposition format (a parser on the other end is not
+ours to patch), and the histogram series are invariant to how the work
+was split across worker processes — the same run at ``--workers 1``
+and ``--workers 4`` must export identical bucket counts and quantiles,
+or dashboards would drift with the machine's core count.
+"""
+
+import re
+
+import pytest
+
+from repro.runtime import METRICS, MetricsRegistry, parallel_map
+
+#: One exposition line: comment, blank, or `name{labels} value`.
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"            # metric name
+    r"(\{[a-zA-Z0-9_]+=\"[^\"]*\"\})?"      # optional label set
+    r" \S+$")                               # value
+_COMMENT_LINE = re.compile(r"^# (HELP|TYPE|EOF$)")
+
+
+def _observe_fixed(value):
+    """Pool-safe task: observes a deterministic per-item value."""
+    METRICS.observe("invariance.task_value", value * 0.001)
+    return value
+
+
+class TestExpositionGrammar:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.count("cache.hit", 3)
+        registry.add_time("command", 1.25)
+        for index in range(5):
+            registry.observe("task.seconds", 0.01 * (index + 1))
+        return registry
+
+    def test_every_line_parses(self):
+        text = self._registry().to_openmetrics()
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                assert line == "" or _COMMENT_LINE.match(line), line
+                continue
+            assert _SAMPLE_LINE.match(line), line
+
+    def test_ends_with_eof(self):
+        text = self._registry().to_openmetrics()
+        assert text.endswith("# EOF\n")
+        assert text.count("# EOF") == 1
+
+    def test_counter_becomes_total(self):
+        text = self._registry().to_openmetrics()
+        assert "repro_cache_hit_total 3" in text
+        assert "# TYPE repro_cache_hit counter" in text
+
+    def test_timer_becomes_seconds_total(self):
+        text = self._registry().to_openmetrics()
+        assert "repro_command_seconds_total 1.25" in text
+
+    def test_histogram_families(self):
+        text = self._registry().to_openmetrics()
+        assert "# TYPE repro_task_seconds histogram" in text
+        assert 'repro_task_seconds_bucket{le="+Inf"} 5' in text
+        assert "repro_task_seconds_count 5" in text
+        assert "repro_task_seconds_sum" in text
+
+    def test_buckets_are_cumulative_and_end_at_count(self):
+        text = self._registry().to_openmetrics()
+        buckets = re.findall(
+            r'repro_task_seconds_bucket\{le="([^"]+)"\} (\d+)', text)
+        counts = [int(count) for _le, count in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1][0] == "+Inf"
+        assert counts[-1] == 5
+        # Non-Inf edges ascend numerically.
+        edges = [float(le) for le, _ in buckets[:-1]]
+        assert edges == sorted(edges)
+
+    def test_name_sanitization(self):
+        registry = MetricsRegistry()
+        registry.count("cache.hit-rate test", 1)
+        text = registry.to_openmetrics()
+        assert "repro_cache_hit_rate_test_total 1" in text
+
+    def test_help_escaping(self):
+        registry = MetricsRegistry()
+        registry.count("weird", 1)
+        text = registry.to_openmetrics()
+        for line in text.splitlines():
+            if line.startswith("# HELP"):
+                assert "\n" not in line
+
+
+class TestWorkerInvariance:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_histogram_export_matches_serial(self, workers):
+        """Identical observations exported identically regardless of
+        how many worker processes made them."""
+        def lines_and_quantiles():
+            text = METRICS.to_openmetrics()
+            # The _sum line accumulates in merge order, so it is only
+            # float-approximately invariant; buckets, counts and the
+            # quantiles derived from them are exact.
+            lines = [line for line in text.splitlines()
+                     if "invariance_task_value" in line
+                     and "_sum" not in line]
+            total = next(
+                float(line.split()[-1]) for line in text.splitlines()
+                if "invariance_task_value_sum" in line)
+            return (lines, total,
+                    METRICS.quantile("invariance.task_value", 0.5),
+                    METRICS.quantile("invariance.task_value", 0.99))
+
+        items = list(range(40))
+        METRICS.reset()
+        parallel_map(_observe_fixed, items, workers=1)
+        serial_lines, serial_sum, serial_p50, serial_p99 = \
+            lines_and_quantiles()
+
+        METRICS.reset()
+        parallel_map(_observe_fixed, items, workers=workers, chunk=7)
+        split_lines, split_sum, split_p50, split_p99 = \
+            lines_and_quantiles()
+        assert split_lines == serial_lines
+        assert split_p50 == serial_p50
+        assert split_p99 == serial_p99
+        assert split_sum == pytest.approx(serial_sum)

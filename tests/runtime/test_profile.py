@@ -1,0 +1,176 @@
+"""Span-attributed profiling: path rollups, flamegraphs, tracemalloc.
+
+The flamegraph invariant the docs promise: for a *serial* trace the
+total collapsed-stack weight equals the root span's duration (self
+time telescopes — every child's duration is subtracted exactly once
+from its parent), up to integer-microsecond rounding per path.
+"""
+
+import time
+import tracemalloc
+
+import pytest
+
+from repro.runtime import (
+    SpanCollector,
+    TRACER,
+    build_profile,
+    collapse_stacks,
+    span,
+    write_flamegraph,
+)
+from repro.runtime.profile import MemoryProfiler
+
+#: A synthetic serial tree: root(10s) -> a(4s) -> leaf(1s), b(2s).
+_TREE = [
+    {"ph": "B", "name": "root", "span": 1, "parent": None, "ts": 0.0},
+    {"ph": "B", "name": "a", "span": 2, "parent": 1, "ts": 1.0},
+    {"ph": "B", "name": "leaf", "span": 3, "parent": 2, "ts": 2.0},
+    {"ph": "E", "name": "leaf", "span": 3, "ts": 3.0},
+    {"ph": "E", "name": "a", "span": 2, "ts": 5.0},
+    {"ph": "B", "name": "b", "span": 4, "parent": 1, "ts": 6.0},
+    {"ph": "E", "name": "b", "span": 4, "ts": 8.0},
+    {"ph": "E", "name": "root", "span": 1, "ts": 10.0},
+]
+
+
+class TestBuildProfile:
+    def test_self_and_total_per_path(self):
+        report = build_profile(_TREE)
+        by_path = {";".join(entry.path): entry
+                   for entry in report.paths.values()}
+        assert by_path["root"].total == pytest.approx(10.0)
+        assert by_path["root"].self_seconds == pytest.approx(4.0)
+        assert by_path["root;a"].total == pytest.approx(4.0)
+        assert by_path["root;a"].self_seconds == pytest.approx(3.0)
+        assert by_path["root;a;leaf"].self_seconds \
+            == pytest.approx(1.0)
+        assert by_path["root;b"].self_seconds == pytest.approx(2.0)
+        # Self time telescopes to the root duration.
+        assert report.total_self == pytest.approx(10.0)
+
+    def test_same_path_accumulates_calls(self):
+        events = []
+        ts = 0.0
+        for index in range(3):
+            events.append({"ph": "B", "name": "op", "span": index,
+                           "parent": None, "ts": ts})
+            events.append({"ph": "E", "name": "op", "span": index,
+                           "ts": ts + 1.0})
+            ts += 2.0
+        report = build_profile(events)
+        (entry,) = report.paths.values()
+        assert entry.calls == 3
+        assert entry.total == pytest.approx(3.0)
+
+    def test_structural_problems_are_skipped(self):
+        events = [
+            {"ph": "B", "name": "unclosed", "span": 1, "parent": None,
+             "ts": 0.0},
+            {"ph": "E", "name": "phantom", "span": 9, "ts": 1.0},
+        ]
+        assert build_profile(events).paths == {}
+
+    def test_format_table(self):
+        text = build_profile(_TREE).format()
+        assert "-- profile (time) --" in text
+        assert "root;a;leaf" in text
+        assert "4 span paths" in text
+        memory_text = build_profile(_TREE).format(memory=True)
+        assert "-- profile (all) --" in memory_text
+        assert "net KiB" in memory_text
+
+
+class TestCollapseStacks:
+    def test_serial_weights_telescope_to_root(self):
+        lines = collapse_stacks(_TREE)
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        root_us = 10.0 * 1e6
+        assert abs(total - root_us) <= 0.01 * root_us
+
+    def test_frame_sanitization(self):
+        events = [
+            {"ph": "B", "name": "has space;semi", "span": 1,
+             "parent": None, "ts": 0.0},
+            {"ph": "E", "name": "has space;semi", "span": 1,
+             "ts": 1.0},
+        ]
+        (line,) = collapse_stacks(events)
+        assert line == "has_space_semi 1000000"
+
+    def test_zero_weight_paths_dropped(self):
+        events = [
+            {"ph": "B", "name": "instant", "span": 1, "parent": None,
+             "ts": 0.0},
+            {"ph": "E", "name": "instant", "span": 1, "ts": 0.0},
+        ]
+        assert collapse_stacks(events) == []
+
+    def test_write_flamegraph(self, tmp_path):
+        out = tmp_path / "flame.txt"
+        count = write_flamegraph(_TREE, out)
+        lines = out.read_text().splitlines()
+        assert len(lines) == count == 4
+        assert all(" " in line for line in lines)
+
+
+class TestTracerIntegration:
+    def test_live_trace_profile(self):
+        collector = SpanCollector()
+        TRACER.add_sink(collector)
+        with span("outer"):
+            with span("inner"):
+                time.sleep(0.01)
+        TRACER.remove_sink(collector)
+        report = build_profile(collector.events)
+        paths = {entry.path for entry in report.paths.values()}
+        assert ("outer",) in paths
+        assert ("outer", "inner") in paths
+
+    def test_profiler_makes_spans_live_without_sinks(self):
+        """--profile memory alone (no --trace) must still see spans."""
+        assert not TRACER.enabled
+        tracemalloc.start()
+        try:
+            TRACER.set_profiler(MemoryProfiler())
+            collector = SpanCollector()
+            TRACER.add_sink(collector)
+            with span("alloc"):
+                block = bytearray(256 * 1024)
+            del block
+            TRACER.remove_sink(collector)
+            end = next(e for e in collector.events
+                       if e["ph"] == "E" and e["name"] == "alloc")
+            assert end["args"]["mem_peak_bytes"] >= 256 * 1024
+        finally:
+            TRACER.set_profiler(None)
+            tracemalloc.stop()
+
+    def test_child_peak_propagates_to_parent(self):
+        tracemalloc.start()
+        try:
+            TRACER.set_profiler(MemoryProfiler())
+            collector = SpanCollector()
+            TRACER.add_sink(collector)
+            with span("parent"):
+                with span("child"):
+                    block = bytearray(512 * 1024)
+                    del block
+            TRACER.remove_sink(collector)
+            ends = {e["name"]: e for e in collector.events
+                    if e["ph"] == "E"}
+            child_peak = ends["child"]["args"]["mem_peak_bytes"]
+            parent_peak = ends["parent"]["args"]["mem_peak_bytes"]
+            assert child_peak >= 512 * 1024
+            assert parent_peak >= child_peak
+        finally:
+            TRACER.set_profiler(None)
+            tracemalloc.stop()
+
+    def test_profiler_without_tracing_is_inert(self):
+        TRACER.set_profiler(MemoryProfiler())
+        try:
+            with span("untracked"):
+                pass
+        finally:
+            TRACER.set_profiler(None)

@@ -176,6 +176,46 @@ class TestWorkerPropagation:
         assert METRICS.counters.get("work.calls") == 6
 
 
+class TestSplicedSelfTimeAttribution:
+    """Recovered-chunk spans must not double-count task work.
+
+    When a worker crashes mid-run the crashed chunk's spans die with
+    the worker process (its payload never returns), and the chunk's
+    items re-run under the serial ``parallel.recover`` span.  Every
+    item must therefore appear exactly once in the spliced trace —
+    a double-counted task span would silently inflate self time in
+    ``repro report`` summaries, ``--profile`` tables and flamegraphs.
+    """
+
+    def test_crash_recovery_traces_each_item_once(self):
+        from repro.runtime import faults
+        from repro.runtime.profile import build_profile
+
+        collector = SpanCollector()
+        TRACER.add_sink(collector)
+        with faults.inject("worker_crash", at=0):
+            results = parallel_map(_traced_square, list(range(6)),
+                                   workers=2, chunk=2)
+        assert results == [v * v for v in range(6)]
+        names = [e.get("name") for e in collector.events
+                 if e["ph"] == "B"]
+        if "parallel.map" not in names:
+            pytest.skip("process pool unavailable in this environment")
+        assert names.count("work.square") == 6
+        summary = summarize_events(collector.events)
+        assert summary.well_formed
+        # Same invariant at profile resolution: the task paths (one
+        # under the spliced worker chunks, one under the recovery
+        # span) sum to exactly one call per item.
+        profile = build_profile(collector.events)
+        task_calls = sum(entry.calls
+                         for entry in profile.paths.values()
+                         if entry.path[-1] == "work.square")
+        assert task_calls == 6
+        # One recovery span per serially re-run chunk.
+        assert names.count("parallel.recover") >= 1
+
+
 class TestSummaries:
     def test_self_and_child_time(self):
         events = [

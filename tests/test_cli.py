@@ -196,3 +196,99 @@ class TestMonteCarlo:
     def test_bad_estimator_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["mc", "--estimator", "bogus"])
+
+
+class TestObservability:
+    """--profile / --metrics / report --flamegraph / bench diff."""
+
+    def test_profile_time_prints_table(self, capsys):
+        assert main(["nodes", "--profile", "time"]) == 0
+        output = capsys.readouterr().out
+        assert "-- profile (time) --" in output
+        assert "repro.nodes" in output
+
+    def test_profile_all_prints_memory_columns(self, capsys):
+        assert main(["nodes", "--profile", "all"]) == 0
+        output = capsys.readouterr().out
+        assert "-- profile (all) --" in output
+        assert "peak KiB" in output
+
+    def test_profile_off_prints_nothing(self, capsys):
+        assert main(["nodes"]) == 0
+        assert "-- profile" not in capsys.readouterr().out
+
+    def test_metrics_exports_openmetrics(self, tmp_path):
+        out = tmp_path / "metrics.prom"
+        assert main(["nodes", "--metrics", str(out)]) == 0
+        text = out.read_text()
+        assert text.endswith("# EOF\n")
+        assert "repro_command_seconds_total" in text
+
+    def test_report_flamegraph_weight_matches_root(self, tmp_path,
+                                                   capsys):
+        """Acceptance: serial-trace flamegraph weight equals the root
+        span's duration within 1%."""
+        from repro.runtime.trace import read_trace
+        trace = tmp_path / "trace.jsonl"
+        flame = tmp_path / "flame.txt"
+        assert main(["mc", "90nm", "--samples", "16",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(trace),
+                     "--flamegraph", str(flame)]) == 0
+        assert "flamegraph written" in capsys.readouterr().out
+        events = read_trace(trace)
+        root_begin = next(e for e in events if e["ph"] == "B"
+                          and e.get("parent") is None)
+        root_end = next(e for e in events if e["ph"] == "E"
+                        and e["span"] == root_begin["span"])
+        root_us = (root_end["ts"] - root_begin["ts"]) * 1e6
+        total = sum(int(line.rsplit(" ", 1)[1])
+                    for line in flame.read_text().splitlines())
+        assert abs(total - root_us) <= 0.01 * root_us
+
+    def _seed_diff_inputs(self, tmp_path, current_s):
+        import json
+
+        from repro.bench_registry import (
+            BenchSample,
+            append_record,
+            build_record,
+        )
+        history = tmp_path / "history.jsonl"
+        baseline = tmp_path / "baseline.json"
+        record = build_record(
+            "kernels", node="90nm", quick=True, config={},
+            samples=[BenchSample("monte_carlo.scalar", current_s,
+                                 0.001, 2000)])
+        append_record(record, history)
+        baseline.write_text(json.dumps({"results": [{
+            "op": "monte_carlo", "n": 2000,
+            "wall_s": {"scalar": 1.0},
+        }]}))
+        return ["bench", "diff", "--suite", "kernels",
+                "--history", str(history),
+                "--baseline", str(baseline)]
+
+    def test_bench_diff_regression_exits_nonzero(self, tmp_path,
+                                                 capsys):
+        args = self._seed_diff_inputs(tmp_path, current_s=1.3)
+        assert main(args) == 1
+        assert "[regression]" in capsys.readouterr().out
+
+    def test_bench_diff_warn_only_exits_zero(self, tmp_path, capsys):
+        args = self._seed_diff_inputs(tmp_path, current_s=1.3)
+        assert main(args + ["--warn-only"]) == 0
+        assert "warning" in capsys.readouterr().out
+
+    def test_bench_diff_unchanged_exits_zero(self, tmp_path, capsys):
+        args = self._seed_diff_inputs(tmp_path, current_s=1.0)
+        assert main(args) == 0
+        assert "[ok]" in capsys.readouterr().out
+
+    def test_bench_diff_nothing_to_diff_exits_two(self, tmp_path,
+                                                  capsys):
+        assert main(["bench", "diff",
+                     "--history",
+                     str(tmp_path / "absent.jsonl")]) == 2
+        assert "nothing to diff" in capsys.readouterr().err
