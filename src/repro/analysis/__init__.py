@@ -18,15 +18,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import (
     BASELINE_SCHEMA,
     apply_baseline,
+    prune_baseline,
     read_baseline,
     write_baseline,
 )
-from repro.analysis.checkers import ALL_CHECKERS, CHECKERS_BY_RULE
+from repro.analysis.checkers import (
+    ALL_CHECKERS,
+    CHECKERS_BY_RULE,
+    PROJECT_CHECKERS,
+    PROJECT_CHECKERS_BY_RULE,
+)
 from repro.analysis.core import (
     Checker,
     FileContext,
@@ -37,6 +43,8 @@ from repro.analysis.core import (
     collect_files,
     display_path,
 )
+from repro.analysis.engine import Scan, scan_paths, split_rules
+from repro.analysis.project import ProjectChecker
 from repro.runtime.metrics import METRICS
 
 __all__ = [
@@ -47,15 +55,22 @@ __all__ = [
     "FileContext",
     "Finding",
     "LintResult",
+    "PROJECT_CHECKERS",
+    "PROJECT_CHECKERS_BY_RULE",
+    "ProjectChecker",
     "SYNTAX_RULE",
+    "Scan",
     "apply_baseline",
     "check_file",
     "check_source",
     "collect_files",
     "display_path",
     "lint_paths",
+    "prune_baseline",
     "read_baseline",
     "run_lint",
+    "scan_paths",
+    "split_rules",
     "write_baseline",
 ]
 
@@ -108,19 +123,15 @@ class LintResult:
 
 def make_checkers(rules: Optional[Sequence[str]] = None
                   ) -> List[Checker]:
-    """Fresh checker instances, optionally restricted to ``rules``.
+    """Fresh *file-level* checker instances, optionally restricted to
+    ``rules`` (which may also name project rules — they validate but
+    produce no file checker here).
 
-    Unknown rule names raise :class:`ValueError` (a usage error).
+    Unknown rule names and an empty selection raise
+    :class:`ValueError` (usage errors).
     """
-    classes: Sequence[Type[Checker]] = ALL_CHECKERS
-    if rules is not None:
-        unknown = sorted(set(rules) - set(CHECKERS_BY_RULE))
-        if unknown:
-            raise ValueError(
-                f"unknown rule(s): {', '.join(unknown)}; available: "
-                f"{', '.join(sorted(CHECKERS_BY_RULE))}")
-        classes = [CHECKERS_BY_RULE[rule] for rule in rules]
-    return [cls() for cls in classes]
+    file_rules, _ = split_rules(rules)
+    return [CHECKERS_BY_RULE[rule]() for rule in file_rules]
 
 
 def lint_paths(paths: Sequence[Path],
@@ -129,31 +140,41 @@ def lint_paths(paths: Sequence[Path],
                ) -> Tuple[List[Finding], int]:
     """Scan ``paths``; returns (findings, files scanned).
 
+    Thin compatibility wrapper over :func:`scan_paths` — the cached,
+    parallel engine with the whole-program rules included.
     Instrumented through :data:`repro.runtime.metrics.METRICS`
-    (``lint.files``, ``lint.findings.<rule>``, the ``lint.scan``
-    timer) so ``repro lint --stats`` prints the same footer as every
-    other subcommand.
+    (``lint.files``, ``lint.cache.hit``/``miss``, the
+    ``lint.walk_seconds`` histogram, ``lint.findings.<rule>``, the
+    ``lint.scan`` timer) so ``repro lint --stats`` prints warm/cold
+    behaviour in the same footer as every other subcommand.
     """
-    checkers = make_checkers(rules)
-    files = collect_files(paths, exclude=exclude)
-    findings: List[Finding] = []
-    with METRICS.timer("lint.scan"):
-        for path in files:
-            findings.extend(check_file(path, checkers,
-                                       display_path(path)))
-    METRICS.count("lint.files", len(files))
-    for finding in findings:
-        METRICS.count(f"lint.findings.{finding.rule}")
-    return sorted(findings, key=Finding.sort_key), len(files)
+    scan = scan_paths(paths, rules=rules, exclude=exclude)
+    return scan.findings, scan.files_scanned
 
 
 def run_lint(paths: Sequence[Path],
              rules: Optional[Sequence[str]] = None,
              exclude: Sequence[str] = (),
-             baseline_path: Optional[Path] = None) -> LintResult:
-    """Scan, then apply the baseline if one was given."""
-    all_findings, files_scanned = lint_paths(paths, rules=rules,
-                                             exclude=exclude)
+             baseline_path: Optional[Path] = None,
+             graph_path: Optional[Path] = None) -> LintResult:
+    """Scan, serialize the call graph if asked, then apply the
+    baseline if one was given.
+
+    ``graph_path`` writes the resolved project call graph: JSON for a
+    ``.json`` suffix, Graphviz DOT otherwise.
+    """
+    scan = scan_paths(paths, rules=rules, exclude=exclude)
+    all_findings, files_scanned = scan.findings, scan.files_scanned
+    if graph_path is not None:
+        graph = scan.graph()
+        graph_path = Path(graph_path)
+        if graph_path.suffix == ".json":
+            import json
+            graph_path.write_text(
+                json.dumps(graph.to_json(), indent=2, sort_keys=True)
+                + "\n", encoding="utf-8")
+        else:
+            graph_path.write_text(graph.to_dot(), encoding="utf-8")
     findings = all_findings
     baselined = 0
     if baseline_path is not None and Path(baseline_path).exists():

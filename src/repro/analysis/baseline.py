@@ -11,6 +11,13 @@ genuinely are new findings).
 Counts (rather than a plain set) make duplicate findings behave: two
 identical violations in one file consume two baseline slots, so fixing
 one and introducing another elsewhere cannot cancel out.
+
+:data:`~repro.analysis.core.SYNTAX_RULE` findings are exempt from the
+whole mechanism: a file that does not parse cannot be analyzed at all,
+so grandfathering it would silently blind every other rule to that
+file.  ``write_baseline`` refuses to record them and
+``apply_baseline`` refuses to suppress them, even against a
+hand-edited baseline entry.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from collections import Counter
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
-from repro.analysis.core import Finding
+from repro.analysis.core import Finding, SYNTAX_RULE
 
 #: Bump when the baseline layout changes incompatibly.
 BASELINE_SCHEMA = 1
@@ -28,8 +35,14 @@ BASELINE_SCHEMA = 1
 
 def write_baseline(path: Union[str, Path],
                    findings: List[Finding]) -> Path:
-    """Serialize ``findings`` as the new baseline; returns the path."""
-    counts = Counter(finding.fingerprint() for finding in findings)
+    """Serialize ``findings`` as the new baseline; returns the path.
+
+    Syntax findings are never grandfathered — they are dropped here
+    so a hand-run ``--write-baseline`` over a broken tree cannot
+    smuggle an unparseable file past the gate.
+    """
+    counts = Counter(finding.fingerprint() for finding in findings
+                     if finding.rule != SYNTAX_RULE)
     entries = [
         {"rule": fingerprint.split("::", 2)[0],
          "path": fingerprint.split("::", 2)[1],
@@ -76,11 +89,16 @@ def apply_baseline(findings: List[Finding],
 
     Each finding consumes one unit of its fingerprint's baseline
     budget; findings beyond the budget are new.
+    :data:`~repro.analysis.core.SYNTAX_RULE` findings always come
+    back as new, whatever the baseline says.
     """
     remaining = dict(baseline)
     fresh: List[Finding] = []
     suppressed = 0
     for finding in findings:
+        if finding.rule == SYNTAX_RULE:
+            fresh.append(finding)
+            continue
         fingerprint = finding.fingerprint()
         budget = remaining.get(fingerprint, 0)
         if budget > 0:
@@ -89,3 +107,32 @@ def apply_baseline(findings: List[Finding],
         else:
             fresh.append(finding)
     return fresh, suppressed
+
+
+def prune_baseline(path: Union[str, Path],
+                   findings: List[Finding]) -> Tuple[int, int]:
+    """Drop baseline entries the current tree no longer produces.
+
+    ``findings`` must be the *unfiltered* findings of a full scan over
+    the baseline's original coverage.  Each fingerprint's count is
+    clamped to what the tree still emits (entries that fell to zero
+    disappear), so fixed violations lose their budget instead of
+    lingering as camouflage for regressions.  Returns
+    ``(entries kept, occurrences pruned)`` and rewrites the file in
+    place.
+    """
+    baseline = read_baseline(path)
+    current = Counter(finding.fingerprint() for finding in findings
+                      if finding.rule != SYNTAX_RULE)
+    kept: List[Finding] = []
+    pruned = 0
+    for fingerprint, budget in sorted(baseline.items()):
+        allowed = min(budget, current.get(fingerprint, 0))
+        pruned += budget - allowed
+        rule, finding_path, message = fingerprint.split("::", 2)
+        kept.extend(
+            Finding(path=finding_path, line=0, col=0, rule=rule,
+                    message=message)
+            for _ in range(allowed))
+    write_baseline(path, kept)
+    return len(set(f.fingerprint() for f in kept)), pruned

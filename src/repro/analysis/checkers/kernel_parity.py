@@ -1,0 +1,166 @@
+"""`kernel-parity` — batched kernels must mirror their scalar models.
+
+The vectorized kernels in :mod:`repro.kernels` hold a ≤1e-9
+equivalence contract with the scalar model path, and that contract
+survives refactors only while both sides compute with the *same
+arithmetic*.  This rule compares, for every pair declared in
+:data:`repro.kernels.parity.PARITY_PAIRS`, the merged
+arithmetic-operation multiset (``+``, ``*``, ``**``, canonicalized
+calls like ``np.power``/``max``/``sum``) and numeric-constant multiset
+of the kernel side against the scalar side, as extracted by the
+whole-program index.  Any difference — an extra multiply, a changed
+coefficient — is a finding at the kernel's definition site.
+
+It also enforces registry *coverage*: a public module-level function
+added to ``repro.kernels`` that is neither paired nor listed in
+:data:`repro.kernels.parity.EXEMPT` is flagged, so new kernels cannot
+ship without a declared scalar counterpart.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Sequence, Tuple
+
+from repro.analysis.graph import CallGraph, ProjectIndex
+from repro.analysis.project import ProjectChecker
+from repro.kernels.parity import EXEMPT, PARITY_PAIRS, ParityPair
+
+#: Module prefix whose public functions the coverage check sweeps.
+_KERNEL_PREFIX = "repro.kernels."
+
+#: Kernel modules exempt from coverage (the registry itself).
+_NON_KERNEL_MODULES = ("repro.kernels.parity", "repro.kernels")
+
+
+def _format_multiset(counts: Dict[str, int]) -> str:
+    if not counts:
+        return "(none)"
+    return ", ".join(f"{name}×{counts[name]}"
+                     for name in sorted(counts))
+
+
+def _diff(kernel: Dict[str, int], scalar: Dict[str, int]) -> str:
+    """Human-readable asymmetric difference of two multisets."""
+    extra = Counter(kernel) - Counter(scalar)
+    missing = Counter(scalar) - Counter(kernel)
+    parts = []
+    if extra:
+        parts.append(f"kernel has extra {_format_multiset(dict(extra))}")
+    if missing:
+        parts.append(f"kernel lacks {_format_multiset(dict(missing))}")
+    return "; ".join(parts)
+
+
+class KernelParityChecker(ProjectChecker):
+    rule = "kernel-parity"
+    severity = "error"
+    description = ("registered scalar↔batch pairs must share one "
+                   "arithmetic-operation and constant multiset")
+    version = 1
+
+    #: Overridable in tests to point at a fixture registry.
+    pairs: Tuple[ParityPair, ...] = PARITY_PAIRS
+    exempt = EXEMPT
+
+    def __init__(self, pairs: "Tuple[ParityPair, ...] | None" = None,
+                 exempt=None) -> None:
+        super().__init__()
+        if pairs is not None:
+            self.pairs = pairs
+        if exempt is not None:
+            self.exempt = exempt
+
+    # -- helpers ----------------------------------------------------------
+
+    def _merged(self, project: ProjectIndex, names: Sequence[str]
+                ) -> "Tuple[Dict[str, int], Dict[str, int]] | None":
+        """Merged (ops, consts) of one side; None if any name is not
+        indexed (the caller decides how to report that)."""
+        ops: Counter = Counter()
+        consts: Counter = Counter()
+        for name in names:
+            info = project.function(name)
+            if info is None:
+                return None
+            ops.update(info.ops)
+            consts.update(info.consts)
+        return dict(ops), dict(consts)
+
+    def _anchor(self, project: ProjectIndex,
+                names: Sequence[str]) -> "Tuple[str, int] | None":
+        """(path, line) of the first indexed function among names."""
+        for name in names:
+            index = project.file_of(name)
+            info = project.function(name)
+            if index is not None and info is not None:
+                return index.path, info.line
+        return None
+
+    # -- the rule ---------------------------------------------------------
+
+    def check(self, project: ProjectIndex,
+              graph: CallGraph) -> None:
+        kernels_indexed = any(
+            module.startswith(_KERNEL_PREFIX)
+            for module in project.modules)
+        if not kernels_indexed:
+            return      # linting a subtree with no kernel code
+        for pair in self.pairs:
+            self._check_pair(project, pair)
+        self._check_coverage(project)
+
+    def _check_pair(self, project: ProjectIndex,
+                    pair: ParityPair) -> None:
+        anchor = self._anchor(project, pair.kernel) \
+            or self._anchor(project, pair.scalar)
+        kernel_side = self._merged(project, pair.kernel)
+        scalar_side = self._merged(project, pair.scalar)
+        if kernel_side is None or scalar_side is None:
+            if anchor is None:
+                return      # neither side in scope — nothing to say
+            missing = [name for name in (*pair.kernel, *pair.scalar)
+                       if project.function(name) is None]
+            path, line = anchor
+            self.report(path, line, 1,
+                        f"parity pair '{pair.name}' references "
+                        f"unindexed function(s): "
+                        f"{', '.join(sorted(missing))} — fix the "
+                        f"registry in repro/kernels/parity.py")
+            return
+        kernel_ops, kernel_consts = kernel_side
+        scalar_ops, scalar_consts = scalar_side
+        path, line = anchor
+        if kernel_ops != scalar_ops:
+            self.report(
+                path, line, 1,
+                f"parity pair '{pair.name}': operation multiset "
+                f"drift vs scalar counterpart — "
+                f"{_diff(kernel_ops, scalar_ops)}")
+        if pair.compare == "exact" and kernel_consts != scalar_consts:
+            self.report(
+                path, line, 1,
+                f"parity pair '{pair.name}': numeric-constant drift "
+                f"vs scalar counterpart — "
+                f"{_diff(kernel_consts, scalar_consts)}")
+
+    def _check_coverage(self, project: ProjectIndex) -> None:
+        paired = {name for pair in self.pairs for name in pair.kernel}
+        for module in sorted(project.modules):
+            if not module.startswith(_KERNEL_PREFIX) \
+                    or module in _NON_KERNEL_MODULES:
+                continue
+            index = project.modules[module]
+            for qualname, info in index.functions.items():
+                if info.is_method or "." in qualname \
+                        or qualname.startswith("_"):
+                    continue
+                name = f"{module}.{qualname}"
+                if name in paired or name in self.exempt:
+                    continue
+                self.report(
+                    index.path, info.line, 1,
+                    f"public kernel '{name}' has no entry in the "
+                    f"parity registry — pair it with its scalar "
+                    f"counterpart in repro/kernels/parity.py or add "
+                    f"it to EXEMPT with a rationale")

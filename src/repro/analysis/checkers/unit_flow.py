@@ -1,0 +1,97 @@
+"""`unit-flow` — unit suffixes must agree *across* call boundaries.
+
+The per-file ``units`` rule catches ``length_um + gap_m`` inside one
+expression, but goes blind the moment a suffixed quantity crosses a
+call site: ``delay(clock_ps)`` where the callee declares
+``def delay(clock_ns: float)`` silently injects a 1000× error.  With
+the whole-program index every call site resolved by the graph knows
+the callee's parameter names, so this rule propagates argument
+suffixes through calls: when an argument identifier and the parameter
+it binds to *both* carry registry suffixes, the suffixes must agree in
+dimension and SI factor.
+
+The same equivalence the ``units`` rule uses applies — ``_s`` passed
+to a ``_sec`` parameter is fine (same dimension, same factor), while
+``_ps`` into ``_ns`` (factor drift) or ``_ff`` into ``_ohm``
+(dimension drift) is a finding at the call site.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.graph import CallGraph, ProjectIndex
+from repro.analysis.index import CallSite, FileIndex, FunctionInfo
+from repro.analysis.project import ProjectChecker
+from repro.units import unit_suffix_of
+
+
+class UnitFlowChecker(ProjectChecker):
+    rule = "unit-flow"
+    severity = "warning"
+    description = ("suffix-carrying arguments must match the unit "
+                   "suffix of the parameter they bind to")
+    version = 1
+
+    def check(self, project: ProjectIndex,
+              graph: CallGraph) -> None:
+        for index in project.files.values():
+            for site in index.calls:
+                resolved = project.resolve(index, site.callee)
+                if resolved is None:
+                    continue
+                info = project.function(resolved)
+                if info is None:
+                    continue
+                self._check_site(index, site, resolved, info)
+
+    def _check_site(self, index: FileIndex, site: CallSite,
+                    resolved: str, info: FunctionInfo) -> None:
+        params = list(info.params)
+        offset = 0
+        if info.is_method:
+            head = site.callee.partition(".")[0]
+            if head not in ("self", "cls"):
+                # Unbound/classmethod-style invocation — argument
+                # positions are not statically mappable.
+                return
+            if params and params[0] in ("self", "cls"):
+                offset = 1
+        for arg in site.args:
+            if arg.name is None:
+                continue
+            if arg.position is not None:
+                position = arg.position + offset
+                if position >= len(params):
+                    continue    # lands in *args
+                param = params[position]
+            elif arg.keyword in params:
+                param = arg.keyword
+            else:
+                continue        # lands in **kwargs
+            self._check_binding(index, site, resolved, arg.name,
+                                param)
+
+    def _check_binding(self, index: FileIndex, site: CallSite,
+                       resolved: str, arg_name: str,
+                       param: str) -> None:
+        arg_suffix = unit_suffix_of(arg_name)
+        param_suffix = unit_suffix_of(param)
+        if arg_suffix is None or param_suffix is None:
+            return
+        if arg_suffix.suffix == param_suffix.suffix:
+            return
+        if (arg_suffix.dimension == param_suffix.dimension
+                and arg_suffix.si_factor == param_suffix.si_factor):
+            return
+        callee = resolved.rsplit(".", 1)[-1]
+        if arg_suffix.dimension != param_suffix.dimension:
+            detail = (f"{arg_suffix.dimension} into "
+                      f"{param_suffix.dimension}")
+        else:
+            detail = (f"'{arg_suffix.suffix}' into "
+                      f"'{param_suffix.suffix}' "
+                      f"({arg_suffix.si_factor:g} vs "
+                      f"{param_suffix.si_factor:g} in SI)")
+        self.report(
+            index.path, site.line, site.col,
+            f"call to '{callee}' passes '{arg_name}' into parameter "
+            f"'{param}' — {detail}; convert before the call")

@@ -133,6 +133,10 @@ class Checker:
     rule: str = ""
     severity: str = "error"
     description: str = ""
+    #: bump when the rule's semantics change — folded into the
+    #: incremental lint cache key, so stale per-file results are
+    #: invalidated exactly when the rule could produce new ones.
+    version: int = 1
 
     def __init__(self) -> None:
         self._enter: Dict[type, Callable[[ast.AST], None]] = {}
@@ -235,20 +239,21 @@ def collect_files(paths: Iterable[Path],
     """Expand files and directories into the ``.py`` files to scan.
 
     Directories are walked recursively; ``__pycache__``, hidden
-    directories, and any file whose posix path contains one of the
-    ``exclude`` fragments are skipped.  A named path that does not
-    exist raises :class:`FileNotFoundError` (a usage error — the CLI
-    maps it to exit code 2).
+    directories, and any walked file whose posix path contains one of
+    the ``exclude`` fragments are skipped.  A path that names a file
+    directly is always scanned — asking for it by name overrides every
+    exclusion.  A named path that does not exist raises
+    :class:`FileNotFoundError` (a usage error — the CLI maps it to
+    exit code 2).
     """
     collected: List[Path] = []
     for path in paths:
         if not path.exists():
             raise FileNotFoundError(f"no such file or directory: {path}")
         if path.is_file():
-            candidates: Iterable[Path] = [path]
-        else:
-            candidates = sorted(path.rglob("*.py"))
-        for candidate in candidates:
+            collected.append(path)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
             posix = candidate.as_posix()
             if "__pycache__" in candidate.parts:
                 continue

@@ -1,0 +1,222 @@
+"""The incremental, parallel lint engine (dogfooding the runtime).
+
+Whole-program analysis costs more than one AST walk per file, so the
+engine earns it back with the repository's own machinery:
+
+* **Incremental** — each file's parse products (its per-file findings
+  plus its :class:`~repro.analysis.index.FileIndex`) are cached in a
+  ``DiskCache("lint")`` namespace, keyed on the file's content hash,
+  its display path, and the (name, version) set of the enabled
+  file-level rules plus the index/graph schema numbers.  Touch one
+  file and only that file re-parses; bump a rule's ``version`` and
+  exactly the affected results invalidate.
+* **Parallel** — the per-file work fans out through
+  :func:`repro.runtime.parallel.parallel_map` (the CLI's ``--workers``
+  flag applies), with worker-side metrics merged back into the
+  coordinator the same way every other subcommand does it.
+* **Observable** — ``lint.files`` / ``lint.cache.hit`` /
+  ``lint.cache.miss`` counters and the ``lint.walk_seconds``
+  histogram land in :data:`~repro.runtime.metrics.METRICS`, so
+  ``repro lint --stats`` shows warm/cold behaviour directly.
+
+The interprocedural rules then run once, in-process, over the
+aggregated indexes; their findings are restricted to the scanned
+files so ``repro lint some/subtree`` never reports on code outside
+what was asked for (the ``src/repro`` tree is always *indexed* for
+call-graph context, scanned or not).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.checkers import (
+    ALL_CHECKERS,
+    CHECKERS_BY_RULE,
+    PROJECT_CHECKERS,
+    PROJECT_CHECKERS_BY_RULE,
+)
+from repro.analysis.core import (
+    Finding,
+    _parse_noqa,
+    check_source,
+    collect_files,
+    display_path,
+)
+from repro.analysis.graph import (
+    GRAPH_SCHEMA,
+    CallGraph,
+    ProjectIndex,
+    build_graph,
+)
+from repro.analysis.index import INDEX_SCHEMA, FileIndex, index_source
+from repro.runtime.cache import DiskCache
+from repro.runtime.metrics import METRICS
+from repro.runtime.parallel import parallel_map
+
+#: Bump when the cached per-file payload layout changes.
+CACHE_SCHEMA = 1
+
+
+def split_rules(rules: Optional[Sequence[str]]
+                ) -> Tuple[List[str], List[str]]:
+    """Validated (file rules, project rules) for a ``--rules`` request.
+
+    ``None`` selects everything.  An empty selection and unknown names
+    are both usage errors (:class:`ValueError`) listing the valid rule
+    names — silently linting nothing is how gates rot.
+    """
+    file_names = [cls.rule for cls in ALL_CHECKERS]
+    project_names = [cls.rule for cls in PROJECT_CHECKERS]
+    if rules is None:
+        return file_names, project_names
+    names = [name for name in rules if name]
+    available = ", ".join(sorted(file_names + project_names))
+    if not names:
+        raise ValueError(
+            f"no rules selected; available: {available}")
+    unknown = sorted(set(names)
+                     - set(file_names) - set(project_names))
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s): {', '.join(unknown)}; available: "
+            f"{available}")
+    return ([name for name in names if name in CHECKERS_BY_RULE],
+            [name for name in names
+             if name in PROJECT_CHECKERS_BY_RULE])
+
+
+def _cache_salt(file_rules: Sequence[str]) -> Dict[str, Any]:
+    """The rule/schema portion of the per-file cache key."""
+    return {
+        "schemas": [CACHE_SCHEMA, INDEX_SCHEMA, GRAPH_SCHEMA],
+        "python": list(sys.version_info[:2]),
+        "rules": {name: CHECKERS_BY_RULE[name].version
+                  for name in sorted(file_rules)},
+    }
+
+
+def _file_task(task: Tuple[str, str, Tuple[str, ...],
+                           Dict[str, Any], Optional[str]]
+               ) -> Dict[str, Any]:
+    """Lint + index one file, through the cache (pool-safe)."""
+    path_str, display, file_rules, salt, cache_dir = task
+    source = Path(path_str).read_text(encoding="utf-8")
+    cache = DiskCache(
+        "lint",
+        directory=Path(cache_dir) if cache_dir else None)
+    key = {"path": display, "source": source, "salt": salt}
+    cached = cache.get(key, kind="file")
+    if cached is not None:
+        METRICS.count("lint.cache.hit")
+        return cached
+    METRICS.count("lint.cache.miss")
+    with METRICS.observed("lint.walk_seconds"):
+        checkers = [CHECKERS_BY_RULE[name]() for name in file_rules]
+        findings = check_source(source, display, checkers)
+        noqa = {line: sorted(rules)
+                for line, rules in _parse_noqa(source).items()}
+        index = index_source(source, display, noqa=noqa)
+    payload = {
+        "findings": [finding.to_json() for finding in findings],
+        "index": index.to_payload(),
+    }
+    cache.put(key, payload, kind="file")
+    return payload
+
+
+@dataclass
+class Scan:
+    """Everything one engine pass over a file set produced."""
+
+    findings: List[Finding]
+    files_scanned: int
+    indexes: List[FileIndex] = field(default_factory=list)
+    _graph: Optional[CallGraph] = None
+
+    def graph(self) -> CallGraph:
+        """The resolved call graph over every indexed file (built on
+        first use)."""
+        if self._graph is None:
+            self._graph = build_graph(self.indexes)
+        return self._graph
+
+
+def _finding_from_json(entry: Dict[str, Any]) -> Finding:
+    return Finding(path=entry["path"], line=entry["line"],
+                   col=entry["col"], rule=entry["rule"],
+                   message=entry["message"],
+                   severity=entry["severity"])
+
+
+def _context_files() -> List[Path]:
+    """The ``src/repro`` files the interprocedural rules always need
+    for call-graph context, whether or not they were asked to be
+    scanned."""
+    import repro
+    root = Path(repro.__file__).parent
+    try:
+        return collect_files([root])
+    except FileNotFoundError:        # pragma: no cover - installed zip
+        return []
+
+
+def scan_paths(paths: Sequence[Path],
+               rules: Optional[Sequence[str]] = None,
+               exclude: Sequence[str] = (),
+               cache_dir: Optional[Path] = None) -> Scan:
+    """Run the full engine: per-file rules (cached, parallel) plus
+    the whole-program rules over the aggregate."""
+    file_rules, project_rules = split_rules(rules)
+    files = collect_files(paths, exclude=exclude)
+    scanned_display = [display_path(path) for path in files]
+    scanned_set = set(scanned_display)
+
+    # Context files are indexed with the same cached tasks but are
+    # not scanned: their per-file findings are dropped and project
+    # findings are filtered back to the scanned set.
+    context: List[Tuple[Path, str]] = []
+    if project_rules:
+        for path in _context_files():
+            display = display_path(path)
+            if display not in scanned_set:
+                context.append((path, display))
+
+    salt = _cache_salt(file_rules)
+    cache_dir_str = str(cache_dir) if cache_dir is not None else None
+    tasks = [(str(path), display, tuple(file_rules), salt,
+              cache_dir_str)
+             for path, display in
+             list(zip(files, scanned_display)) + context]
+
+    findings: List[Finding] = []
+    indexes: List[FileIndex] = []
+    with METRICS.timer("lint.scan"):
+        payloads = parallel_map(_file_task, tasks, label="lint")
+        for (_, display, *_rest), payload in zip(tasks, payloads):
+            indexes.append(FileIndex.from_payload(payload["index"]))
+            if display in scanned_set:
+                findings.extend(_finding_from_json(entry)
+                                for entry in payload["findings"])
+
+        scan = Scan(findings=findings, files_scanned=len(files),
+                    indexes=indexes)
+        if project_rules:
+            project = ProjectIndex(indexes)
+            graph = CallGraph(project)
+            scan._graph = graph
+            for name in project_rules:
+                checker = PROJECT_CHECKERS_BY_RULE[name]()
+                findings.extend(
+                    finding
+                    for finding in checker.run(project, graph)
+                    if finding.path in scanned_set)
+
+    METRICS.count("lint.files", len(files))
+    for finding in findings:
+        METRICS.count(f"lint.findings.{finding.rule}")
+    scan.findings = sorted(findings, key=Finding.sort_key)
+    return scan

@@ -1,0 +1,192 @@
+"""Project-wide symbol table and call graph.
+
+:class:`ProjectIndex` aggregates the per-file :class:`FileIndex`
+summaries of one lint run into a module-qualified symbol table;
+:class:`CallGraph` resolves each recorded call site against that table
+(imports, ``from``-aliases, ``self.`` methods, own-module names) into
+def/use edges. Interprocedural checkers walk the graph; ``repro lint
+--graph OUT`` serializes it as JSON (``.json``) or Graphviz DOT
+(anything else).
+
+Resolution is deliberately conservative: a call that cannot be mapped
+to an indexed definition (builtins, third-party APIs, dynamic
+dispatch on instance variables) simply produces no edge. The
+interprocedural rules are therefore under- rather than
+over-approximate — they never invent an edge that is not visibly
+spelled in the source.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .index import CallSite, FileIndex, FunctionInfo
+
+#: Bump when resolution semantics change; part of the lint cache key.
+GRAPH_SCHEMA = 1
+
+
+class ProjectIndex:
+    """All file indexes of a run, queryable by module-qualified name."""
+
+    def __init__(self, files: Iterable[FileIndex]):
+        self.files: Dict[str, FileIndex] = {}
+        self.modules: Dict[str, FileIndex] = {}
+        #: "module.qualname" → (FileIndex, FunctionInfo)
+        self.symbols: Dict[str, Tuple[FileIndex, FunctionInfo]] = {}
+        for index in files:
+            self.add(index)
+
+    def add(self, index: FileIndex) -> None:
+        self.files[index.path] = index
+        self.modules[index.module] = index
+        for qualname, info in index.functions.items():
+            self.symbols[f"{index.module}.{qualname}"] = (index, info)
+
+    def function(self, name: str) -> Optional[FunctionInfo]:
+        entry = self.symbols.get(name)
+        return entry[1] if entry is not None else None
+
+    def file_of(self, name: str) -> Optional[FileIndex]:
+        entry = self.symbols.get(name)
+        return entry[0] if entry is not None else None
+
+    def is_suppressed(self, name: str, line: int, rule: str) -> bool:
+        """Honour ``# repro: noqa`` for a project-level finding."""
+        index = self.file_of(name)
+        if index is None:
+            return False
+        rules = index.noqa.get(line)
+        if rules is None:
+            return False
+        return "*" in rules or rule in rules
+
+    def resolve(self, index: FileIndex,
+                callee: str) -> Optional[str]:
+        """Map a call-site's dotted ``callee`` text to a symbol name.
+
+        Handles, in order: ``self.method`` within the enclosing class,
+        bare names defined in or imported into the calling module,
+        and attribute chains rooted at an imported module alias.
+        Returns ``None`` when the target is not an indexed definition.
+        """
+        head, _, rest = callee.partition(".")
+        if head in ("self", "cls") and rest:
+            return self._resolve_self(index, callee, rest)
+        target = index.imports.get(head)
+        if target is not None:
+            dotted = f"{target}.{rest}" if rest else target
+        else:
+            dotted = f"{index.module}.{callee}"
+        if dotted in self.symbols:
+            return dotted
+        # ``from pkg import mod`` followed by ``mod.fn(...)`` resolves
+        # the alias to the module, and the attr to its function.
+        if target is not None and target in self.modules and rest:
+            qualified = f"{self.modules[target].module}.{rest}"
+            if qualified in self.symbols:
+                return qualified
+        return None
+
+    def _resolve_self(self, index: FileIndex, callee: str,
+                      rest: str) -> Optional[str]:
+        # ``self.method`` resolves within any class of the module that
+        # defines a matching method name; unique match required.
+        matches = [
+            f"{index.module}.{qualname}"
+            for qualname, info in index.functions.items()
+            if info.is_method and qualname.endswith(f".{rest}")
+        ]
+        return matches[0] if len(matches) == 1 else None
+
+
+class CallGraph:
+    """Resolved def/use edges over a :class:`ProjectIndex`."""
+
+    def __init__(self, project: ProjectIndex):
+        self.project = project
+        #: caller symbol → [(callee symbol, CallSite)]
+        self.edges: Dict[str, List[Tuple[str, CallSite]]] = {}
+        #: (caller path, call line) ties each edge to its source site.
+        for index in project.files.values():
+            for site in index.calls:
+                resolved = project.resolve(index, site.callee)
+                if resolved is None:
+                    continue
+                caller = (f"{index.module}.{site.caller}"
+                          if site.caller else index.module)
+                self.edges.setdefault(caller, []).append(
+                    (resolved, site))
+
+    def callees_of(self, name: str) -> List[Tuple[str, CallSite]]:
+        return self.edges.get(name, [])
+
+    def closure(self, roots: Iterable[str],
+                stop: Optional[Set[str]] = None
+                ) -> Dict[str, List[str]]:
+        """Breadth-first reachability from ``roots``.
+
+        Returns reached symbol → shortest call chain (list of symbol
+        names from a root to it, inclusive). Traversal does not expand
+        nodes whose module is in ``stop`` (their own facts are still
+        reported — the chain just ends there).
+        """
+        reached: Dict[str, List[str]] = {}
+        queue: deque = deque()
+        for root in roots:
+            if root not in reached:
+                reached[root] = [root]
+                queue.append(root)
+        while queue:
+            current = queue.popleft()
+            index = self.project.file_of(current)
+            if stop and index is not None and index.module in stop:
+                continue
+            for callee, _site in self.callees_of(current):
+                if callee in reached:
+                    continue
+                reached[callee] = reached[current] + [callee]
+                queue.append(callee)
+        return reached
+
+    # -- serialization ----------------------------------------------------
+
+    def to_json(self) -> Dict:
+        nodes = []
+        for name, (index, info) in sorted(
+                self.project.symbols.items()):
+            nodes.append({"name": name, "path": index.path,
+                          "line": info.line})
+        edges = []
+        for caller in sorted(self.edges):
+            for callee, site in self.edges[caller]:
+                edges.append({"caller": caller, "callee": callee,
+                              "line": site.line})
+        return {
+            "schema": GRAPH_SCHEMA,
+            "modules": sorted(self.project.modules),
+            "nodes": nodes,
+            "edges": edges,
+        }
+
+    def to_dot(self) -> str:
+        lines = ["digraph repro_calls {", "  rankdir=LR;",
+                 "  node [shape=box, fontsize=10];"]
+        names = sorted(self.project.symbols)
+        for name in names:
+            lines.append(f'  "{name}";')
+        seen: Set[Tuple[str, str]] = set()
+        for caller in sorted(self.edges):
+            for callee, _site in self.edges[caller]:
+                if (caller, callee) in seen:
+                    continue
+                seen.add((caller, callee))
+                lines.append(f'  "{caller}" -> "{callee}";')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def build_graph(files: Iterable[FileIndex]) -> CallGraph:
+    """Convenience: aggregate ``files`` and resolve their edges."""
+    return CallGraph(ProjectIndex(files))

@@ -1,0 +1,138 @@
+"""Cold-vs-warm lint benchmark: the incremental engine's receipt.
+
+``repro bench lint`` scans a tree twice against a fresh on-disk cache
+— once cold (every file parses, indexes, and caches) and once warm
+(every file replays from its cached payload) — and records both wall
+times in the benchmark registry history, alongside the cache hit/miss
+counters that prove what each pass actually did.  The run doubles as
+the incremental-lint regression gate: a warm pass that is not at
+least :data:`SPEEDUP_FLOOR` times faster than the cold one, or that
+misses the cache at all, exits nonzero.
+
+Findings are also compared across the two passes — a cache replay
+that changes the lint verdict would be a correctness bug, not a perf
+problem, and fails the bench the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Bump when the BENCH_lint.json layout changes incompatibly.
+BENCH_SCHEMA = 1
+
+#: The warm pass must be at least this many times faster than cold.
+SPEEDUP_FLOOR = 5.0
+
+#: Default tree to lint (quick restricts to the analysis package —
+#: enough files to time, few enough for a CI smoke lane).  Resolved
+#: against the installed ``repro`` package, not the working
+#: directory, so ``repro bench lint`` works from anywhere.
+DEFAULT_SUBTREES = ("",)
+QUICK_SUBTREES = ("analysis", "kernels")
+
+
+def _default_targets(quick: bool) -> Tuple[Path, ...]:
+    import repro
+
+    package = Path(repro.__file__).resolve().parent
+    subtrees = QUICK_SUBTREES if quick else DEFAULT_SUBTREES
+    return tuple(package / sub if sub else package for sub in subtrees)
+
+
+def _display(path: Path) -> str:
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def _timed_scan(paths, cache_dir):
+    from repro.analysis import scan_paths
+    from repro.runtime.metrics import METRICS
+
+    before_hit = METRICS.counters.get("lint.cache.hit", 0)
+    before_miss = METRICS.counters.get("lint.cache.miss", 0)
+    started = time.perf_counter()
+    scan = scan_paths(paths, cache_dir=cache_dir)
+    wall = time.perf_counter() - started
+    hits = METRICS.counters.get("lint.cache.hit", 0) - before_hit
+    misses = METRICS.counters.get("lint.cache.miss", 0) - before_miss
+    return scan, wall, hits, misses
+
+
+def run_lint_bench(quick: bool = False,
+                   paths: Optional[Tuple[str, ...]] = None,
+                   output: str = "BENCH_lint.json",
+                   history: Optional[str] = None
+                   ) -> Tuple[int, Dict[str, Any]]:
+    """Run the cold/warm pair, write ``output``, return (status, report)."""
+    from repro import bench_registry
+    from repro.bench_registry import BenchSample
+    from repro.runtime.manifest import run_environment, utc_timestamp
+
+    if paths is None:
+        targets = list(_default_targets(quick))
+    else:
+        targets = [Path(entry) for entry in paths]
+    shown = [_display(target) for target in targets]
+
+    with tempfile.TemporaryDirectory(prefix="repro-lint-bench-"
+                                     ) as scratch:
+        cache_dir = Path(scratch)
+        cold, cold_s, _, cold_misses = _timed_scan(targets, cache_dir)
+        warm, warm_s, warm_hits, warm_misses = _timed_scan(targets,
+                                                           cache_dir)
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    replay_ok = [f.to_json() for f in warm.findings] \
+        == [f.to_json() for f in cold.findings]
+    fully_warm = warm_misses == 0 and warm_hits == cold_misses
+    passed = replay_ok and fully_warm and speedup >= SPEEDUP_FLOOR
+
+    formatted: List[str] = [
+        f"lint bench over {', '.join(shown)} "
+        f"({cold.files_scanned} files scanned)",
+        f"  cold: {cold_s:.3f} s ({cold_misses} cache misses)",
+        f"  warm: {warm_s:.3f} s ({warm_hits} cache hits, "
+        f"{warm_misses} misses)",
+        f"  speedup: {speedup:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)  "
+        f"replay {'identical' if replay_ok else 'DIVERGED'}",
+    ]
+    report: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "generated_at": utc_timestamp(),
+        "quick": quick,
+        "env": run_environment(),
+        "paths": shown,
+        "files_scanned": cold.files_scanned,
+        "cold_wall_s": cold_s,
+        "warm_wall_s": warm_s,
+        "speedup": speedup,
+        "cache": {"cold_misses": cold_misses,
+                  "warm_hits": warm_hits,
+                  "warm_misses": warm_misses},
+        "replay_identical": replay_ok,
+        "passed": passed,
+        "formatted": formatted,
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    record = bench_registry.build_record(
+        "lint", node="-", quick=quick,
+        config={"paths": shown, "quick": quick,
+                "speedup_floor": SPEEDUP_FLOOR},
+        samples=[
+            BenchSample(name="lint.cold.wall", value=cold_s,
+                        n=cold.files_scanned),
+            BenchSample(name="lint.warm.wall", value=warm_s,
+                        n=cold.files_scanned),
+        ])
+    report["history_path"] = str(
+        bench_registry.append_record(record, history=history))
+    return (0 if passed else 1), report

@@ -219,22 +219,31 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.analysis import run_lint, write_baseline
+    from repro.analysis import (prune_baseline, run_lint,
+                                write_baseline)
 
-    paths = [Path(entry) for entry in (args.paths or ["src"])]
+    paths = [Path(entry)
+             for entry in (args.paths or ["src", "tests", "scripts"])]
     rules = None
-    if args.rules:
+    if args.rules is not None:
         rules = [name.strip() for name in args.rules.split(",")
                  if name.strip()]
+    # The lint fixtures are deliberate violations; keep them out of
+    # every run unless a path names them directly.
+    exclude = ("tests/analysis/fixtures",) + tuple(args.exclude or ())
     baseline_path = Path(args.baseline)
+    skip_baseline = args.write_baseline or args.prune_baseline
     try:
-        result = run_lint(paths, rules=rules,
-                          exclude=tuple(args.exclude or ()),
-                          baseline_path=(None if args.write_baseline
-                                         else baseline_path))
+        result = run_lint(paths, rules=rules, exclude=exclude,
+                          baseline_path=(None if skip_baseline
+                                         else baseline_path),
+                          graph_path=(Path(args.graph)
+                                      if args.graph else None))
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.graph:
+        print(f"call graph written to {args.graph}")
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             json.dump(result.to_json(), handle, indent=2,
@@ -242,8 +251,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             handle.write("\n")
     if args.write_baseline:
         write_baseline(baseline_path, result.all_findings)
+        grandfathered = sum(
+            1 for finding in result.all_findings
+            if finding.rule != "syntax")
         print(f"baseline written to {baseline_path} "
-              f"({len(result.all_findings)} findings grandfathered)")
+              f"({grandfathered} findings grandfathered)")
+        return 0
+    if args.prune_baseline:
+        if not baseline_path.exists():
+            print(f"error: no baseline at {baseline_path}",
+                  file=sys.stderr)
+            return 2
+        kept, pruned = prune_baseline(baseline_path,
+                                      result.all_findings)
+        print(f"baseline pruned: {pruned} stale occurrence"
+              f"{'s' if pruned != 1 else ''} removed, "
+              f"{kept} entr{'ies' if kept != 1 else 'y'} kept")
         return 0
     if args.format == "json":
         print(json.dumps(result.to_json(), indent=2, sort_keys=True))
@@ -255,6 +278,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.suite == "diff":
         return _cmd_bench_diff(args)
+    if args.suite == "lint":
+        from repro.bench_lint import run_lint_bench
+        output = args.output or "BENCH_lint.json"
+        status, report = run_lint_bench(quick=args.quick,
+                                        output=output,
+                                        history=args.history)
+        for line in report["formatted"]:
+            print(line)
+        print(f"report written to {output}")
+        print(f"history record appended to {report['history_path']}")
+        if status != 0:
+            print("error: warm lint pass missed the cache or fell "
+                  "below the incremental speedup floor",
+                  file=sys.stderr)
+        return status
     if args.suite == "yield":
         from repro.bench_yield import run_yield_bench
         output = args.output or "BENCH_yield.json"
@@ -507,7 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="project-specific AST static analysis")
     lint_cmd.add_argument("paths", nargs="*", metavar="PATH",
                           help="files or directories to scan "
-                               "(default: src)")
+                               "(default: src tests scripts)")
     lint_cmd.add_argument("--format", default="text",
                           choices=["text", "json"],
                           help="findings output format")
@@ -524,20 +562,30 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument("--write-baseline", action="store_true",
                           help="rewrite the baseline from the "
                                "current findings and exit 0")
+    lint_cmd.add_argument("--prune-baseline", action="store_true",
+                          help="drop baseline entries the current "
+                               "tree no longer produces, then exit 0")
     lint_cmd.add_argument("--report", default=None, metavar="FILE",
                           help="also write a JSON findings report "
                                "to FILE")
+    lint_cmd.add_argument("--graph", default=None, metavar="OUT",
+                          help="also serialize the project call "
+                               "graph (JSON for a .json suffix, "
+                               "Graphviz DOT otherwise)")
     lint_cmd.set_defaults(func=_cmd_lint)
 
     bench_cmd = add_parser(
         "bench", help="tracked benchmark suites")
     bench_cmd.add_argument("suite", nargs="?", default="kernels",
-                           choices=["kernels", "yield", "diff"],
+                           choices=["kernels", "yield", "lint",
+                                    "diff"],
                            help="'kernels' times scalar vs vectorized "
                                 "paths; 'yield' compares tail-yield "
                                 "estimators on the golden engine; "
-                                "'diff' gates the latest history "
-                                "record against a reference")
+                                "'lint' times cold vs warm "
+                                "incremental lint; 'diff' gates the "
+                                "latest history record against a "
+                                "reference")
     bench_cmd.add_argument("--node", default="90nm",
                            help="technology node (default 90nm)")
     bench_cmd.add_argument("--quick", action="store_true",

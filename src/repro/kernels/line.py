@@ -149,7 +149,7 @@ def evaluate_line_batch(
 
         f0, f1 = calibration.area
         a_repeaters = bus_width * counts * (f0 + f1 * wn)
-        a_wire = wire_area(model.config, 1.0, bus_width) * lengths
+        a_wire = wire_area(model.config, lengths, bus_width)
 
         return LineBatch(
             delay=total_delay,

@@ -165,7 +165,9 @@ def minimize_power_under_delay_batch(
         meets = delay <= max_delay
         high = np.where(open_ & meets, mid, high)
         low = np.where(open_ & ~meets, mid, low)
-    chosen = np.where(at_min, 1.0, high)
+    # at_min lanes never open, so their ``low`` is still the initial
+    # minimum size — reusing it mirrors the scalar's ``chosen = low``.
+    chosen = np.where(at_min, low, high)
     _, powers = _evaluate(model, length, count_array, chosen, input_slew,
                           bus_width)
     index = int(np.argmin(powers))

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.models.calibration import CalibratedTechnology
 from repro.tech.design_styles import DesignStyle, WireConfiguration
 from repro.tech.parameters import TechnologyParameters
@@ -63,7 +65,9 @@ def wire_area(config: WireConfiguration, length: float,
     """
     if bus_width < 1:
         raise ValueError("bus_width must be at least 1")
-    if length < 0:
+    # np.any so the batched kernels can pass per-lane length arrays
+    # straight through instead of hoisting a unit-length evaluation.
+    if np.any(np.asarray(length) < 0):
         raise ValueError("length must be non-negative")
     if config.style is DesignStyle.SHIELDED:
         pitch = config.signal_pitch()

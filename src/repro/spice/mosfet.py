@@ -74,8 +74,9 @@ def _sigmoid(x: float, s: float) -> float:
     return 1.0 / (1.0 + math.exp(-ratio))
 
 
-def subthreshold_smoothing(parameters: DeviceParameters,
-                           reference_vdd: float) -> float:
+def subthreshold_smoothing(  # repro: noqa[worker-safety-transitive] — pure memoization; the write is idempotent and keyed on the inputs
+        parameters: DeviceParameters,
+        reference_vdd: float) -> float:
     """Smoothing parameter ``s`` (volts) matching the specified leakage.
 
     Solves ``k_sat * v_eff(0)**alpha = i_leak`` where

@@ -1,0 +1,18 @@
+"""Kernel side of the seeded kernel-parity drift pair.
+
+Deliberately drifted from ``parity_drift_scalar``: one extra multiply
+(the spurious ``* 1.02`` fudge) and a changed coefficient (``0.7``
+instead of ``0.69``).  Also defines an unpaired public kernel so the
+registry-coverage finding has something to flag.
+"""
+import numpy as np
+
+
+def stage_delay_batch(r_drive, c_load):
+    """Drifted: extra fudge multiply, 0.7 instead of 0.69."""
+    return 0.7 * np.asarray(r_drive) * np.asarray(c_load) * 1.02
+
+
+def orphan_kernel(x):
+    """Public kernel with no parity-registry entry."""
+    return np.asarray(x) + 1.0

@@ -1,0 +1,12 @@
+"""Scalar side of the seeded kernel-parity drift pair.
+
+The test indexes this file under module name ``repro.models.fake`` and
+its kernel counterpart under ``repro.kernels.fake``; the kernel's
+extra multiply and changed coefficient must both surface as
+``kernel-parity`` findings.
+"""
+
+
+def stage_delay(r_drive: float, c_load: float) -> float:
+    """tau = 0.69 * R * C."""
+    return 0.69 * r_drive * c_load

@@ -1,0 +1,26 @@
+"""Seeded worker-safety-transitive violation.
+
+``run`` submits ``work`` to the pool; ``work`` itself is clean, but
+its helper two calls down consults the wall clock.  Only the
+whole-program rule can see that — the per-file ``worker-safety`` rule
+passes this file.
+"""
+import time
+
+from repro.runtime.parallel import parallel_map
+
+
+def _stamp() -> float:
+    return time.time()
+
+
+def _helper(item: int) -> float:
+    return item + _stamp()
+
+
+def work(item: int) -> float:
+    return _helper(item) * 2.0
+
+
+def run(items):
+    return parallel_map(work, items)

@@ -1,0 +1,30 @@
+"""Seeded unit-flow violations.
+
+Each call site passes a suffixed identifier into a parameter whose
+declared suffix disagrees: a 1000x time-scale drift (``_ps`` into
+``_ns``), a dimension clash (``_ff`` into ``_ohm``), and — for the
+negative case — an equivalent-suffix call (``_ohm`` into ``_ohms``)
+that must NOT fire.
+"""
+
+
+def settle(delay_ns: float) -> float:
+    return delay_ns * 2.0
+
+
+def drop(r_ohm: float) -> float:
+    return r_ohm * 0.5
+
+
+def drain(r_ohms: float) -> float:
+    return r_ohms * 0.1
+
+
+def caller():
+    clock_ps = 140.0
+    cap_ff = 3.0
+    load_ohm = 75.0
+    bad_scale = settle(clock_ps)
+    bad_dimension = drop(cap_ff)
+    fine = drain(r_ohms=load_ohm)
+    return bad_scale + bad_dimension + fine

@@ -6,7 +6,9 @@ import pytest
 
 from repro.analysis import (
     Finding,
+    SYNTAX_RULE,
     apply_baseline,
+    prune_baseline,
     read_baseline,
     write_baseline,
 )
@@ -51,6 +53,66 @@ class TestApplyBaseline:
         fresh, suppressed = apply_baseline([_finding()], {})
         assert fresh == [_finding()]
         assert suppressed == 0
+
+
+class TestRenameInvalidation:
+    def test_renamed_file_is_no_longer_grandfathered(self, tmp_path):
+        # The fingerprint carries the path: grandfather a finding in
+        # a.py, move the code to b.py, and the same violation is new
+        # again — a baseline must not follow code around the tree.
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [_finding(path="a.py")])
+        budget = read_baseline(target)
+        fresh, suppressed = apply_baseline(
+            [_finding(path="b.py")], budget)
+        assert suppressed == 0
+        assert [finding.path for finding in fresh] == ["b.py"]
+
+
+class TestSyntaxImmunity:
+    """SYNTAX_RULE findings can never be baselined (regression)."""
+
+    def _syntax(self):
+        return _finding(rule=SYNTAX_RULE,
+                        message="file does not parse: bad")
+
+    def test_write_baseline_drops_syntax_findings(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [self._syntax(), _finding()])
+        budget = read_baseline(target)
+        assert self._syntax().fingerprint() not in budget
+        assert budget[_finding().fingerprint()] == 1
+
+    def test_apply_never_suppresses_syntax_findings(self):
+        # Even a hand-edited baseline entry must not admit an
+        # unparseable file: grandfathering it would blind every other
+        # rule to that file.
+        budget = {self._syntax().fingerprint(): 5}
+        fresh, suppressed = apply_baseline([self._syntax()], budget)
+        assert suppressed == 0
+        assert [finding.rule for finding in fresh] == [SYNTAX_RULE]
+
+
+class TestPruneBaseline:
+    def test_fixed_findings_lose_their_budget(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [_finding(line=1), _finding(line=9),
+                                _finding(rule="determinism",
+                                         message="other")])
+        # The tree now produces only one of the two 'units' findings
+        # and none of the determinism one.
+        kept, pruned = prune_baseline(target, [_finding(line=4)])
+        assert (kept, pruned) == (1, 2)
+        budget = read_baseline(target)
+        assert budget == {_finding().fingerprint(): 1}
+
+    def test_prune_is_a_no_op_when_nothing_was_fixed(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        findings = [_finding(line=1), _finding(line=9)]
+        write_baseline(target, findings)
+        kept, pruned = prune_baseline(target, findings)
+        assert (kept, pruned) == (1, 0)
+        assert read_baseline(target)[_finding().fingerprint()] == 2
 
 
 class TestBadBaselines:

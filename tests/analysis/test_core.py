@@ -81,6 +81,13 @@ class TestMakeCheckers:
         with pytest.raises(ValueError, match="unknown rule"):
             make_checkers(["units", "made-up"])
 
+    def test_empty_selection_is_a_usage_error(self):
+        with pytest.raises(ValueError, match="no rules selected"):
+            make_checkers([])
+
+    def test_project_rules_validate_but_make_no_file_checker(self):
+        assert make_checkers(["kernel-parity"]) == []
+
 
 class TestCollectFiles:
     def test_walks_directories_and_skips_junk(self, tmp_path):
@@ -117,3 +124,56 @@ class TestCollectFiles:
     def test_missing_path_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             collect_files([tmp_path / "nope"])
+
+    def test_directly_named_file_overrides_exclusion(self, tmp_path):
+        # A fragment filter applies to directory walks; asking for a
+        # file by name always scans it (how fixture tests stay
+        # runnable under the CLI's default fixtures exclusion).
+        target = tmp_path / "fixtures" / "direct.py"
+        target.parent.mkdir()
+        target.write_text("x = 1\n")
+        assert collect_files([target], exclude=("fixtures",)) \
+            == [target]
+        assert collect_files([tmp_path], exclude=("fixtures",)) == []
+
+
+class TestEdgeCases:
+    def test_crlf_sources_lint_and_suppress_normally(self):
+        source = ("import time\r\n"
+                  "a = time.time()\r\n"
+                  "b = time.time()  # repro: noqa[determinism]\r\n")
+        findings = check_source(source, "x.py", _determinism())
+        assert [finding.line for finding in findings] == [2]
+
+    def test_noqa_on_a_decorated_def_suppresses_at_the_def_line(self):
+        # The finding anchors at the ``def`` line, not the decorator:
+        # the noqa comment belongs there too.
+        source = ("import functools\n"
+                  "@functools.lru_cache\n"
+                  "def delay(load: float) -> float:"
+                  "  # repro: noqa[units]\n"
+                  "    return load\n"
+                  "@functools.lru_cache\n"
+                  "def slew(load: float) -> float:\n"
+                  "    return load\n")
+        findings = check_source(source, "src/repro/models/x.py",
+                                make_checkers(["units"]))
+        assert [finding.line for finding in findings] == [6]
+        assert "slew" in findings[0].message
+
+    def test_noqa_suppresses_at_the_first_line_of_a_multiline_call(
+            self):
+        source = ("import time\n"
+                  "value = max(  # repro: noqa[determinism]\n"
+                  "    time.time(),\n"
+                  "    0.0,\n"
+                  ")\n")
+        # ``time.time()`` is reported at its own line (3), so a noqa
+        # there suppresses ...
+        suppressed = source.replace(
+            "max(  # repro: noqa[determinism]", "max(").replace(
+            "time.time(),", "time.time(),  # repro: noqa[determinism]")
+        assert check_source(suppressed, "x.py", _determinism()) == []
+        # ... while one on the expression's opening line does not.
+        findings = check_source(source, "x.py", _determinism())
+        assert [finding.line for finding in findings] == [3]

@@ -1,0 +1,31 @@
+"""The cold/warm lint bench: record shape and replay identity."""
+
+import json
+
+from repro.bench_lint import run_lint_bench
+from repro.bench_registry import load_history
+
+
+class TestLintBench:
+    def test_quick_run_records_cold_and_warm_samples(self, tmp_path):
+        output = tmp_path / "BENCH_lint.json"
+        history = tmp_path / "history.jsonl"
+        status, report = run_lint_bench(
+            quick=True, paths=("src/repro/analysis",),
+            output=str(output), history=str(history))
+
+        assert report["replay_identical"]
+        assert report["cache"]["warm_misses"] == 0
+        assert report["cache"]["warm_hits"] \
+            == report["cache"]["cold_misses"] > 0
+        assert report["warm_wall_s"] < report["cold_wall_s"]
+        assert (status == 0) == report["passed"]
+
+        snapshot = json.loads(output.read_text())
+        assert snapshot["schema"] == 1
+        assert snapshot["files_scanned"] == report["files_scanned"]
+
+        (record,) = load_history(history)
+        assert record["suite"] == "lint"
+        names = {sample["name"] for sample in record["samples"]}
+        assert names == {"lint.cold.wall", "lint.warm.wall"}
