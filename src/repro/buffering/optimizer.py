@@ -108,12 +108,14 @@ def _use_kernel_search(model, use_kernels: Optional[bool]) -> bool:
     if use_kernels is False:
         return False
     from repro.kernels.line import supports_model
-    supported = supports_model(model)
+    from repro.kernels.lut import serves_model
+    supported = supports_model(model) or serves_model(model)
     if use_kernels and not supported:
         raise ValueError(
             f"use_kernels=True but {type(model).__name__} is not "
             "supported by the batched kernels (only the plain "
-            "BufferedInterconnectModel is)")
+            "BufferedInterconnectModel and its LUT-served wrapper "
+            "are)")
     return supported
 
 

@@ -47,11 +47,29 @@ class NLDMTable:
     def as_array(self) -> np.ndarray:
         return np.asarray(self.values)
 
-    def lookup(self, slew: float, load: float) -> float:
-        """Bilinear interpolation (clamped extrapolation at the edges)."""
+    def lookup(self, slew: float, load: float,
+               mode: str = "extrapolate") -> float:
+        """Bilinear interpolation with a documented edge policy.
+
+        Inside the grid both modes agree (plain bilinear
+        interpolation).  Beyond an axis edge they differ:
+
+        ``"extrapolate"`` (default)
+            Continue the edge cell's linear trend — what Liberty
+            tools do for mildly out-of-range queries, and what the
+            calibration fits rely on.
+        ``"clamp"``
+            Pin the query to the nearest edge, so out-of-range
+            lookups return the boundary value — the conservative
+            policy for consumers that must never amplify a table
+            beyond its measured support.
+
+        Exact grid hits return the stored value (both modes).
+        """
         return float(_bilinear(np.asarray(self.index_1),
                                np.asarray(self.index_2),
-                               self.as_array(), slew, load))
+                               self.as_array(), slew, load,
+                               mode=mode))
 
     def row(self, slew_index: int) -> List[float]:
         """Values across loads at one slew point."""
@@ -63,8 +81,19 @@ class NLDMTable:
 
 
 def _bilinear(xs: np.ndarray, ys: np.ndarray, table: np.ndarray,
-              x: float, y: float) -> float:
-    """Bilinear interpolation with linear extrapolation beyond edges."""
+              x: float, y: float, mode: str = "extrapolate") -> float:
+    """Bilinear interpolation; ``mode`` picks the edge policy.
+
+    ``"extrapolate"`` leaves the edge cell's fraction unclamped, so
+    out-of-range queries continue that cell's linear trend;
+    ``"clamp"`` limits fractions to [0, 1], pinning queries to the
+    boundary value.  Single-point axes collapse to the lower
+    dimension in both modes (one cell has no trend to continue).
+    """
+    if mode not in ("extrapolate", "clamp"):
+        raise ValueError(
+            f"mode must be 'extrapolate' or 'clamp', got {mode!r}")
+
     def bracket(axis: np.ndarray, value: float) -> "tuple[int, float]":
         if axis.size == 1:
             return 0, 0.0
@@ -72,6 +101,8 @@ def _bilinear(xs: np.ndarray, ys: np.ndarray, table: np.ndarray,
         index = min(max(index, 0), axis.size - 2)
         span = axis[index + 1] - axis[index]
         fraction = (value - axis[index]) / span
+        if mode == "clamp":
+            fraction = min(max(fraction, 0.0), 1.0)
         return index, fraction
 
     i, fx = bracket(xs, x)

@@ -20,7 +20,10 @@ so one ufunc-style call replaces thousands of scalar invocations:
   searches over all repeater-count lanes at once, reproducing the
   scalar optimizer's trajectory decision-for-decision;
 * :mod:`repro.kernels.variation` — perturbed line delay over a whole
-  Monte-Carlo factor matrix in one call.
+  Monte-Carlo factor matrix in one call;
+* :mod:`repro.kernels.lut` — batched trilinear interpolation over the
+  characterization LUT tier (:mod:`repro.luts`), plus the first-order
+  Monte-Carlo lane and the LUT-served line evaluation.
 
 Contracts:
 
@@ -42,6 +45,12 @@ from __future__ import annotations
 
 from repro.kernels.line import LineBatch, evaluate_line_batch, \
     supports_model
+from repro.kernels.lut import (
+    evaluate_line_lut,
+    interpolate_trilinear,
+    line_delay_first_order,
+    serves_model,
+)
 from repro.kernels.search import (
     minimize_power_under_delay_batch,
     optimize_buffering_batch,
@@ -53,8 +62,12 @@ __all__ = [
     "LineBatch",
     "WireCoefficients",
     "evaluate_line_batch",
+    "evaluate_line_lut",
+    "interpolate_trilinear",
+    "line_delay_first_order",
     "line_delay_batch",
     "minimize_power_under_delay_batch",
     "optimize_buffering_batch",
+    "serves_model",
     "supports_model",
 ]

@@ -80,6 +80,12 @@ def evaluate_line_batch(
     capacitance, matching the scalar default.
     """
     if not supports_model(model):
+        from repro.kernels import lut as klut
+        if klut.serves_model(model):
+            return klut.evaluate_line_lut(
+                model, length, num_repeaters, repeater_size,
+                input_slew, bus_width=bus_width,
+                receiver_cap=receiver_cap)
         raise TypeError(
             "evaluate_line_batch mirrors the plain "
             "BufferedInterconnectModel stage arithmetic; got "

@@ -161,6 +161,52 @@ PARITY_PAIRS: Tuple[ParityPair, ...] = (
         scalar=("repro.buffering.optimizer"
                 ".minimize_power_under_delay",),
     ),
+    # -- characterization LUT tier -------------------------------------
+    ParityPair(
+        name="lut-trilinear",
+        kernel=("repro.kernels.lut.interpolate_trilinear",
+                "repro.kernels.lut._bracket",
+                "repro.kernels.lut._lerp"),
+        scalar=("repro.luts.interp.trilinear",
+                "repro.luts.interp.bracket",
+                "repro.luts.interp._lerp"),
+        compare="ops",
+        rationale=(
+            "same bracketing and lerp arithmetic, but the scalar "
+            "bracket spells its clamps as min/max over bisect_right "
+            "while the batched one uses searchsorted + numpy.clip, "
+            "so the clamp constants sit in different positions"),
+    ),
+    ParityPair(
+        name="lut-first-order",
+        kernel=("repro.kernels.lut.line_delay_first_order",),
+        scalar=("repro.luts.model.first_order_line_delay",),
+        compare="ops",
+        rationale=(
+            "the scalar mirror accumulates per-stage terms with "
+            "math.fsum over a generator while the kernel reduces "
+            "with ndarray.sum; neither reduction appears in the op "
+            "multiset, but the loop bookkeeping constants differ"),
+    ),
+    ParityPair(
+        name="lut-line-evaluate",
+        kernel=("repro.kernels.lut.evaluate_line_lut",),
+        # The LUT lane interpolates timing (log lookup + exp) and
+        # inlines the exact power/area closed forms the scalar model
+        # spreads across its helpers, exactly as line-evaluate does.
+        scalar=("repro.luts.model.LUTInterconnectModel"
+                "._lookup_estimate",
+                "repro.models.power.dynamic_power",
+                "repro.models.power.leakage_power_from_coefficients",
+                "repro.models.area.regression_repeater_area"),
+        compare="ops",
+        rationale=(
+            "the batched lane carries the per-lane fallback and "
+            "serving-mask orchestration (broadcasts, mask counts) "
+            "that the scalar path expresses as control flow in "
+            "LUTInterconnectModel.evaluate, so constants differ "
+            "while the served arithmetic matches op-for-op"),
+    ),
 )
 
 #: Public kernel-module functions that are not batch mirrors: pure
@@ -169,6 +215,8 @@ PARITY_PAIRS: Tuple[ParityPair, ...] = (
 EXEMPT: FrozenSet[str] = frozenset({
     # type predicate, no arithmetic to mirror
     "repro.kernels.line.supports_model",
+    # type predicate, no arithmetic to mirror
+    "repro.kernels.lut.serves_model",
     # argmin + scalar rebuild; the searched arithmetic is paired via
     # search-golden-section / search-objective
     "repro.kernels.search.optimize_buffering_batch",

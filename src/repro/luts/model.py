@@ -1,0 +1,334 @@
+"""The LUT-served interconnect model (drop-in for the closed form).
+
+:class:`LUTInterconnectModel` wraps a calibrated
+:class:`repro.models.interconnect.BufferedInterconnectModel` plus one
+built artifact and answers the same ``evaluate`` API: delay and output
+slew interpolate trilinearly from the tables — in log-value space over
+log size/length coordinates (see ``repro.luts.artifact.LOG_TABLES``),
+which turns the closed form's power-law behavior into near-linear
+segments — while power and area use the exact closed forms (they are
+O(1) — tabulating them would only add error).  Anything the tables do not cover — an explicit receiver cap,
+a different input slew, a query outside the gridded region — falls
+back to the wrapped closed form, counted under ``luts.fallback``, so
+the LUT tier can never produce an answer the closed form would not.
+
+The wrapper refuses to bind an artifact whose calibration hash or
+model class does not match the base model: a recalibrated node must
+rebuild its tables (``repro luts check`` tracks the drift), never
+serve stale ones.
+
+For the Monte-Carlo first-order lane, :meth:`mc_response` returns the
+tabulated nominal delay of the extraction-style line plus a per-stage
+sensitivity matrix; :func:`first_order_line_delay` is the scalar
+mirror of the batched :func:`repro.kernels.lut.line_delay_first_order`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.luts.artifact import LUTArtifact
+from repro.luts.interp import trilinear
+from repro.models.area import repeater_area, wire_area
+from repro.models.interconnect import InterconnectEstimate
+from repro.models.power import dynamic_power, repeater_leakage_power
+from repro.models.wire import switched_wire_capacitance
+from repro.runtime.cache import fingerprint
+from repro.runtime.metrics import METRICS
+
+
+def first_order_line_delay(nominal: float,
+                           weights: "np.ndarray",
+                           factors: "np.ndarray") -> float:
+    """One first-order delay (s): nominal plus the inner product of
+    ``(factors - 1)`` with the per-stage sensitivity ``weights``.
+
+    Scalar mirror of the batched
+    :func:`repro.kernels.lut.line_delay_first_order` (one factor row
+    here, many rows there); the pairing is registered in
+    :mod:`repro.kernels.parity`.
+    """
+    response = math.fsum((value - 1.0) * weight
+                         for row, weight_row in zip(factors, weights)
+                         for value, weight in zip(row, weight_row))
+    return nominal + response
+
+
+class LUTInterconnectModel:
+    """LUT-served stand-in for ``BufferedInterconnectModel``.
+
+    API-compatible with the closed form wherever the artifact's grid
+    covers the query; everywhere else it *is* the closed form (the
+    wrapped base model answers, and ``luts.fallback`` counts it).
+    The max interpolation error of served answers is the artifact's
+    validated contract (``artifact.spec.max_rel_error``, measured at
+    build time as ``artifact.measured_rel_error``).
+    """
+
+    def __init__(self, base, artifact: LUTArtifact) -> None:
+        if artifact.model_class != type(base).__name__:
+            raise ValueError(
+                f"artifact characterizes {artifact.model_class}, got "
+                f"a {type(base).__name__}")
+        calibration_hash = fingerprint(base)
+        if artifact.calibration_hash != calibration_hash:
+            raise ValueError(
+                "artifact calibration hash "
+                f"{artifact.calibration_hash} does not match the "
+                f"model ({calibration_hash}); the node was "
+                "recalibrated — rebuild the tables (repro luts "
+                "build) or run the drift check (repro luts check)")
+        self.base = base
+        self.artifact = artifact
+        spec = artifact.spec
+        # Interpolation coordinates: log size, log length, linear
+        # count (matching repro.luts.artifact.LOG_TABLES — counts are
+        # always exact grid hits).  Scalar queries log through
+        # float(np.log(...)) so scalar and batched lanes stay bitwise
+        # identical (np.log agrees elementwise with its vectorized
+        # form; math.exp does not agree with np.exp, so the scalar
+        # path never uses math.*).
+        log_sizes = np.log(np.asarray(spec.sizes, dtype=float))
+        log_lengths = np.log(np.asarray(spec.lengths, dtype=float))
+        self._count_axis = tuple(float(c) for c in spec.counts)
+        self._axis_arrays = (
+            log_sizes,
+            log_lengths,
+            np.asarray(self._count_axis, dtype=float),
+        )
+        self._log_size_axis = tuple(log_sizes.tolist())
+        self._log_length_axis = tuple(log_lengths.tolist())
+
+    # -- closed-form delegation -----------------------------------------
+
+    @property
+    def tech(self):
+        return self.base.tech
+
+    @property
+    def calibration(self):
+        return self.base.calibration
+
+    @property
+    def config(self):
+        return self.base.config
+
+    @property
+    def activity_factor(self) -> float:
+        return self.base.activity_factor
+
+    def repeater_model(self):
+        return self.base.repeater_model()
+
+    def stage_delay(self, size, input_slew, segment_length, next_cap,
+                    rising_output):
+        return self.base.stage_delay(size, input_slew, segment_length,
+                                     next_cap, rising_output)
+
+    def staggered(self):
+        """Staggered insertion changes the wire configuration, which
+        the tables do not cover — return the closed form."""
+        return self.base.staggered()
+
+    # -- identity --------------------------------------------------------
+
+    def cache_key(self) -> Dict[str, object]:
+        """What disk-cache keys should fingerprint for this model:
+        the base model *plus* the artifact content hash, so a rebuilt
+        grid (or retuned contract) invalidates cached designs."""
+        return {
+            "kind": "lut-model",
+            "base": self.base,
+            "artifact": self.artifact.content_hash,
+        }
+
+    def axes(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(log size, log length, count) interpolation-coordinate
+        axis arrays for the batched lane — pair them with the
+        artifact's ``interp_table`` serving forms and log-transformed
+        size/length queries."""
+        return self._axis_arrays
+
+    # -- evaluation ------------------------------------------------------
+
+    def serves(self, length: float, num_repeaters: int,
+               repeater_size: float, input_slew: float,
+               receiver_cap: Optional[float] = None) -> bool:
+        """True when the tables cover this query (no fallback): the
+        characterized input slew and receiver, a query inside the
+        gridded region, and every corner of the enclosing cell marked
+        valid (the interpolated validity mask of such a cell is
+        exactly 1.0)."""
+        spec = self.artifact.spec
+        if receiver_cap is not None \
+                or input_slew != spec.input_slew \
+                or not spec.covers(repeater_size, length,
+                                   num_repeaters):
+            return False
+        return trilinear(self.artifact.scalar_interp_table("valid"),
+                         self._log_size_axis, self._log_length_axis,
+                         self._count_axis,
+                         float(np.log(repeater_size)),
+                         float(np.log(length)),
+                         num_repeaters) == 1.0
+
+    def evaluate(
+        self,
+        length: float,
+        num_repeaters: int,
+        repeater_size: float,
+        input_slew: float,
+        bus_width: int = 1,
+        receiver_cap: Optional[float] = None,
+    ) -> InterconnectEstimate:
+        """LUT-served :meth:`BufferedInterconnectModel.evaluate`.
+
+        Served answers carry the artifact's interpolation-error
+        contract on delay and output slew; powers and areas are
+        exact.  Uncovered queries delegate to the closed form.
+        """
+        if not self.serves(length, num_repeaters, repeater_size,
+                           input_slew, receiver_cap):
+            METRICS.count("luts.fallback")
+            return self.base.evaluate(
+                length, num_repeaters, repeater_size, input_slew,
+                bus_width=bus_width, receiver_cap=receiver_cap)
+        METRICS.count("luts.lookups")
+        with METRICS.observed("lut.lookup_seconds"):
+            return self._lookup_estimate(length, num_repeaters,
+                                         repeater_size, input_slew,
+                                         bus_width)
+
+    def _lookup_estimate(self, length: float, num_repeaters: int,
+                         repeater_size: float, input_slew: float,
+                         bus_width: int = 1) -> InterconnectEstimate:
+        """The served path: tables for timing, closed forms for the
+        rest.  Scalar side of the ``lut-line-evaluate`` parity pair —
+        its arithmetic must mirror
+        :func:`repro.kernels.lut.evaluate_line_lut`."""
+        artifact = self.artifact
+        log_size = float(np.log(repeater_size))
+        log_length = float(np.log(length))
+        delay = float(np.exp(trilinear(
+            artifact.scalar_interp_table("delay"),
+            self._log_size_axis, self._log_length_axis,
+            self._count_axis, log_size, log_length, num_repeaters)))
+        slew = float(np.exp(trilinear(
+            artifact.scalar_interp_table("output_slew"),
+            self._log_size_axis, self._log_length_axis,
+            self._count_axis, log_size, log_length, num_repeaters)))
+        repeater = self.base.repeater_model()
+        input_cap = repeater.input_capacitance(repeater_size)
+        switched = (switched_wire_capacitance(self.config, length)
+                    + num_repeaters * input_cap)
+        p_dynamic = bus_width * dynamic_power(
+            switched, self.tech.vdd, self.tech.clock_frequency,
+            self.activity_factor)
+        p_leak = bus_width * num_repeaters * repeater_leakage_power(
+            self.tech, self.calibration, repeater_size)
+        a_repeaters = bus_width * num_repeaters * repeater_area(
+            self.tech, self.calibration, repeater_size)
+        a_wire = wire_area(self.config, length, bus_width)
+        return InterconnectEstimate(
+            delay=delay,
+            output_slew=slew,
+            stage_delays=self._stage_breakdown(delay, num_repeaters),
+            dynamic_power=p_dynamic,
+            leakage_power=p_leak,
+            repeater_area=a_repeaters,
+            wire_area=a_wire,
+            num_repeaters=num_repeaters,
+            repeater_size=repeater_size,
+            length=length,
+            bus_width=bus_width,
+        )
+
+    @staticmethod
+    def _stage_breakdown(delay: float, num_repeaters: int
+                         ) -> Tuple[float, ...]:
+        """Tables store line totals, not per-stage terms; serve the
+        uniform split (stage delays of a long uniform chain are equal
+        to within slew-convergence effects)."""
+        return (delay / num_repeaters,) * num_repeaters
+
+    # -- Monte-Carlo first-order lane ------------------------------------
+
+    def mc_response(self, line, input_slew: float
+                    ) -> "Optional[Tuple[float, np.ndarray]]":
+        """(nominal delay, per-stage sensitivity weights) of an
+        extraction-style line, or ``None`` when the tables cannot
+        serve it.
+
+        The weights are a ``(stages, 4)`` matrix in the factor order
+        of :mod:`repro.kernels.variation` (nMOS drive, nMOS vth, pMOS
+        drive, pMOS vth): the tabulated uniform-shift sensitivity of
+        each factor, split evenly over the stages that factor drives
+        (rising stages pull from the pMOS columns, falling stages
+        from the nMOS columns, exactly as the scalar chain assigns
+        them).  Serving requires the line to match the
+        characterization testbench: same technology and wire
+        configuration, uniform sizing, the extraction-style same-size
+        c_gate receiver, the characterized input slew, and in-grid
+        geometry.
+        """
+        spec = self.artifact.spec
+        if input_slew != spec.input_slew:
+            return None
+        if line.tech != self.tech or line.config != self.config:
+            return None
+        sizes = {stage.driver_size for stage in line.stages}
+        if len(sizes) != 1:
+            return None
+        size = line.stages[0].driver_size
+        count = len(line.stages)
+        if not spec.covers(size, line.length, count):
+            return None
+        wn, wp = self.tech.inverter_widths(size)
+        expected_receiver = (self.tech.nmos.c_gate * wn
+                             + self.tech.pmos.c_gate * wp)
+        if line.receiver_cap != expected_receiver:
+            return None
+
+        query = (self._log_size_axis, self._log_length_axis,
+                 self._count_axis, float(np.log(size)),
+                 float(np.log(line.length)), count)
+        if trilinear(self.artifact.scalar_interp_table("valid"),
+                     *query) != 1.0:
+            return None
+        nominal = float(np.exp(trilinear(
+            self.artifact.scalar_interp_table("mc_delay"), *query)))
+        sens = {name: trilinear(
+                    self.artifact.scalar_interp_table(f"sens_{name}"),
+                    *query)
+                for name in ("n_drive", "n_vth", "p_drive", "p_vth")}
+
+        rising = True
+        inverting = self.calibration.kind.inverting
+        rising_stages = []
+        for _ in range(count):
+            rising_stages.append(rising)
+            if inverting:
+                rising = not rising
+        num_rising = sum(rising_stages)
+        num_falling = count - num_rising
+        weights = np.zeros((count, 4))
+        for stage, is_rising in enumerate(rising_stages):
+            if is_rising:
+                weights[stage, 2] = sens["p_drive"] / num_rising
+                weights[stage, 3] = sens["p_vth"] / num_rising
+            else:
+                weights[stage, 0] = sens["n_drive"] / num_falling
+                weights[stage, 1] = sens["n_vth"] / num_falling
+        return nominal, weights
+
+
+def serve(base, artifact: Optional[LUTArtifact]):
+    """LUT-served view of ``base`` — or ``base`` itself when no
+    artifact is available (the load helpers already counted the
+    ``faults.lut_fallback``)."""
+    if artifact is None:
+        return base
+    return LUTInterconnectModel(base, artifact)

@@ -160,9 +160,14 @@ class LinkDesigner:
             try:
                 # One hash covers everything a design depends on: the
                 # full technology, the model (class plus every fitted
-                # coefficient), clocking and the bus geometry.
+                # coefficient), clocking and the bus geometry.  Models
+                # may override what identifies them — the LUT-served
+                # wrapper hashes its base model *plus* the artifact
+                # content hash, so a rebuilt grid invalidates designs.
+                model_key = (model.cache_key()
+                             if hasattr(model, "cache_key") else model)
                 self._context_hash = fingerprint({
-                    "model": model,
+                    "model": model_key,
                     "tech": tech,
                     "bus_width": bus_width,
                     "utilization": utilization,

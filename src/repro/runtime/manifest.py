@@ -92,6 +92,29 @@ def _json_safe(value: Any) -> Any:
     return repr(value)
 
 
+#: Named blocks commands attach to the manifest of the run in flight
+#: (e.g. the ``lut_drift`` block from ``repro luts check``); consumed
+#: by the next :func:`build_manifest` call in this process.
+_EXTRA_BLOCKS: Dict[str, Any] = {}
+
+
+def record_block(name: str, payload: Any) -> None:
+    """Attach a named block to the next manifest built here.
+
+    The payload passes through :func:`_json_safe`; recording the same
+    name twice keeps the latest payload.  Core manifest keys win over
+    recorded blocks, so a block cannot shadow e.g. ``counters``.
+    """
+    _EXTRA_BLOCKS[name] = _json_safe(payload)
+
+
+def consume_blocks() -> Dict[str, Any]:
+    """Drain the recorded blocks (used by :func:`build_manifest`)."""
+    blocks = dict(_EXTRA_BLOCKS)
+    _EXTRA_BLOCKS.clear()
+    return blocks
+
+
 def build_manifest(
     command: str,
     config: Mapping[str, Any],
@@ -131,6 +154,8 @@ def build_manifest(
         "phases": dict(registry.timers),
         "counters": dict(registry.counters),
     }
+    for name, payload in consume_blocks().items():
+        manifest.setdefault(name, payload)
     fault_counters = registry.fault_counters()
     if fault_counters:
         manifest["faults"] = fault_counters

@@ -201,9 +201,20 @@ def evaluate_factors(
         count, size = _variation._uniform_geometry(line)
         METRICS.count("variation.samples", factors.shape[0])
         return np.asarray(line_delay_batch(
-            model, line.length, count, size, line.receiver_cap,
-            input_slew, factors))
+            _variation._closed_form_base(model), line.length, count,
+            size, line.receiver_cap, input_slew, factors))
     if engine == "model":
+        from repro.kernels.lut import (
+            line_delay_first_order,
+            serves_model,
+        )
+        if serves_model(model):
+            response = model.mc_response(line, input_slew)
+            if response is not None:
+                nominal, weights = response
+                METRICS.count("variation.samples", factors.shape[0])
+                return np.asarray(line_delay_first_order(
+                    nominal, weights, factors))
         tasks: List = [(model, line, input_slew, row)
                        for row in factors]
         delays = parallel_map(_model_factor_task, tasks,

@@ -40,14 +40,21 @@ def run(request: EstimationRequest) -> EstimatedVariationResult:
             _variation._sample_task, tasks, workers=request.workers,
             label="variation.golden_draw")
     elif request.engine == "model":
-        nominal = _variation._model_sample_task(
-            (request.model, request.line, request.input_slew,
-             nominal_variation, streams[0]))
-        tasks = [(request.model, request.line, request.input_slew,
-                  request.variation, stream) for stream in streams[1:]]
-        draws = parallel_map(_variation._model_sample_task, tasks,
-                             workers=request.workers,
-                             label="variation.model_draw")
+        served = _variation._lut_monte_carlo(
+            request.model, request.line, request.input_slew,
+            request.variation, streams)
+        if served is not None:
+            nominal, draws = served
+        else:
+            nominal = _variation._model_sample_task(
+                (request.model, request.line, request.input_slew,
+                 nominal_variation, streams[0]))
+            tasks = [(request.model, request.line,
+                      request.input_slew, request.variation, stream)
+                     for stream in streams[1:]]
+            draws = parallel_map(_variation._model_sample_task, tasks,
+                                 workers=request.workers,
+                                 label="variation.model_draw")
     else:
         nominal, draws = _variation._kernel_monte_carlo(
             request.model, request.line, request.input_slew,

@@ -283,6 +283,63 @@ def _model_sample_task(task) -> float:
             np.random.default_rng(seed_sequence))
 
 
+def _closed_form_base(model):
+    """The plain closed-form model beneath ``model``.
+
+    The LUT-served wrapper
+    (:class:`repro.luts.model.LUTInterconnectModel`) carries its
+    calibrated base model at ``.base``; anything else passes through
+    unchanged.  The batched variation kernels replay the exact stage
+    chain, so they always want the base — the LUT tier accelerates
+    the *model engine* through its own first-order lane instead
+    (:func:`_lut_monte_carlo`).
+    """
+    from repro.kernels.lut import serves_model
+    if serves_model(model):
+        return model.base
+    return model
+
+
+def _lut_monte_carlo(
+    model,
+    line: ExtractedLine,
+    input_slew: float,
+    variation: VariationModel,
+    streams: "List[np.random.SeedSequence]",
+) -> "Optional[Tuple[float, List[float]]]":
+    """(nominal, draws) through the LUT first-order lane, or ``None``.
+
+    Serves only LUT-backed models whose tables cover this line (see
+    :meth:`repro.luts.model.LUTInterconnectModel.mc_response`); the
+    caller falls back to the scalar closed-form chain otherwise.
+    Walks exactly the streams the scalar engines walk — stream 0 is
+    the nominal — so the factor draws stay aligned with the ``model``
+    engine; the per-draw stage chain is replaced by the tabulated
+    nominal plus a fused first-order response
+    (:func:`repro.kernels.lut.line_delay_first_order`), which makes
+    the draw loop O(samples) instead of O(samples * stages) and
+    worker-count independent by construction.
+    """
+    from repro.kernels.lut import line_delay_first_order, serves_model
+    from repro.signoff.estimators.engines import (
+        factor_matrix,
+        standard_normal_rows,
+    )
+
+    if not serves_model(model):
+        return None
+    response = model.mc_response(line, input_slew)
+    if response is None:
+        return None
+    nominal_delay, weights = response
+    count, _ = _uniform_geometry(line)
+    z = standard_normal_rows(streams, 4 * count)
+    factors = factor_matrix(z, variation, count, nominal_first=True)
+    METRICS.count("variation.samples", len(streams))
+    delays = line_delay_first_order(nominal_delay, weights, factors)
+    return float(delays[0]), [float(d) for d in delays[1:]]
+
+
 def _kernel_monte_carlo(
     model,
     line: ExtractedLine,
@@ -313,8 +370,9 @@ def _kernel_monte_carlo(
     z = standard_normal_rows(streams, 4 * count)
     factors = factor_matrix(z, variation, count, nominal_first=True)
     METRICS.count("variation.samples", len(streams))
-    delays = line_delay_batch(model, line.length, count, size,
-                              line.receiver_cap, input_slew, factors)
+    delays = line_delay_batch(_closed_form_base(model), line.length,
+                              count, size, line.receiver_cap,
+                              input_slew, factors)
     return float(delays[0]), [float(d) for d in delays[1:]]
 
 
@@ -326,10 +384,11 @@ def _require_closed_form_model(model) -> None:
             "estimators (importance sampling, control variates) need "
             "the closed-form model; pass "
             "model=BufferedInterconnectModel(...)")
-    if not supports_model(model):
+    if not supports_model(_closed_form_base(model)):
         raise TypeError(
             "the closed-form engines and estimators evaluate the "
-            "plain BufferedInterconnectModel formula; got "
+            "plain BufferedInterconnectModel formula (directly or "
+            "beneath the LUT-served wrapper); got "
             f"{type(model).__name__}")
 
 

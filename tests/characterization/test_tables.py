@@ -75,3 +75,80 @@ class TestLookup:
         table = make_table()
         assert table.lookup(x, 15.0) <= table.lookup(
             min(x + 0.5, 4.0), 15.0) + 1e-9
+
+
+class TestLookupModes:
+    """The documented clamp-vs-extrapolate edge policy."""
+
+    def test_exact_grid_hit_agrees_in_both_modes(self):
+        table = make_table()
+        for slew, load in ((1.0, 10.0), (2.0, 20.0), (4.0, 10.0)):
+            extrapolated = table.lookup(slew, load)
+            clamped = table.lookup(slew, load, mode="clamp")
+            assert extrapolated == clamped
+            i = list(table.index_1).index(slew)
+            j = list(table.index_2).index(load)
+            assert clamped == table.values[i][j]
+
+    def test_axis_endpoints_agree_in_both_modes(self):
+        table = make_table()
+        for slew, load in ((1.0, 15.0), (4.0, 15.0),
+                           (1.5, 10.0), (1.5, 20.0)):
+            assert table.lookup(slew, load) == pytest.approx(
+                table.lookup(slew, load, mode="clamp"))
+
+    def test_clamp_pins_to_boundary_value(self):
+        table = make_table()
+        # Beyond the slew axis: clamp serves the edge row.
+        assert table.lookup(8.0, 10.0, mode="clamp") \
+            == pytest.approx(20.0)
+        assert table.lookup(0.1, 10.0, mode="clamp") \
+            == pytest.approx(0.0)
+        # Beyond the load axis: clamp serves the edge column.
+        assert table.lookup(1.0, 30.0, mode="clamp") \
+            == pytest.approx(1.0)
+        assert table.lookup(1.0, 1.0, mode="clamp") \
+            == pytest.approx(0.0)
+
+    def test_extrapolate_continues_edge_trend(self):
+        table = make_table()
+        assert table.lookup(8.0, 10.0) == pytest.approx(40.0)
+        assert table.lookup(0.0, 10.0) == pytest.approx(-10.0)
+        assert table.lookup(1.0, 40.0) == pytest.approx(3.0)
+
+    def test_single_row_table_modes(self):
+        table = NLDMTable.from_arrays([1.0], [10.0, 20.0],
+                                      [[5.0, 7.0]])
+        # One slew point: the slew query collapses in both modes;
+        # the load axis still interpolates/extrapolates/clamps.
+        assert table.lookup(99.0, 15.0) == pytest.approx(6.0)
+        assert table.lookup(99.0, 15.0, mode="clamp") \
+            == pytest.approx(6.0)
+        assert table.lookup(1.0, 30.0) == pytest.approx(9.0)
+        assert table.lookup(1.0, 30.0, mode="clamp") \
+            == pytest.approx(7.0)
+
+    def test_single_column_table_modes(self):
+        table = NLDMTable.from_arrays([1.0, 2.0], [10.0],
+                                      [[5.0], [9.0]])
+        assert table.lookup(1.5, 99.0) == pytest.approx(7.0)
+        assert table.lookup(3.0, 10.0) == pytest.approx(13.0)
+        assert table.lookup(3.0, 10.0, mode="clamp") \
+            == pytest.approx(9.0)
+        assert table.lookup(0.0, 10.0, mode="clamp") \
+            == pytest.approx(5.0)
+
+    def test_beyond_both_axes(self):
+        table = make_table()
+        # Extrapolation continues both trends: corner cell slope 10/2
+        # per slew unit and 1/10 per load unit from (4, 20) = 21.
+        assert table.lookup(6.0, 30.0) == pytest.approx(32.0)
+        # Clamp pins both coordinates to the far corner.
+        assert table.lookup(6.0, 30.0, mode="clamp") \
+            == pytest.approx(21.0)
+        assert table.lookup(0.0, 0.0, mode="clamp") \
+            == pytest.approx(0.0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            make_table().lookup(1.0, 10.0, mode="wrap")

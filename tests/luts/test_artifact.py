@@ -1,0 +1,153 @@
+"""Artifact round trips, refusal paths and the fallback counter."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.luts.artifact import (
+    ARTIFACT_SCHEMA,
+    GENERATOR_VERSION,
+    load_artifact,
+    load_artifact_file,
+    save_artifact_file,
+    store_artifact,
+)
+from repro.luts.model import LUTInterconnectModel, serve
+from repro.runtime.cache import DiskCache
+from repro.runtime.metrics import METRICS
+
+
+class TestFileRoundTrip:
+    def test_export_reload_is_lossless(self, artifact90, tmp_path):
+        path = save_artifact_file(artifact90, tmp_path / "a.json")
+        reloaded = load_artifact_file(path)
+        assert reloaded is not None
+        assert reloaded.content_hash == artifact90.content_hash
+        for name, table in artifact90.tables.items():
+            assert np.array_equal(reloaded.tables[name],
+                                  table)
+        assert reloaded.spec == artifact90.spec
+
+    def test_reloaded_artifact_serves_identically(self, suite90,
+                                                  artifact90,
+                                                  tmp_path):
+        path = save_artifact_file(artifact90, tmp_path / "a.json")
+        spec = artifact90.spec
+        lut = serve(suite90.proposed, artifact90)
+        reloaded = serve(suite90.proposed, load_artifact_file(path))
+        size = spec.sizes[len(spec.sizes) // 2]
+        length = spec.lengths[len(spec.lengths) // 2]
+        count = spec.counts[len(spec.counts) // 2]
+        first = lut.evaluate(length, count, size, spec.input_slew)
+        second = reloaded.evaluate(length, count, size,
+                                   spec.input_slew)
+        assert first.delay == second.delay
+        assert first.output_slew == second.output_slew
+
+    def test_grid_points_reproduce_closed_form(self, suite90,
+                                               artifact90):
+        """Served values at exact grid points match the closed form.
+
+        The log-value round trip (tables store raw seconds, serving
+        goes ``exp(interp(log(...)))``) costs a few ULP; the
+        closed-form reference itself is the batch kernel, equivalent
+        to the scalar model within 1e-9.
+        """
+        model = suite90.proposed
+        lut = serve(model, artifact90)
+        spec = artifact90.spec
+        valid = artifact90.tables["valid"]
+        checked = 0
+        for i in range(0, len(spec.sizes), 3):
+            for j in range(0, len(spec.lengths), 4):
+                for k in range(0, len(spec.counts), 8):
+                    size = spec.sizes[i]
+                    length = spec.lengths[j]
+                    count = spec.counts[k]
+                    if valid[i, j, k] != 1.0 or not lut.serves(
+                            length, count, size, spec.input_slew):
+                        continue
+                    served = lut.evaluate(length, count, size,
+                                          spec.input_slew)
+                    table_value = artifact90.tables["delay"][i, j, k]
+                    assert served.delay == pytest.approx(
+                        table_value, rel=1e-12)
+                    exact = model.evaluate(length, count, size,
+                                           spec.input_slew)
+                    assert served.delay == pytest.approx(exact.delay,
+                                                         rel=1e-8)
+                    assert served.output_slew == pytest.approx(
+                        exact.output_slew, rel=1e-8)
+                    checked += 1
+        assert checked >= 10
+
+    def test_corrupt_json_counts_fallback(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        before = METRICS.counters.get("faults.lut_fallback", 0)
+        assert load_artifact_file(path) is None
+        assert METRICS.counters["faults.lut_fallback"] == before + 1
+
+    def test_generator_version_mismatch_counts_fallback(
+            self, artifact90, tmp_path):
+        path = save_artifact_file(artifact90, tmp_path / "a.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["generator_version"] = GENERATOR_VERSION + 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        before = METRICS.counters.get("faults.lut_fallback", 0)
+        assert load_artifact_file(path) is None
+        assert METRICS.counters["faults.lut_fallback"] == before + 1
+
+    def test_schema_mismatch_counts_fallback(self, artifact90,
+                                             tmp_path):
+        path = save_artifact_file(artifact90, tmp_path / "a.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["schema"] = ARTIFACT_SCHEMA + 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert load_artifact_file(path) is None
+
+    def test_tampered_tables_refused(self, artifact90, tmp_path):
+        path = save_artifact_file(artifact90, tmp_path / "a.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["tables"]["delay"][0][0][0] *= 1.5
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        before = METRICS.counters.get("faults.lut_fallback", 0)
+        assert load_artifact_file(path) is None
+        assert METRICS.counters["faults.lut_fallback"] == before + 1
+
+
+class TestCacheRoundTrip:
+    def test_store_load(self, suite90, artifact90, tmp_path):
+        cache = DiskCache("luts-test", directory=tmp_path)
+        store_artifact(artifact90, suite90.proposed, cache=cache)
+        loaded = load_artifact("90nm", suite90.proposed,
+                               artifact90.spec, cache=cache)
+        assert loaded is not None
+        assert loaded.content_hash == artifact90.content_hash
+
+    def test_empty_slot_returns_none(self, suite90, artifact90,
+                                     tmp_path):
+        cache = DiskCache("luts-test", directory=tmp_path)
+        assert load_artifact("90nm", suite90.proposed,
+                             artifact90.spec, cache=cache) is None
+
+
+class TestServeBinding:
+    def test_serve_without_artifact_is_base(self, suite90):
+        assert serve(suite90.proposed, None) is suite90.proposed
+
+    def test_wrong_calibration_refused(self, artifact90):
+        from repro.experiments.suite import ModelSuite
+        other = ModelSuite.for_node("65nm").proposed
+        with pytest.raises(ValueError, match="calibration hash"):
+            LUTInterconnectModel(other, artifact90)
+
+    def test_wrong_model_class_refused(self, suite90, artifact90):
+        bad = dataclasses.replace(artifact90,
+                                  model_class="SomethingElse")
+        with pytest.raises(ValueError, match="characterizes"):
+            LUTInterconnectModel(suite90.proposed, bad)

@@ -1,0 +1,47 @@
+"""Builder invariants: contract, gating, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.luts.artifact import GENERATOR_VERSION
+from repro.luts.build import build_artifact
+from repro.luts.grid import COARSE_GRID
+
+
+class TestBuiltArtifact:
+    def test_contract_is_validated(self, artifact90):
+        assert artifact90.measured_rel_error \
+            <= artifact90.spec.max_rel_error
+
+    def test_header_fields(self, suite90, artifact90):
+        assert artifact90.node == "90nm"
+        assert artifact90.model_class \
+            == type(suite90.proposed).__name__
+        assert artifact90.generator_version == GENERATOR_VERSION
+        assert artifact90.spec == COARSE_GRID
+
+    def test_tables_cover_the_grid(self, artifact90):
+        spec = artifact90.spec
+        shape = (len(spec.sizes), len(spec.lengths),
+                 len(spec.counts))
+        for table in artifact90.tables.values():
+            assert table.shape == shape
+
+    def test_accuracy_gating_happened(self, artifact90):
+        """The coarse grid cannot serve everything — the validity
+        mask must carry real holes (slew non-convergence and
+        contract-missing cells), or gating silently stopped."""
+        valid = artifact90.tables["valid"]
+        fraction = float(valid.mean())
+        assert 0.5 < fraction < 1.0
+
+    def test_build_is_deterministic_across_workers(self, suite90,
+                                                   artifact90):
+        """Bit-identical tables regardless of worker count — the
+        reproducibility contract the MC lane leans on."""
+        serial = build_artifact(suite90.proposed, "90nm",
+                                COARSE_GRID, workers=1)
+        assert serial.content_hash == artifact90.content_hash
+        for name, table in artifact90.tables.items():
+            assert np.array_equal(serial.tables[name], table)

@@ -1,0 +1,38 @@
+"""Drift check: clean on a matching model, loud on any change."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.suite import ModelSuite
+from repro.luts.check import check_drift
+
+
+class TestDriftCheck:
+    def test_matching_model_has_zero_drift(self, suite90,
+                                           artifact90):
+        report = check_drift(suite90.proposed, artifact90, workers=2)
+        assert report.calibration_matches
+        assert report.max_drift == 0.0
+        assert report.within_threshold
+        block = report.manifest_block()
+        assert block["within_threshold"] is True
+        assert block["artifact"] == artifact90.content_hash
+        assert set(block["tables"]) == set(artifact90.tables)
+        assert "within threshold" in report.format()
+
+    def test_tampered_tables_drift(self, suite90, artifact90):
+        tables = dict(artifact90.tables)
+        tables["delay"] = tables["delay"] * 1.05
+        tampered = dataclasses.replace(artifact90, tables=tables)
+        report = check_drift(suite90.proposed, tampered, workers=2)
+        assert report.calibration_matches
+        assert not report.within_threshold
+        assert report.max_drift > 1e-3
+        assert "DRIFT EXCEEDS THRESHOLD" in report.format()
+
+    def test_recalibrated_model_mismatches(self, artifact90):
+        other = ModelSuite.for_node("65nm").proposed
+        report = check_drift(other, artifact90, workers=2)
+        assert not report.calibration_matches
+        assert not report.within_threshold

@@ -1,0 +1,53 @@
+"""LinkDesigner on the LUT-served model: designs and cache identity."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.luts.build import build_artifact
+from repro.luts.grid import COARSE_GRID
+from repro.luts.model import serve
+from repro.noc.link import LinkDesigner
+from repro.units import mm
+
+
+class TestLutLinkDesigns:
+    def test_designs_meet_the_clock(self, suite90, lut90, tech90):
+        designer = LinkDesigner(lut90, tech90, 64)
+        period = tech90.clock_period()
+        for length_mm in (1.0, 3.0, 6.0):
+            design = designer.design(mm(length_mm))
+            assert design is not None
+            assert design.solution.delay <= period
+
+    def test_max_length_matches_closed_form(self, suite90, lut90,
+                                            tech90):
+        lut_designer = LinkDesigner(lut90, tech90, 64)
+        base_designer = LinkDesigner(suite90.proposed, tech90, 64)
+        assert lut_designer.max_length() \
+            == base_designer.max_length()
+
+
+class TestDiskCacheIdentity:
+    def test_lut_context_differs_from_base(self, suite90, lut90,
+                                           tech90):
+        lut_designer = LinkDesigner(lut90, tech90, 64)
+        base_designer = LinkDesigner(suite90.proposed, tech90, 64)
+        assert lut_designer._context_hash is not None
+        assert lut_designer._context_hash \
+            != base_designer._context_hash
+
+    def test_rebuilt_grid_misses_the_cache(self, suite90, lut90,
+                                           tech90):
+        """Satellite regression: a rebuilt artifact (different grid,
+        hence different content hash) must produce a different link
+        disk-cache context, so stale designs cannot be served."""
+        spec = dataclasses.replace(COARSE_GRID,
+                                   counts=tuple(range(1, 17)))
+        rebuilt = build_artifact(suite90.proposed, "90nm", spec,
+                                 workers=2)
+        assert rebuilt.content_hash != lut90.artifact.content_hash
+        first = LinkDesigner(lut90, tech90, 64)
+        second = LinkDesigner(serve(suite90.proposed, rebuilt),
+                              tech90, 64)
+        assert first._context_hash != second._context_hash

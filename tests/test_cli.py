@@ -292,3 +292,35 @@ class TestObservability:
                      "--history",
                      str(tmp_path / "absent.jsonl")]) == 2
         assert "nothing to diff" in capsys.readouterr().err
+
+
+class TestLuts:
+    def test_build_check_round_trip(self, tmp_path, capsys):
+        artifact = tmp_path / "90nm-coarse.json"
+        assert main(["luts", "build", "90nm", "--grid", "coarse",
+                     "--output", str(artifact)]) == 0
+        output = capsys.readouterr().out
+        assert "content hash" in output
+        assert artifact.exists()
+
+        assert main(["luts", "check", "90nm", "--artifact",
+                     str(artifact)]) == 0
+        output = capsys.readouterr().out
+        assert "LUT drift check" in output
+        assert "within threshold" in output
+
+    def test_check_without_artifact_exits_two(self, tmp_path,
+                                              capsys):
+        assert main(["luts", "check", "90nm", "--artifact",
+                     str(tmp_path / "absent.json")]) == 2
+        assert "no usable artifact" in capsys.readouterr().err
+
+    def test_bad_grid_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["luts", "build", "90nm",
+                                       "--grid", "bogus"])
+
+    def test_bench_lut_suite_accepted_by_parser(self):
+        args = build_parser().parse_args(["bench", "lut", "--quick"])
+        assert args.suite == "lut"
+        assert args.quick

@@ -193,7 +193,7 @@ class TestEstimatorInvariants:
                                                   seed):
         """LR weights are strictly positive and average to 1 under
         the nominal measure (E[w] = 1 exactly; the sample mean must
-        sit within 5 standard errors — a z-bound loose enough never
+        sit within 8 estimated standard errors — loose enough never
         to fire on a correct implementation)."""
         result = self._run(est_line, suite90.proposed, seed,
                            "importance", samples=256,
@@ -201,8 +201,14 @@ class TestEstimatorInvariants:
                            critical_delay=mild_threshold)
         weights = np.asarray(result.weights)
         assert np.all(weights > 0.0)
+        # 8 *estimated* standard errors, not 5: the weights are
+        # right-skewed even at a mild shift, and a draw that misses
+        # the rare large weights shrinks the mean and the spread
+        # estimate together, so nominal z coverage under-covers (a
+        # hypothesis-found seed sat at 5.01 estimated SEs).  A wrong
+        # likelihood ratio misses by far more than 8.
         spread = float(np.std(weights, ddof=1))
-        margin = 5.0 * spread / np.sqrt(len(weights))
+        margin = 8.0 * spread / np.sqrt(len(weights))
         assert abs(float(np.mean(weights)) - 1.0) <= margin
 
     @settings(max_examples=5, deadline=None)
