@@ -19,6 +19,8 @@ Installed as the ``repro`` console script::
     repro luts check 90nm               # drift-tracked recalibration
     repro mc 90nm --estimator importance --samples 200
                                         # variance-reduced Monte Carlo
+    repro serve --port 8787             # interconnect-model service
+    repro bench serve --quick           # serving latency + bit gate
 
 Every subcommand prints the same artifacts the benchmark suite saves.
 
@@ -349,6 +351,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   "lookups were not worker-reproducible",
                   file=sys.stderr)
         return status
+    if args.suite == "serve":
+        from repro.bench_serve import run_serve_bench
+        output = args.output or "BENCH_serve.json"
+        status, report = run_serve_bench(node=args.node,
+                                         quick=args.quick,
+                                         clients=args.clients,
+                                         requests=args.requests,
+                                         seed=args.seed,
+                                         output=output,
+                                         history=args.history)
+        for line in report["formatted"]:
+            print(line)
+        print(f"report written to {output}")
+        print(f"history record appended to {report['history_path']}")
+        if status != 0:
+            print("error: served answers diverged from the direct "
+                  "in-process call, coalescing never engaged, or "
+                  "requests were dropped", file=sys.stderr)
+        return status
     if args.suite == "lint":
         from repro.bench_lint import run_lint_bench
         output = args.output or "BENCH_lint.json"
@@ -429,6 +450,54 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
               f"(--warn-only, not failing)")
         return 0
     return 1 if regressions else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the interconnect-model query service.
+
+    Exit codes: 2 on configuration conflicts (a CLI flag and its
+    ``REPRO_SERVE_*`` variable disagreeing, or an out-of-range knob),
+    0 on a clean shutdown (Ctrl-C).
+    """
+    import asyncio
+
+    from repro.serve import (
+        ReproServer,
+        ServeConfigError,
+        resolve_config,
+    )
+
+    try:
+        config = resolve_config(
+            host=args.host, port=args.port, socket=args.socket,
+            shards=args.shards, window_ms=args.window_ms,
+            max_batch=args.max_batch, memo_entries=args.memo_entries)
+    except ServeConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def _run() -> None:
+        server = ReproServer(config)
+        await server.start()
+        listening = []
+        if config.host:
+            listening.append(f"http://{config.host}:{server.port}")
+        if config.socket:
+            listening.append(f"unix:{config.socket}")
+        print(f"repro serve: listening on {', '.join(listening)} "
+              f"({config.shards} shard(s), "
+              f"window {config.window_ms} ms, "
+              f"max batch {config.max_batch})", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    return 0
 
 
 def _cmd_mc(args: argparse.Namespace) -> int:
@@ -649,16 +718,18 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="tracked benchmark suites")
     bench_cmd.add_argument("suite", nargs="?", default="kernels",
                            choices=["kernels", "yield", "lint",
-                                    "lut", "diff"],
+                                    "lut", "serve", "diff"],
                            help="'kernels' times scalar vs vectorized "
                                 "paths; 'yield' compares tail-yield "
                                 "estimators on the golden engine; "
                                 "'lint' times cold vs warm "
                                 "incremental lint; 'lut' gates the "
                                 "characterization LUT tier against "
-                                "the closed form; 'diff' gates the "
-                                "latest history record against a "
-                                "reference")
+                                "the closed form; 'serve' load-tests "
+                                "the query service and gates served "
+                                "answers on bit-equality; 'diff' "
+                                "gates the latest history record "
+                                "against a reference")
     bench_cmd.add_argument("--node", default="90nm",
                            help="technology node (default 90nm)")
     bench_cmd.add_argument("--quick", action="store_true",
@@ -678,8 +749,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--history", default=None, metavar="FILE",
                            help="registry history file (default "
                                 "benchmarks/results/history.jsonl)")
+    bench_cmd.add_argument("--clients", type=int, default=None,
+                           metavar="N",
+                           help="(serve) concurrent load-generator "
+                                "clients (default 32, 8 with "
+                                "--quick)")
+    bench_cmd.add_argument("--requests", type=int, default=None,
+                           metavar="N",
+                           help="(serve) requests per client "
+                                "(default 8, 4 with --quick)")
+    bench_cmd.add_argument("--seed", type=int, default=2010,
+                           help="(serve) load-generator root seed")
     bench_cmd.add_argument("--suite", dest="diff_suite", default=None,
-                           choices=["kernels", "yield", "lut"],
+                           choices=["kernels", "yield", "lut",
+                                    "serve"],
                            help="(diff) restrict to one suite "
                                 "(default: all)")
     bench_cmd.add_argument("--baseline", default=None, metavar="FILE",
@@ -772,6 +855,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cheap kernel draws for the pre-pass of "
                              "the model-backed estimators")
     mc_cmd.set_defaults(func=_cmd_mc)
+
+    serve_cmd = add_parser(
+        "serve", help="serve link-design and Monte-Carlo queries over "
+                      "HTTP / a Unix socket")
+    serve_cmd.add_argument("--host", default=None,
+                           help="TCP bind address (default "
+                                "127.0.0.1; REPRO_SERVE_HOST)")
+    serve_cmd.add_argument("--port", type=int, default=None,
+                           help="TCP port, 0 = ephemeral (default "
+                                "8787; REPRO_SERVE_PORT)")
+    serve_cmd.add_argument("--socket", default=None, metavar="PATH",
+                           help="also listen on a Unix socket "
+                                "(REPRO_SERVE_SOCKET)")
+    serve_cmd.add_argument("--shards", type=int, default=None,
+                           metavar="N",
+                           help="warm worker processes, 0 = compute "
+                                "in-process (default 2; "
+                                "REPRO_SERVE_SHARDS)")
+    serve_cmd.add_argument("--window-ms", type=int, default=None,
+                           metavar="MS",
+                           help="batch-coalescing window (default 2; "
+                                "REPRO_SERVE_WINDOW_MS)")
+    serve_cmd.add_argument("--max-batch", type=int, default=None,
+                           metavar="N",
+                           help="flush a window early at N queries "
+                                "(default 64; REPRO_SERVE_MAX_BATCH)")
+    serve_cmd.add_argument("--memo-entries", type=int, default=None,
+                           metavar="N",
+                           help="per-context link-design LRU bound "
+                                "(default 4096; "
+                                "REPRO_SERVE_MEMO_ENTRIES)")
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     return parser
 

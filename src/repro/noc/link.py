@@ -17,6 +17,7 @@ maximum link length.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -39,6 +40,74 @@ LINK_INPUT_SLEW = ps(100)
 #: Length quantum for the link-design cache, meters.  Candidate edges
 #: whose lengths round to the same quantum share one buffering design.
 _LENGTH_QUANTUM = 0.05e-3
+
+#: Default bound on the per-instance link-design memo (entries).  A
+#: synthesis run touches a few hundred distinct quanta; a long-running
+#: server would otherwise grow the memo without limit.
+DEFAULT_MEMO_ENTRIES = 4096
+
+
+def quantize_length(length: float, max_length: float) -> int:
+    """The memo/disk key (quantum index) for a requested length.
+
+    Both ``length`` and ``max_length`` are in meters.  Rounding to the
+    nearest quantum is the cache-friendly default; when that rounding
+    would push a feasible request past the feasibility edge, the key
+    falls back to the quantum at or below the request so the link is
+    not spuriously reported undesignable.  ``design()`` and
+    ``design_batch()`` share this one function, which is what makes
+    their memo and disk-cache keys identical by construction.
+    """
+    key = max(1, round(length / _LENGTH_QUANTUM))
+    if key * _LENGTH_QUANTUM > max_length:
+        key = max(1, int(length / _LENGTH_QUANTUM))
+    return key
+
+
+class _LRUMemo:
+    """A bounded least-recently-used memo of quantum -> design.
+
+    ``None`` values (infeasible lengths) are first-class entries, so
+    lookups distinguish "memoized as infeasible" from "never seen" via
+    the ``_MISS`` sentinel.  Evictions are counted under
+    ``link.memo_evicted`` so a server whose working set exceeds the
+    bound is visible in ``--stats``.
+    """
+
+    __slots__ = ("entries", "_data")
+
+    def __init__(self, entries: int):
+        if entries < 1:
+            raise ValueError("memo_entries must be >= 1")
+        self.entries = entries
+        self._data: "OrderedDict[int, Optional[LinkDesign]]" \
+            = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._data
+
+    def lookup(self, key: int):
+        """The memoized design, or the :data:`_MISS` sentinel."""
+        if key not in self._data:
+            return _MISS
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def store(self, key: int,
+              design: "Optional[LinkDesign]") -> None:
+        self._data[key] = design
+        self._data.move_to_end(key)
+        while len(self._data) > self.entries:
+            self._data.popitem(last=False)
+            METRICS.count("link.memo_evicted")
+
+
+#: Sentinel distinguishing a memo miss from a memoized ``None``
+#: (infeasible length).
+_MISS = object()
 
 
 @dataclass(frozen=True)
@@ -133,26 +202,74 @@ class LinkDesign:
         )
 
 
+def design_link(model, tech: TechnologyParameters, bus_width: int,
+                length: float) -> Optional[LinkDesign]:
+    """The stateless link-design core: one length, no caches.
+
+    Finds the cheapest buffering of a ``length``-meter link (or
+    ``None`` when timing cannot close) for a (model, technology,
+    bus-width) context, exactly as :meth:`LinkDesigner.design` would —
+    the designer's memo and disk-cache levels both bottom out here.
+    Being a module-level pure function of its arguments, any process
+    (a pool worker, a ``repro serve`` shard) can evaluate any query
+    and the answers are interchangeable.
+    """
+    with span("link.design", length_mm=length * 1e3,
+              bus_width=bus_width, node=tech.name) as sp, \
+            METRICS.timer("link.design"):
+        METRICS.count("link.design_attempts")
+        solution = minimize_power_under_delay(
+            model, length, tech.clock_period(),
+            input_slew=LINK_INPUT_SLEW)
+        sp.annotate(feasible=solution is not None)
+        if solution is not None:
+            sp.annotate(num_repeaters=solution.num_repeaters,
+                        repeater_size=solution.repeater_size)
+    if solution is None:
+        return None
+    estimate = model.evaluate(
+        length, solution.num_repeaters, solution.repeater_size,
+        LINK_INPUT_SLEW, bus_width=bus_width)
+    # Recover the switched capacitance from the estimate's dynamic
+    # power: p = af * C * vdd^2 * f  =>  C = p / (af vdd^2 f).
+    activity = getattr(model, "activity_factor", 0.15)
+    switched = estimate.dynamic_power / (
+        activity * tech.vdd**2 * tech.clock_frequency)
+    return LinkDesign(
+        length=length,
+        bus_width=bus_width,
+        solution=solution,
+        leakage_power=estimate.leakage_power,
+        switched_capacitance=switched,
+        repeater_area=estimate.repeater_area,
+        wire_area=estimate.wire_area,
+    )
+
+
 class LinkDesigner:
     """Designs and caches links for one (model, clock) context.
 
-    Two cache levels: a per-instance dict keyed on the length quantum,
-    and (when the runtime cache is enabled) the persistent
-    :class:`repro.runtime.DiskCache`, so repeated CLI invocations and
-    pool workers warm-start each other's link designs.
+    Two cache levels: a per-instance LRU memo keyed on the length
+    quantum (bounded by ``memo_entries`` so a long-running server
+    cannot grow it without limit), and (when the runtime cache is
+    enabled) the persistent :class:`repro.runtime.DiskCache`, so
+    repeated CLI invocations, pool workers and serve shards warm-start
+    each other's link designs.  The computation itself lives in the
+    stateless :func:`design_link` core.
     """
 
     def __init__(self, model, tech: TechnologyParameters,
                  bus_width: int,
                  utilization: float = DEFAULT_UTILIZATION,
-                 use_disk_cache: bool = True):
+                 use_disk_cache: bool = True,
+                 memo_entries: int = DEFAULT_MEMO_ENTRIES):
         if not 0.0 < utilization <= 1.0:
             raise ValueError("utilization must lie in (0, 1]")
         self.model = model
         self.tech = tech
         self.bus_width = bus_width
         self.utilization = utilization
-        self._cache: Dict[int, Optional[LinkDesign]] = {}
+        self._memo = _LRUMemo(memo_entries)
         self._max_length: Optional[float] = None
         self._disk: Optional[DiskCache] = None
         self._context_hash: Optional[str] = None
@@ -222,14 +339,13 @@ class LinkDesigner:
             raise ValueError("length must be positive")
         if not self.is_feasible(length):
             return None
-        key = max(1, round(length / _LENGTH_QUANTUM))
-        if key * _LENGTH_QUANTUM > self.max_length():
-            key = max(1, int(length / _LENGTH_QUANTUM))
-        if key in self._cache:
+        key = quantize_length(length, self.max_length())
+        memoized = self._memo.lookup(key)
+        if memoized is not _MISS:
             METRICS.count("link.memo_hit")
-            return self._cache[key]
+            return memoized
         design = self._design_cached_on_disk(key)
-        self._cache[key] = design
+        self._memo.store(key, design)
         return design
 
     def design_batch(self, lengths: "list[float]"
@@ -277,36 +393,8 @@ class LinkDesigner:
     def _design_uncached(self, length: float) -> Optional[LinkDesign]:
         if not self.is_feasible(length):
             return None
-        with span("link.design", length_mm=length * 1e3,
-                  bus_width=self.bus_width, node=self.tech.name) as sp, \
-                METRICS.timer("link.design"):
-            METRICS.count("link.design_attempts")
-            solution = minimize_power_under_delay(
-                self.model, length, self.tech.clock_period(),
-                input_slew=LINK_INPUT_SLEW)
-            sp.annotate(feasible=solution is not None)
-            if solution is not None:
-                sp.annotate(num_repeaters=solution.num_repeaters,
-                            repeater_size=solution.repeater_size)
-        if solution is None:
-            return None
-        estimate = self.model.evaluate(
-            length, solution.num_repeaters, solution.repeater_size,
-            LINK_INPUT_SLEW, bus_width=self.bus_width)
-        # Recover the switched capacitance from the estimate's dynamic
-        # power: p = af * C * vdd^2 * f  =>  C = p / (af vdd^2 f).
-        activity = getattr(self.model, "activity_factor", 0.15)
-        switched = estimate.dynamic_power / (
-            activity * self.tech.vdd**2 * self.tech.clock_frequency)
-        return LinkDesign(
-            length=length,
-            bus_width=self.bus_width,
-            solution=solution,
-            leakage_power=estimate.leakage_power,
-            switched_capacitance=switched,
-            repeater_area=estimate.repeater_area,
-            wire_area=estimate.wire_area,
-        )
+        return design_link(self.model, self.tech, self.bus_width,
+                           length)
 
 
 class LayerAwareLinkDesigner:

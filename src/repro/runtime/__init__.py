@@ -58,6 +58,7 @@ from repro.runtime.manifest import (
 from repro.runtime.metrics import METRICS, Histogram, MetricsRegistry
 from repro.runtime.parallel import (
     TaskError,
+    new_pool,
     parallel_map,
     resolve_max_retries,
     resolve_workers,
@@ -112,10 +113,12 @@ __all__ = [
     "current_span",
     "env_flag",
     "env_int",
+    "env_str",
     "export_chrome_trace",
     "faults",
     "fingerprint",
     "manifest_path_for",
+    "new_pool",
     "parallel_map",
     "reset_configuration",
     "resolve_max_retries",
@@ -161,6 +164,20 @@ def env_int(name: str) -> Optional[int]:
     except ValueError as exc:
         raise ValueError(
             f"{name} must be an integer, got {raw!r}") from exc
+
+
+def env_str(name: str) -> Optional[str]:
+    """The stripped string value of an environment variable.
+
+    Unset and whitespace-only values mean "not configured" (``None``),
+    matching :func:`env_int`'s whitespace rule so ``REPRO_SERVE_HOST=" "``
+    cannot silently configure a blank host name.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    value = raw.strip()
+    return value or None
 
 
 def env_flag(name: str, default: bool = False) -> bool:

@@ -23,9 +23,12 @@ them as small JSON files:
   or disk fault, so it is set aside as ``<key hash>.quarantine`` for
   post-mortems and counted under ``faults.cache_quarantined``; the
   lookup reports a miss and the recomputed value is written freshly.
-* **Atomic writes** — payloads land via ``os.replace`` of a temp file,
-  so concurrent workers can share one cache directory; a failed write
-  removes its temp file instead of littering the cache root.
+* **Atomic writes** — payloads land via ``os.replace`` of a temp file
+  named ``<key hash>.<pid>.<token>.tmp`` (unique per writer process by
+  construction, ``O_EXCL``-guarded against pid-reuse collisions), so
+  *independent processes* — pool workers, serve shards, concurrent CLI
+  runs — can share one cache directory; a failed write removes its
+  temp file instead of littering the cache root.
 * **Degraded mode** — a disk-full or read-only root disables writes
   for the rest of the process (one :class:`RuntimeWarning`, a
   ``faults.cache_degraded`` count); computations proceed cache-less
@@ -42,9 +45,9 @@ import dataclasses
 import enum
 import errno
 import hashlib
+import itertools
 import json
 import os
-import tempfile
 import time
 import warnings
 from pathlib import Path
@@ -68,10 +71,24 @@ _DEGRADE_ERRNOS = frozenset(
 #: True once a degrading write failure disabled writes process-wide.
 _WRITES_DISABLED = False
 
+#: Per-process ordinal folded into every temp-file name.  Together
+#: with the pid it makes temp names unique across *independent
+#: processes* sharing one cache root (serve shards, pool workers,
+#: concurrent CLI runs), not merely within one process — two writers
+#: racing on the same key each write their own temp file and the two
+#: ``os.replace`` calls serialize to a last-writer-wins full envelope,
+#: never an interleaved partial write.
+_TMP_TOKENS = itertools.count()
+
 
 def writes_disabled() -> bool:
     """Whether a disk-full/read-only root has disabled cache writes."""
     return _WRITES_DISABLED
+
+
+def _create_exclusive(path: Path) -> int:
+    """Create ``path`` exclusively for writing; the disk-fault seam."""
+    return os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
 
 
 def reset_degradation() -> None:
@@ -272,26 +289,34 @@ class DiskCache:
             "payload": payload,
         }
         directory = self.directory
+        target = self.path_for(key)
+        # The temp name carries the target's key hash (for forensics),
+        # the writer's pid and a per-process token: unique by
+        # construction across concurrent writer *processes*, where the
+        # previous tempfile-module naming relied on a per-process RNG
+        # whose state is inherited across fork.  O_EXCL turns any
+        # remaining collision (pid reuse against a crashed writer's
+        # leftover) into a caught OSError instead of two processes
+        # interleaving writes into one file.
+        tmp = directory / (f"{target.stem}.{os.getpid()}."
+                           f"{next(_TMP_TOKENS)}.tmp")
         try:
             directory.mkdir(parents=True, exist_ok=True)
-            handle = tempfile.NamedTemporaryFile(
-                "w", encoding="utf-8", dir=directory,
-                suffix=".tmp", delete=False)
+            fd = _create_exclusive(tmp)
         except OSError as exc:
             # A read-only or full cache directory must never fail the
             # computation that produced the payload.
             _note_write_failure(exc)
             return
-        target = self.path_for(key)
         try:
-            with handle:
+            with open(fd, "w", encoding="utf-8") as handle:
                 json.dump(envelope, handle)
-            os.replace(handle.name, target)
+            os.replace(tmp, target)
         except BaseException as exc:
             # Whatever went wrong, the temp file must not stay behind
             # in the shared cache directory.
             try:
-                os.unlink(handle.name)
+                os.unlink(tmp)
             except OSError:
                 pass
             if isinstance(exc, OSError):

@@ -212,12 +212,20 @@ def _run_chunk(payload: _ChunkPayload) -> _ChunkResult:
     return results, METRICS.to_payload(), events
 
 
-def _new_pool(workers: int, chunks: int
-              ) -> Optional[ProcessPoolExecutor]:
-    """A pool sized for ``chunks``, or ``None`` where pools cannot
-    start (restricted environments: no /dev/shm, no fork)."""
+def new_pool(workers: int, chunks: Optional[int] = None
+             ) -> Optional[ProcessPoolExecutor]:
+    """A worker pool, or ``None`` where pools cannot start.
+
+    The one place process pools are built (``parallel_map`` and the
+    ``repro serve`` shards both come through here): restricted
+    environments (no /dev/shm, no fork) answer ``None`` and count
+    ``parallel.pool_unavailable`` so callers degrade to their serial
+    path instead of crashing.  ``chunks`` caps the pool size at the
+    number of work units when known."""
+    if chunks is not None:
+        workers = min(workers, chunks)
     try:
-        return ProcessPoolExecutor(max_workers=min(workers, chunks))
+        return ProcessPoolExecutor(max_workers=workers)
     except (OSError, PermissionError, NotImplementedError):
         METRICS.count("parallel.pool_unavailable")
         return None
@@ -266,7 +274,7 @@ def parallel_map(
         chunk = max(1, math.ceil(len(items) / workers))
     starts = list(range(0, len(items), chunk))
     chunks = [items[start:start + chunk] for start in starts]
-    pool = _new_pool(workers, len(chunks))
+    pool = new_pool(workers, len(chunks))
     if pool is None:
         # Restricted environments fall back to the serial path
         # instead of failing the workload.
@@ -305,7 +313,7 @@ def parallel_map(
                 if retries < max_retries:
                     retries += 1
                     METRICS.count("faults.pool_retry")
-                    pool = _new_pool(workers, len(chunks) - done)
+                    pool = new_pool(workers, len(chunks) - done)
                 else:
                     pool = None
         if done < len(chunks):

@@ -1,0 +1,132 @@
+"""Serve configuration: CLI flags vs ``REPRO_SERVE_*`` environment.
+
+Every knob resolves the same way: an explicitly passed CLI flag and a
+set environment variable that *disagree* are a configuration error
+(the CLI exits 2) — the service must never silently prefer one source
+over the other, because a deployment that exports
+``REPRO_SERVE_PORT=9000`` while its unit file says ``--port 8000``
+has two sources of truth and whichever we picked would surprise
+someone.  Agreeing sources are fine; a single source wins outright;
+neither source means the default.
+
+All environment parsing goes through :func:`repro.runtime.env_int` /
+:func:`repro.runtime.env_flag` / :func:`repro.runtime.env_str`, so
+the ``"0 "``-style whitespace misparses PR 5 eliminated stay
+eliminated here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro import runtime
+from repro.noc.link import DEFAULT_MEMO_ENTRIES
+
+
+class ServeConfigError(ValueError):
+    """Conflicting or invalid serve configuration (CLI exit 2)."""
+
+
+#: Knob defaults, in one place so docs/tests cite a single source.
+DEFAULTS: Dict[str, Any] = {
+    "host": "127.0.0.1",
+    "port": 8787,
+    "socket": None,
+    "shards": 2,
+    "window_ms": 2,
+    "max_batch": 64,
+    "memo_entries": DEFAULT_MEMO_ENTRIES,
+}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Resolved service configuration.
+
+    ``window_ms`` is the coalescing window in milliseconds;
+    ``shards`` counts warm worker processes (0 = compute in-process);
+    ``memo_entries`` bounds each context's link-design LRU memo.
+    """
+
+    host: str
+    port: int
+    socket: Optional[str]
+    shards: int
+    window_ms: int
+    max_batch: int
+    memo_entries: int
+
+    @property
+    def window_seconds(self) -> float:
+        """The coalescing window converted to seconds."""
+        return self.window_ms / 1000.0
+
+
+def _resolve(name: str, flag_value, env_name: str,
+             reader: Callable[[str], Any], default):
+    """One knob: flag vs environment vs default, conflicts fatal."""
+    try:
+        env_value = reader(env_name)
+    except ValueError as exc:
+        raise ServeConfigError(str(exc)) from exc
+    if flag_value is not None and env_value is not None \
+            and flag_value != env_value:
+        raise ServeConfigError(
+            f"conflicting settings for {name}: --{name.replace('_', '-')}"
+            f"={flag_value!r} but {env_name}={env_value!r}; drop one "
+            f"(they may also agree)")
+    if flag_value is not None:
+        return flag_value
+    if env_value is not None:
+        return env_value
+    return default
+
+
+def resolve_config(*, host: Optional[str] = None,
+                   port: Optional[int] = None,
+                   socket: Optional[str] = None,
+                   shards: Optional[int] = None,
+                   window_ms: Optional[int] = None,
+                   max_batch: Optional[int] = None,
+                   memo_entries: Optional[int] = None) -> ServeConfig:
+    """Resolve every knob; raise :class:`ServeConfigError` on conflict.
+
+    Arguments are the explicit CLI flag values (``None`` = not
+    passed); the environment side is ``REPRO_SERVE_HOST``, ``_PORT``,
+    ``_SOCKET``, ``_SHARDS``, ``_WINDOW_MS``, ``_MAX_BATCH`` and
+    ``_MEMO_ENTRIES``.
+    """
+    config = ServeConfig(
+        host=_resolve("host", host, "REPRO_SERVE_HOST",
+                      runtime.env_str, DEFAULTS["host"]),
+        port=_resolve("port", port, "REPRO_SERVE_PORT",
+                      runtime.env_int, DEFAULTS["port"]),
+        socket=_resolve("socket", socket, "REPRO_SERVE_SOCKET",
+                        runtime.env_str, DEFAULTS["socket"]),
+        shards=_resolve("shards", shards, "REPRO_SERVE_SHARDS",
+                        runtime.env_int, DEFAULTS["shards"]),
+        window_ms=_resolve("window_ms", window_ms,
+                           "REPRO_SERVE_WINDOW_MS", runtime.env_int,
+                           DEFAULTS["window_ms"]),
+        max_batch=_resolve("max_batch", max_batch,
+                           "REPRO_SERVE_MAX_BATCH", runtime.env_int,
+                           DEFAULTS["max_batch"]),
+        memo_entries=_resolve("memo_entries", memo_entries,
+                              "REPRO_SERVE_MEMO_ENTRIES",
+                              runtime.env_int,
+                              DEFAULTS["memo_entries"]),
+    )
+    if config.port < 0 or config.port > 65535:
+        raise ServeConfigError("port must lie in [0, 65535] "
+                               "(0 = ephemeral)")
+    if config.shards < 0:
+        raise ServeConfigError("shards must be >= 0 "
+                               "(0 = in-process compute)")
+    if config.window_ms < 0:
+        raise ServeConfigError("window_ms must be >= 0")
+    if config.max_batch < 1:
+        raise ServeConfigError("max_batch must be >= 1")
+    if config.memo_entries < 1:
+        raise ServeConfigError("memo_entries must be >= 1")
+    return config

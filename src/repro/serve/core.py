@@ -1,0 +1,218 @@
+"""The stateless evaluate core every serve worker runs.
+
+A worker process serves queries through exactly two pieces of state,
+both reconstructible from the query itself:
+
+* a per-process **warm context** — the :class:`ModelSuite` and
+  :class:`repro.noc.link.LinkDesigner` for one
+  :class:`~repro.serve.protocol.ContextSpec`, memoized in
+  :data:`_CONTEXTS` so repeated queries skip model construction; and
+* the **shared memo** — the persistent ``DiskCache("links")`` the
+  designer consults before computing, which any process (shard,
+  worker, CLI run) can read and write interchangeably.
+
+Because of that, *any* worker can serve *any* query and the answer is
+bit-identical to the direct in-process call: :func:`execute_query` is
+the single evaluation path both sides run.
+
+:func:`run_job` is the worker-side entry (picklable, module-level):
+it resets the worker's metrics registry, fires any armed
+fault-injection specs addressed to this job's ordinal, evaluates the
+job's queries — coalesced ``design`` queries go through
+``LinkDesigner.design_batch`` so the kernel batch layer sees one
+array call — and ships the results back with the worker's metrics
+payload.  :func:`run_job_inline` is the parent-side twin used for
+in-process compute and crash recovery; it never fires injected
+faults, which is what makes crash-then-recover terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.noc.link import DEFAULT_MEMO_ENTRIES, LinkDesigner
+from repro.runtime import METRICS, faults, span
+from repro.serve.protocol import Query, design_payload
+from repro.units import mm, ps
+
+
+@dataclass
+class ServeContext:
+    """One warm serving context (model suite + link designer)."""
+
+    suite: Any
+    designer: LinkDesigner
+
+
+#: Per-process warm contexts, keyed on (spec, memo_entries).
+_CONTEXTS: Dict[Tuple[Any, int], ServeContext] = {}
+
+
+def reset_contexts() -> None:
+    """Drop every warm context (tests; workers keep theirs for life)."""
+    _CONTEXTS.clear()
+
+
+def get_context(spec, memo_entries: int = DEFAULT_MEMO_ENTRIES
+                ) -> ServeContext:
+    """The warm context for ``spec``, built on first use."""
+    key = (spec, memo_entries)
+    context = _CONTEXTS.get(key)
+    if context is None:
+        from repro.experiments.suite import ModelSuite
+        with span("serve.context_build", node=spec.node,
+                  bus_width=spec.bus_width):
+            METRICS.count("serve.context_build")
+            suite = ModelSuite.for_node(spec.node)
+            designer = LinkDesigner(suite.proposed, suite.tech,
+                                    spec.bus_width,
+                                    utilization=spec.utilization,
+                                    memo_entries=memo_entries)
+        context = _CONTEXTS[key] = ServeContext(suite=suite,
+                                                designer=designer)
+    return context
+
+
+def _mc_result(query: Query, context: ServeContext) -> Dict[str, Any]:
+    """Evaluate one ``mc`` tail-yield query (fixed seed, exact)."""
+    from repro.signoff.extraction import extract_buffered_line
+    from repro.signoff.variation import monte_carlo_line_delay
+
+    model = context.suite.proposed
+    line = extract_buffered_line(
+        context.suite.tech, model.config, mm(query.lengths_mm[0]),
+        query.repeaters, query.size)
+    critical = (ps(query.critical_ps)
+                if query.critical_ps is not None else None)
+    result = monte_carlo_line_delay(
+        line, ps(query.slew_ps), samples=query.samples,
+        seed=query.seed, engine=query.engine, model=model,
+        estimator=query.estimator, critical_delay=critical)
+    threshold = critical
+    if threshold is None and result.report is not None \
+            and result.report.critical_delay:
+        threshold = result.report.critical_delay
+    if threshold is None:
+        threshold = result.mean + 3.0 * result.sigma
+    tail = result.tail_probability(threshold)
+    payload: Dict[str, Any] = {
+        "mean": result.mean,
+        "sigma": result.sigma,
+        "nominal_delay": result.nominal_delay,
+        "samples": [float(sample) for sample in result.samples],
+        "tail": {
+            "threshold": tail.threshold,
+            "probability": tail.probability,
+            "standard_error": tail.standard_error,
+            "draws": tail.draws,
+            "golden_evals": tail.golden_evals,
+        },
+    }
+    if result.report is not None:
+        report = result.report
+        payload["report"] = {
+            "estimator": report.estimator,
+            "standard_error": report.standard_error,
+            "ess": report.ess,
+            "golden_evals": report.golden_evals,
+            "model_evals": report.model_evals,
+        }
+    return payload
+
+
+def execute_query(query: Query,
+                  memo_entries: int = DEFAULT_MEMO_ENTRIES) -> Any:
+    """Evaluate one query; the single path server and workers share."""
+    context = get_context(query.context, memo_entries)
+    METRICS.count(f"serve.op.{query.op}")
+    if query.op == "design":
+        design = context.designer.design(mm(query.lengths_mm[0]))
+        return {"feasible": design is not None,
+                "design": design_payload(design)}
+    if query.op == "design_batch":
+        designs = context.designer.design_batch(
+            [mm(length) for length in query.lengths_mm])
+        return {"designs": [design_payload(design)
+                            for design in designs]}
+    if query.op == "max_feasible_length":
+        return {"max_length": context.designer.max_length()}
+    return _mc_result(query, context)
+
+
+def _execute_batch(queries: Sequence[Query],
+                   memo_entries: int) -> List[Any]:
+    """Evaluate a job's queries, batching coalesced designs.
+
+    When every query is a single-length ``design`` for one shared
+    context — the shape the coalescer produces — the lengths go
+    through ``LinkDesigner.design_batch`` in one call, so the kernel
+    layer scores all repeater-count candidates of all lengths as
+    array lanes.  ``design_batch`` consults and fills the same memo
+    with the same quantization keys as scalar ``design``, so the
+    results (and the cache-counter attribution) are identical either
+    way; anything else falls back to query-by-query evaluation.
+    """
+    if len(queries) > 1 \
+            and all(q.op == "design" for q in queries) \
+            and len({q.context for q in queries}) == 1:
+        context = get_context(queries[0].context, memo_entries)
+        METRICS.count("serve.op.design", len(queries))
+        designs = context.designer.design_batch(
+            [mm(q.lengths_mm[0]) for q in queries])
+        return [{"feasible": design is not None,
+                 "design": design_payload(design)}
+                for design in designs]
+    return [execute_query(query, memo_entries) for query in queries]
+
+
+#: (job ordinal, memo bound, queries, armed worker fault specs)
+JobPayload = Tuple[int, int, Tuple[Query, ...],
+                   Tuple[faults.FaultSpec, ...]]
+
+
+def run_job(payload: JobPayload
+            ) -> Tuple[List[Any], Dict[str, Any]]:
+    """Worker-side job body: evaluate queries, return results+metrics.
+
+    Mirrors ``parallel_map``'s chunk body: the worker registry is
+    reset first (warm workers are reused across jobs and, under
+    ``fork``, inherit the parent's totals), so the returned metrics
+    payload is exactly this job's contribution; armed ``worker_crash``
+    / ``slow_chunk`` faults fire when their site ordinal matches the
+    job ordinal, and nested ``parallel_map`` calls collapse to the
+    serial path.
+    """
+    from repro.runtime import parallel
+
+    ordinal, memo_entries, queries, specs = payload
+    parallel._IN_WORKER = True
+    METRICS.reset()
+    try:
+        faults.fire_chunk_faults(specs, ordinal)
+        with span("serve.job", queries=len(queries), job=ordinal):
+            results = _execute_batch(queries, memo_entries)
+    finally:
+        parallel._IN_WORKER = False
+    return results, METRICS.to_payload()
+
+
+def run_job_inline(payload: JobPayload) -> List[Any]:
+    """Parent-side job body: in-process compute and crash recovery.
+
+    Records straight into the parent registry and never fires
+    injected faults — re-running a job whose worker was crashed by an
+    armed ``worker_crash`` spec must not crash the parent too.  The
+    evaluation path is byte-for-byte the same ``_execute_batch``, so
+    recovered responses are bit-identical to undisturbed ones.
+    """
+    ordinal, memo_entries, queries, _specs = payload
+    with span("serve.job", queries=len(queries), job=ordinal,
+              inline=True):
+        return _execute_batch(queries, memo_entries)
+
+
+def ping() -> int:
+    """Prewarm probe: proves a worker is importable and answering."""
+    import os
+    return os.getpid()

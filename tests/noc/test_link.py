@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.noc.link import _LENGTH_QUANTUM, LinkDesign, LinkDesigner
+from repro.noc.link import (
+    _LENGTH_QUANTUM,
+    _LRUMemo,
+    _MISS,
+    LinkDesign,
+    LinkDesigner,
+    quantize_length,
+)
+from repro.runtime import METRICS
 from repro.units import mm
 
 
@@ -143,6 +151,126 @@ class TestBatchedScorerBoundaries:
 
     def test_empty_batch(self, designer):
         assert designer.design_batch([]) == []
+
+
+class TestQuantizeLength:
+    """The one key function both design entry points share."""
+
+    def test_rounds_to_nearest_quantum(self):
+        assert quantize_length(2.0e-3, 1.0) == 40
+        assert quantize_length(2.024e-3, 1.0) == 40
+        assert quantize_length(2.026e-3, 1.0) == 41
+
+    def test_floors_at_one_quantum(self):
+        assert quantize_length(1e-9, 1.0) == 1
+
+    def test_falls_back_below_the_feasibility_edge(self):
+        # Rounding 2.03 mm up to 41 quanta would cross a 2.04 mm
+        # bound; the key falls back to the quantum at or below.
+        assert quantize_length(2.03e-3, 2.04e-3) == 40
+
+
+class TestLRUMemo:
+    def test_none_is_a_first_class_entry(self):
+        memo = _LRUMemo(4)
+        memo.store(7, None)
+        assert memo.lookup(7) is None
+        assert memo.lookup(8) is _MISS
+
+    def test_evicts_least_recently_used(self):
+        memo = _LRUMemo(2)
+        memo.store(1, "a")
+        memo.store(2, "b")
+        memo.lookup(1)          # 1 is now most recently used
+        memo.store(3, "c")      # evicts 2
+        assert memo.lookup(2) is _MISS
+        assert memo.lookup(1) == "a"
+        assert memo.lookup(3) == "c"
+        assert len(memo) == 2
+
+    def test_eviction_counted(self):
+        before = METRICS.counters.get("link.memo_evicted", 0)
+        memo = _LRUMemo(1)
+        memo.store(1, "a")
+        memo.store(2, "b")
+        memo.store(3, "c")
+        assert METRICS.counters["link.memo_evicted"] - before == 2
+
+    def test_bound_validated(self):
+        with pytest.raises(ValueError):
+            _LRUMemo(0)
+
+
+class TestMemoBound:
+    def test_designer_memo_respects_the_bound(self, suite90):
+        """Six distinct quanta through a 4-entry memo stay at 4."""
+        designer = LinkDesigner(suite90.proposed, suite90.tech, 128,
+                                memo_entries=4)
+        lengths = [mm(value) for value in
+                   (1.0, 1.5, 2.0, 2.5, 3.0, 3.5)]
+        for length in lengths:
+            designer.design(length)
+        assert len(designer._memo) == 4
+
+    def test_evicted_entry_recomputes_identically(self, suite90):
+        designer = LinkDesigner(suite90.proposed, suite90.tech, 128,
+                                memo_entries=1)
+        first = designer.design(mm(1.0))
+        designer.design(mm(2.0))    # evicts the 1.0 mm entry
+        again = designer.design(mm(1.0))
+        assert again == first
+
+
+class TestBatchScalarParity:
+    """`design_batch` must populate and consult the caches exactly as
+    scalar `design` does: bit-equal results, identical counter
+    attribution."""
+
+    LENGTHS_MM = (1.0, 2.2, 3.7, 2.2, 2.2001)
+
+    def _fresh(self, suite90):
+        # No disk level: parity must hold from the memo and the
+        # compute path alone (the disk level would mask divergence
+        # between the two entry points).
+        return LinkDesigner(suite90.proposed, suite90.tech, 128,
+                            use_disk_cache=False)
+
+    def test_bit_equal_results_and_identical_accounting(self,
+                                                        suite90):
+        lengths = [mm(value) for value in self.LENGTHS_MM]
+
+        scalar_designer = self._fresh(suite90)
+        before = dict(METRICS.counters)
+        scalar = [scalar_designer.design(length)
+                  for length in lengths]
+        scalar_delta = {
+            name: METRICS.counters.get(name, 0) - before.get(name, 0)
+            for name in ("link.memo_hit", "link.design_attempts")}
+
+        batch_designer = self._fresh(suite90)
+        before = dict(METRICS.counters)
+        batch = batch_designer.design_batch(lengths)
+        batch_delta = {
+            name: METRICS.counters.get(name, 0) - before.get(name, 0)
+            for name in ("link.memo_hit", "link.design_attempts")}
+
+        assert [design.to_payload() for design in scalar] \
+            == [design.to_payload() for design in batch]
+        # 2.2 repeats twice (same quantum: two memo hits) and 2.2001
+        # lands on the same quantum as 2.2 — three distinct computes.
+        assert scalar_delta == batch_delta
+        assert scalar_delta["link.memo_hit"] == 2
+        assert scalar_delta["link.design_attempts"] == 3
+
+    def test_batch_then_scalar_shares_the_memo(self, suite90):
+        designer = self._fresh(suite90)
+        lengths = [mm(1.0), mm(2.0)]
+        batch = designer.design_batch(lengths)
+        before = METRICS.counters.get("link.design_attempts", 0)
+        assert designer.design(mm(1.0)) is batch[0]
+        assert designer.design(mm(2.0)) is batch[1]
+        assert METRICS.counters.get("link.design_attempts", 0) \
+            == before
 
 
 class TestPersistentRoundTrip:

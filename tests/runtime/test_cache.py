@@ -181,3 +181,72 @@ class TestDisabling:
         runtime.configure(cache_enabled=True)
         cache.put({"k": 1}, "payload")
         assert cache.get({"k": 1}) == "payload"
+
+
+def _hammer_cache(writer_id: int) -> int:
+    """One concurrent writer process: interleaved puts/gets on a small
+    shared slot space (executed in a pool worker)."""
+    import os
+
+    from repro.runtime import DiskCache
+
+    cache = DiskCache("stress")
+    for step in range(25):
+        slot = step % 8
+        cache.put({"slot": slot},
+                  {"writer": writer_id, "step": step,
+                   "blob": [writer_id] * 16})
+        value = cache.get({"slot": slot})
+        # Whatever writer's payload won the race, it must be a whole,
+        # well-formed payload — never a torn or mixed write.
+        if value is not None:
+            assert set(value) == {"writer", "step", "blob"}
+            assert value["blob"] == [value["writer"]] * 16
+    return os.getpid()
+
+
+class TestConcurrentWriterProcesses:
+    """The write-rename path under concurrent writer *processes*.
+
+    Before per-pid/per-token temp names, two processes writing the
+    same key could race on one temp file; the loser's rename then
+    published a torn or foreign payload.  Distinct processes must now
+    never share a temp path, every published entry must be a whole
+    envelope, and no temp litter may survive."""
+
+    def test_parallel_writers_never_corrupt(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.runtime import DiskCache
+
+        try:
+            with ProcessPoolExecutor(max_workers=4) as pool:
+                pids = list(pool.map(_hammer_cache, range(4)))
+        except (OSError, NotImplementedError):
+            pytest.skip("process pools unavailable here")
+        assert len(set(pids)) > 1, "expected distinct writer processes"
+
+        cache = DiskCache("stress")
+        for slot in range(8):
+            value = cache.get({"slot": slot})
+            assert value is not None
+            assert value["blob"] == [value["writer"]] * 16
+        # No temp litter, no quarantined envelopes.
+        leftovers = list(cache.directory.glob("*.tmp"))
+        assert leftovers == []
+        assert list(cache.directory.glob("*.quarantine")) == []
+
+    def test_same_process_temp_names_are_unique(self):
+        import os
+
+        from repro.runtime.cache import _TMP_TOKENS
+
+        first = next(_TMP_TOKENS)
+        second = next(_TMP_TOKENS)
+        assert second == first + 1
+        # The naming scheme embeds both the pid and the token, so two
+        # writers can only collide if the OS reuses a pid *and* the
+        # new process has drawn exactly as many tokens — and even then
+        # O_EXCL turns the collision into a counted failed write, not
+        # a corrupt one.
+        assert os.getpid() != 0

@@ -316,8 +316,8 @@ class TestCacheDegradation:
     def _fill_disk(self, monkeypatch):
         def _no_space(*args, **kwargs):
             raise OSError(errno.ENOSPC, "No space left on device")
-        monkeypatch.setattr(cache_module.tempfile,
-                            "NamedTemporaryFile", _no_space)
+        monkeypatch.setattr(cache_module, "_create_exclusive",
+                            _no_space)
 
     def test_disk_full_degrades_to_read_only_with_one_warning(
             self, monkeypatch):

@@ -1,0 +1,21 @@
+"""Serve-test fixtures: no armed faults leak between tests.
+
+Warm contexts (``repro.serve.core._CONTEXTS``) are deliberately left
+alive across tests — they memoize the same suite/designer pair every
+test would rebuild, and sharing them is exactly the production
+behaviour of a long-running server process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_armed_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.clear()
+    yield
+    faults.clear()

@@ -1,0 +1,209 @@
+"""End-to-end service tests: bit-equality, coalescing, crash recovery.
+
+Every test hosts a real :class:`ReproServer` on an ephemeral TCP port
+(or a Unix socket) inside ``asyncio.run`` and talks to it over real
+connections.  The load they generate is tiny; the assertions are
+exact — a served result must compare *equal* to the direct
+:func:`repro.serve.core.execute_query` call, which for JSON-carried
+floats means bit-identical doubles.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.runtime import METRICS, faults
+from repro.serve import ReproServer, resolve_config
+from repro.serve.core import execute_query
+from repro.serve.loadgen import (
+    _open,
+    _roundtrip,
+    run_load,
+    tcp_endpoint,
+    unix_endpoint,
+)
+from repro.serve.protocol import parse_query
+
+#: One short design plus the other three ops — every op the wire
+#: schema knows, kept tiny so worker-side compute stays fast.
+DOCUMENTS = (
+    {"op": "design", "length_mm": 1.0},
+    {"op": "design", "length_mm": 2.05},
+    {"op": "design_batch", "lengths_mm": [1.0, 2.5, 250.0]},
+    {"op": "max_feasible_length"},
+    {"op": "mc", "length_mm": 2.0, "samples": 16, "seed": 2010,
+     "engine": "kernel"},
+)
+
+
+async def _serve_and_ask(config, documents):
+    """Host a server, send ``documents`` on one connection, close."""
+    server = ReproServer(config)
+    await server.start()
+    try:
+        if config.host:
+            endpoint = tcp_endpoint(config.host, server.port)
+        else:
+            endpoint = unix_endpoint(config.socket)
+        reader, writer = await _open(endpoint)
+        try:
+            responses = []
+            for document in documents:
+                responses.append(await _roundtrip(reader, writer,
+                                                  document))
+            return responses
+        finally:
+            writer.close()
+    finally:
+        await server.close()
+
+
+def _assert_bit_identical(documents, responses):
+    for document, response in zip(documents, responses):
+        assert response["_status"] == 200
+        assert response["ok"] is True
+        direct = execute_query(parse_query(document))
+        assert response["result"] == direct, document
+
+
+class TestBitEquality:
+    def test_sharded_answers_match_direct_calls(self, suite90):
+        """Worker-process answers are bit-identical to in-process."""
+        config = resolve_config(port=0, shards=1, window_ms=1)
+        responses = asyncio.run(_serve_and_ask(config, DOCUMENTS))
+        _assert_bit_identical(DOCUMENTS, responses)
+
+    def test_inline_mode_answers_match_direct_calls(self, suite90):
+        """``shards=0`` computes in-process; same bit-exact answers."""
+        config = resolve_config(port=0, shards=0, window_ms=0)
+        responses = asyncio.run(_serve_and_ask(config, DOCUMENTS))
+        _assert_bit_identical(DOCUMENTS, responses)
+
+    def test_unix_socket_transport(self, suite90, tmp_path):
+        config = resolve_config(host="", port=0, shards=0,
+                                socket=str(tmp_path / "serve.sock"))
+        documents = DOCUMENTS[:2]
+        responses = asyncio.run(_serve_and_ask(config, documents))
+        _assert_bit_identical(documents, responses)
+        # close() removed the socket file.
+        assert not (tmp_path / "serve.sock").exists()
+
+
+class TestCrashRecovery:
+    def test_injected_worker_crash_does_not_drop_requests(self,
+                                                          suite90):
+        """The first job's worker dies; both answers still arrive,
+        bit-identical, and the shard is rebuilt behind them."""
+        config = resolve_config(port=0, shards=1, window_ms=1)
+        documents = ({"op": "design", "length_mm": 1.5},
+                     {"op": "design", "length_mm": 3.0})
+        before = dict(METRICS.counters)
+        with faults.inject("worker_crash", at=0):
+            responses = asyncio.run(_serve_and_ask(config, documents))
+        _assert_bit_identical(documents, responses)
+        delta = {name: METRICS.counters.get(name, 0)
+                 - before.get(name, 0)
+                 for name in ("faults.worker_crash",
+                              "serve.worker_restart")}
+        assert delta["faults.worker_crash"] == 1
+        assert delta["serve.worker_restart"] == 1
+
+    def test_mc_across_worker_crash_is_bit_identical(self, suite90):
+        config = resolve_config(port=0, shards=1, window_ms=1)
+        documents = ({"op": "mc", "length_mm": 2.0, "samples": 16,
+                      "seed": 2010, "engine": "kernel"},)
+        with faults.inject("worker_crash", at=0):
+            responses = asyncio.run(_serve_and_ask(config, documents))
+        _assert_bit_identical(documents, responses)
+
+
+class TestCoalescing:
+    def test_concurrent_designs_share_jobs(self, suite90):
+        """Concurrent clients' design queries merge into fewer jobs."""
+        before_batches = METRICS.counters.get("serve.batches", 0)
+        before_requests = METRICS.counters.get("serve.requests", 0)
+
+        async def scenario():
+            config = resolve_config(port=0, shards=0, window_ms=25,
+                                    max_batch=64)
+            server = ReproServer(config)
+            await server.start()
+            try:
+                return await run_load(
+                    tcp_endpoint(config.host, server.port),
+                    clients=6, requests_per_client=2, seed=11)
+            finally:
+                await server.close()
+
+        report = asyncio.run(scenario())
+        assert report.failures == 0
+        requests = METRICS.counters["serve.requests"] \
+            - before_requests
+        batches = METRICS.counters["serve.batches"] - before_batches
+        assert requests == 12
+        assert batches < requests
+
+
+class TestHttpSurface:
+    def test_routes_and_errors(self, suite90):
+        async def scenario():
+            config = resolve_config(port=0, shards=0, window_ms=0)
+            server = ReproServer(config)
+            await server.start()
+            try:
+                endpoint = tcp_endpoint(config.host, server.port)
+                reader, writer = await _open(endpoint)
+                try:
+                    bad_op = await _roundtrip(
+                        reader, writer, {"op": "teleport"})
+                    missing = await _roundtrip(
+                        reader, writer, {"op": "design"})
+                finally:
+                    writer.close()
+
+                reader, writer = await _open(endpoint)
+                try:
+                    writer.write(b"GET /healthz HTTP/1.1\r\n"
+                                 b"Host: repro\r\n\r\n")
+                    await writer.drain()
+                    health = await _read_simple(reader)
+                    writer.write(b"GET /metrics HTTP/1.1\r\n"
+                                 b"Host: repro\r\n\r\n")
+                    await writer.drain()
+                    metrics = await _read_simple(reader)
+                    writer.write(b"GET /nowhere HTTP/1.1\r\n"
+                                 b"Host: repro\r\n\r\n")
+                    await writer.drain()
+                    nowhere = await _read_simple(reader)
+                finally:
+                    writer.close()
+                return bad_op, missing, health, metrics, nowhere
+            finally:
+                await server.close()
+
+        bad_op, missing, health, metrics, nowhere = \
+            asyncio.run(scenario())
+        assert bad_op["_status"] == 400 and bad_op["ok"] is False
+        assert "op" in bad_op["error"]
+        assert missing["_status"] == 400 and missing["ok"] is False
+        assert health[0] == 200
+        assert json.loads(health[1])["ok"] is True
+        assert metrics[0] == 200
+        assert "serve_requests_total" in metrics[1].decode("utf-8")
+        assert nowhere[0] == 404
+
+
+async def _read_simple(reader):
+    """Read one (status, body) HTTP response off a stream."""
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n"):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    return status, await reader.readexactly(length)
